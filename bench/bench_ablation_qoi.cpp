@@ -1,0 +1,57 @@
+/// Ablation: the choice of quantity of interest. The paper fixes the QoI
+/// to "the total number of hospitalizations at the end of the simulation
+/// period"; this bench repeats the first-order GSA for three other
+/// outcomes public-health stakeholders care about and shows how the
+/// parameter ranking shifts — e.g. phd only matters for deaths, psh only
+/// downstream of the hospital branch.
+
+#include <cstdio>
+
+#include "core/metarvm_gsa.hpp"
+#include "gsa/sobol.hpp"
+#include "util/table.hpp"
+
+using namespace osprey;
+
+int main() {
+  std::printf("%s", util::banner(
+      "Ablation — GSA quantity of interest (parameter ranking per outcome)")
+      .c_str());
+
+  auto model = std::make_shared<const epi::MetaRvm>(
+      epi::MetaRvmConfig::stratified_demo(200'000, 90));
+  auto ranges = core::table1_ranges();
+
+  const std::vector<core::Qoi> qois = {
+      core::Qoi::kTotalHospitalizations, core::Qoi::kTotalDeaths,
+      core::Qoi::kPeakHospitalOccupancy, core::Qoi::kTotalInfections};
+
+  std::vector<std::string> header{"parameter"};
+  for (core::Qoi q : qois) header.push_back(core::qoi_name(q));
+  util::TextTable table(header);
+
+  std::vector<gsa::SobolIndices> per_qoi;
+  for (core::Qoi q : qois) {
+    gsa::ModelFn fn = [&, q](const num::Vector& x) {
+      return core::evaluate_metarvm_qoi(*model, x, 2024, 0, q);
+    };
+    per_qoi.push_back(gsa::saltelli_indices(fn, ranges, 1024));
+  }
+  for (std::size_t j = 0; j < ranges.size(); ++j) {
+    std::vector<std::string> row{ranges[j].name};
+    for (const auto& idx : per_qoi) {
+      row.push_back(util::TextTable::num(
+          std::max(idx.first_order[j], 0.0), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("first-order Sobol indices (Saltelli n=1024, replicate 0):\n%s\n",
+              table.render().c_str());
+
+  std::printf(
+      "Expected structure (sanity of the model wiring):\n"
+      " - phd moves only the deaths QoI (deaths happen after admission);\n"
+      " - psh matters for hospital outcomes but not for infections;\n"
+      " - ts/pea drive everything that depends on epidemic size.\n");
+  return 0;
+}

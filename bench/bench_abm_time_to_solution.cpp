@@ -1,0 +1,142 @@
+/// §3.3's forward-looking claim, made concrete: "While this sampling
+/// efficiency is less important with less computationally expensive
+/// compartmental epidemiological models, the potential for faster
+/// time-to-solution would greatly benefit more expensive agent-based
+/// epidemiological models."
+///
+/// This bench runs the same Table-1 GSA on the agent-based MetaRVM
+/// counterpart (1–2 orders of magnitude more compute per evaluation than
+/// the chain-binomial model) and reports measured wall-clock per model
+/// run, per-method evaluations-to-stabilization, and the implied
+/// time-to-solution — where MUSIC's smaller sample budget becomes real
+/// hours on real ABMs.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/metarvm_gsa.hpp"
+#include "epi/abm.hpp"
+#include "gsa/music.hpp"
+#include "gsa/pce.hpp"
+#include "util/table.hpp"
+
+using namespace osprey;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", util::banner(
+      "§3.3 — sample efficiency as time-to-solution on an agent-based model")
+      .c_str());
+
+  // The compartmental model (cheap) and its agent-based counterpart
+  // (expensive), same parameters and QoI.
+  auto meta = std::make_shared<const epi::MetaRvm>(
+      epi::MetaRvmConfig::single_group(20'000, 20, 60));
+  epi::AbmConfig abm_cfg;
+  abm_cfg.n_agents = 20'000;
+  abm_cfg.initial_infections = 20;
+  abm_cfg.days = 60;
+  auto abm = std::make_shared<const epi::AgentBasedModel>(abm_cfg);
+  auto ranges = core::table1_ranges();
+
+  // Measure per-evaluation cost of each model.
+  auto time_model = [&](const std::function<double(const num::Vector&)>& fn) {
+    num::Vector center(5);
+    for (std::size_t j = 0; j < 5; ++j) {
+      center[j] = 0.5 * (ranges[j].lo + ranges[j].hi);
+    }
+    double t0 = now_ms();
+    const int reps = 10;
+    double sink = 0.0;
+    for (int r = 0; r < reps; ++r) sink += fn(center);
+    (void)sink;
+    return (now_ms() - t0) / reps;
+  };
+  std::uint64_t eval_count_abm = 0;
+  gsa::ModelFn meta_fn = [&](const num::Vector& x) {
+    return core::evaluate_metarvm_qoi(*meta, x, 7, 0);
+  };
+  gsa::ModelFn abm_fn = [&](const num::Vector& x) {
+    ++eval_count_abm;
+    epi::MetaRvmParams p = core::params_from_point(x);
+    return abm->hospitalization_qoi(p, 7, 0);
+  };
+  double meta_ms = time_model(meta_fn);
+  double abm_ms = time_model(abm_fn);
+  std::printf("per-evaluation cost: compartmental %.2f ms, agent-based "
+              "%.2f ms (%.0fx more expensive)\n\n",
+              meta_ms, abm_ms, abm_ms / std::max(meta_ms, 1e-6));
+
+  // GSA on the ABM: MUSIC trajectory vs PCE sweep.
+  gsa::MusicConfig mcfg;
+  mcfg.ranges = ranges;
+  mcfg.n_init = 25;
+  mcfg.n_total = 120;
+  mcfg.n_candidates = 150;
+  mcfg.surrogate_mc_n = 512;
+  mcfg.reopt_every = 25;
+  mcfg.seed = 7;
+  double t0 = now_ms();
+  gsa::MusicResult music = gsa::run_music(mcfg, abm_fn);
+  double music_wall_ms = now_ms() - t0;
+
+  std::vector<gsa::MusicStep> pce_trajectory;
+  std::size_t pce_total_evals = 0;
+  t0 = now_ms();
+  for (std::size_t n = 25; n <= 120; n += 5) {
+    gsa::SobolIndices idx = gsa::pce_gsa(abm_fn, ranges, n, 13);
+    pce_total_evals += n;
+    std::vector<double> s1 = idx.first_order;
+    for (double& v : s1) v = std::clamp(v, 0.0, 1.0);
+    pce_trajectory.push_back(gsa::MusicStep{n, s1, {}});
+  }
+  double pce_wall_ms = now_ms() - t0;
+
+  const double kEps = 0.05;
+  std::size_t music_stable = gsa::stabilization_n(music.trajectory, kEps);
+  std::size_t pce_stable = gsa::stabilization_n(pce_trajectory, kEps);
+
+  util::TextTable table({"method", "stabilized at n", "model evals used",
+                         "measured wall (ms)",
+                         "projected model time at stability"});
+  auto projected = [&](std::size_t n) {
+    return util::TextTable::num(static_cast<double>(n) * abm_ms, 0) + " ms";
+  };
+  table.add_row({"MUSIC", std::to_string(music_stable),
+                 std::to_string(mcfg.n_total),
+                 util::TextTable::num(music_wall_ms, 0),
+                 projected(music_stable)});
+  // PCE re-evaluates a fresh design per sample size; a one-shot user
+  // would pay `pce_stable` evals IF they somehow knew the right n, and
+  // the full sweep cost otherwise.
+  table.add_row({"PCE (degree 3)", std::to_string(pce_stable),
+                 std::to_string(pce_total_evals) + " (sweep)",
+                 util::TextTable::num(pce_wall_ms, 0),
+                 projected(pce_stable)});
+  std::printf("%s\n", table.render().c_str());
+
+  // Project to a production-scale ABM (e.g. the city-scale models of the
+  // paper's ref [20]), where one replicate takes ~10 node-minutes.
+  const double kProductionRunMinutes = 10.0;
+  std::printf(
+      "At a production ABM cost of ~%.0f node-minutes per run (city-scale\n"
+      "models like the paper's ref [20]): MUSIC reaches stable indices in\n"
+      "~%.1f node-hours (%zu runs); the PCE sweep that discovered its own\n"
+      "stable n costs ~%.1f node-hours (%zu runs) — the time-to-solution\n"
+      "difference the paper anticipates.\n",
+      kProductionRunMinutes,
+      static_cast<double>(music_stable) * kProductionRunMinutes / 60.0,
+      music_stable,
+      static_cast<double>(pce_total_evals) * kProductionRunMinutes / 60.0,
+      pce_total_evals);
+  return 0;
+}

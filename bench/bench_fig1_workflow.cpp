@@ -1,0 +1,132 @@
+/// Figure 1 reproduction: the automated multi-source wastewater R(t)
+/// workflow. Runs the full event-driven pipeline (4 ingestion flows ->
+/// 4 R(t) analysis flows -> 1 ALL-triggered aggregation) over 120
+/// virtual days and prints:
+///   - the realized flow-trigger DAG (which flow fired on which update),
+///   - per-task endpoint placement and virtual timing (the login-node vs
+///     PBS-compute split of §2.2),
+///   - metadata query/update traffic between flows and the AERO server
+///     (the solid arrows of Figure 1),
+///   - storage/transfer traffic (the "bring your own storage" badges).
+
+#include <cstdio>
+#include <map>
+
+#include "core/usecase_ww.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+using namespace osprey;
+
+int main() {
+  util::set_log_level(util::LogLevel::kError);
+  std::printf("%s", util::banner(
+      "Figure 1 — automated multi-source wastewater R(t) workflow").c_str());
+
+  core::OspreyPlatform platform;
+  core::WwUseCaseConfig config;
+  config.horizon_days = 120;
+  config.seed = 42;
+  core::WastewaterUseCase usecase(platform, config);
+  usecase.build();
+  usecase.run_to_end();
+
+  const auto& aero = platform.aero();
+  const auto& db = aero.db();
+
+  // --- flow-level summary: the DAG of Figure 1 -----------------------
+  struct FlowAgg {
+    int runs = 0;
+    int failed = 0;
+    aero::FlowKind kind = aero::FlowKind::kIngestion;
+    std::string endpoint;
+    util::SimTime total_duration = 0;
+    std::string sample_trigger;
+  };
+  std::map<std::string, FlowAgg> by_flow;
+  for (const auto& run : db.runs()) {
+    FlowAgg& agg = by_flow[run.flow_name];
+    agg.kind = run.kind;
+    agg.endpoint = run.compute_endpoint;
+    agg.runs++;
+    if (run.status != aero::RunStatus::kSucceeded) agg.failed++;
+    if (run.ended > run.started) agg.total_duration += run.ended - run.started;
+    if (agg.sample_trigger.empty()) agg.sample_trigger = run.trigger;
+  }
+  util::TextTable flow_table({"flow", "kind", "compute endpoint", "runs",
+                              "failed", "mean duration", "triggered by"});
+  for (const auto& [name, agg] : by_flow) {
+    flow_table.add_row(
+        {name,
+         agg.kind == aero::FlowKind::kIngestion ? "ingestion" : "analysis",
+         agg.endpoint, std::to_string(agg.runs), std::to_string(agg.failed),
+         util::format_duration(agg.total_duration /
+                               std::max(agg.runs, 1)),
+         agg.sample_trigger});
+  }
+  std::printf("Flows (4 ingestion -> 4 R(t) analysis -> 1 aggregation):\n%s\n",
+              flow_table.render().c_str());
+
+  // --- trigger cascade for one publication week ----------------------
+  util::TextTable cascade({"run", "flow", "trigger", "start", "end"});
+  int shown = 0;
+  for (const auto& run : db.runs()) {
+    // One full cascade: runs between day 56 and day 58.
+    if (run.started < 56 * util::kDay || run.started > 58 * util::kDay) {
+      continue;
+    }
+    cascade.add_row({std::to_string(run.run_id), run.flow_name, run.trigger,
+                     util::format_sim_time(run.started),
+                     util::format_sim_time(run.ended)});
+    ++shown;
+  }
+  std::printf("Trigger cascade for one publication cycle (day 56):\n%s\n",
+              cascade.render().c_str());
+  (void)shown;
+
+  // --- platform traffic ----------------------------------------------
+  const auto& eagle =
+      platform.storage_endpoint(core::WastewaterUseCase::kStorageName);
+  const auto& scratch =
+      platform.storage_endpoint(core::WastewaterUseCase::kStagingName);
+  util::TextTable traffic({"metric", "count"});
+  traffic.add_row({"source polls", std::to_string(aero.polls())});
+  traffic.add_row({"upstream updates detected",
+                   std::to_string(aero.updates_detected())});
+  traffic.add_row({"ingestion flow runs", std::to_string(aero.ingestion_runs())});
+  traffic.add_row({"analysis flow triggers",
+                   std::to_string(aero.analysis_triggers())});
+  traffic.add_row({"analysis flow runs", std::to_string(aero.analysis_runs())});
+  traffic.add_row({"failed runs", std::to_string(aero.failed_runs())});
+  traffic.add_row({"metadata queries (solid arrows)",
+                   std::to_string(db.query_count())});
+  traffic.add_row({"metadata updates (solid arrows)",
+                   std::to_string(db.update_count())});
+  traffic.add_row({"transfers completed",
+                   std::to_string(platform.transfers().completed_count())});
+  traffic.add_row({"eagle puts / gets",
+                   std::to_string(eagle.puts()) + " / " +
+                       std::to_string(eagle.gets())});
+  traffic.add_row({"eagle bytes stored",
+                   std::to_string(eagle.bytes_stored())});
+  traffic.add_row({"scratch puts / gets",
+                   std::to_string(scratch.puts()) + " / " +
+                       std::to_string(scratch.gets())});
+  std::printf("Platform traffic over %d virtual days:\n%s\n",
+              config.horizon_days, traffic.render().c_str());
+
+  // --- §2.2 placement claim ------------------------------------------
+  std::printf(
+      "Placement check (paper §2.2): transformation+aggregation ran on the\n"
+      "shared login node ('bebop-login', <1 min each); the R(t) analysis ran\n"
+      "as 1-node jobs on the PBS-scheduled endpoint ('bebop-compute').\n");
+  const auto& pbs = platform.scheduler("bebop-pbs");
+  util::SimTime max_wait = 0;
+  for (const auto& job : pbs.jobs()) {
+    if (job.queue_wait() > max_wait) max_wait = job.queue_wait();
+  }
+  std::printf("PBS jobs: %zu, max queue wait %s, machine utilization %.1f%%\n",
+              pbs.jobs().size(), util::format_duration(max_wait).c_str(),
+              100.0 * pbs.utilization());
+  return 0;
+}

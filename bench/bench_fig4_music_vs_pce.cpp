@@ -1,0 +1,145 @@
+/// Figure 4 reproduction: first-order Sobol index estimates for the five
+/// MetaRVM parameters as a function of sample size — MUSIC (active
+/// learning, one sample at a time) vs the degree-3 PCE baseline (one-shot
+/// design per sample size), with the random seed fixed (replicate 0).
+/// A large-N Saltelli run on the same replicate provides the reference
+/// the curves should converge to.
+///
+/// The paper's reading: "MUSIC demonstrates relatively quick (by 200
+/// samples) stabilization compared to PCE". We print both curves and the
+/// stabilization sample size per method.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/metarvm_gsa.hpp"
+#include "gsa/music.hpp"
+#include "gsa/pce.hpp"
+#include "gsa/sobol.hpp"
+#include "num/stats.hpp"
+#include "util/csv.hpp"
+#include "util/file_io.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+using namespace osprey;
+
+int main() {
+  std::printf("%s", util::banner(
+      "Figure 4 — MUSIC vs PCE first-order Sobol convergence (fixed seed)")
+      .c_str());
+
+  const std::uint64_t kSeed = 2024;
+  const std::uint64_t kReplicate = 0;  // fixed random seed, as in §3.3
+  auto model = std::make_shared<const epi::MetaRvm>(
+      epi::MetaRvmConfig::stratified_demo(200'000, 90));
+  auto ranges = core::table1_ranges();
+  gsa::ModelFn qoi = [&](const num::Vector& x) {
+    return core::evaluate_metarvm_qoi(*model, x, kSeed, kReplicate);
+  };
+
+  // --- reference: large-N Saltelli directly on the model -------------
+  std::printf("computing reference indices (Saltelli, n=4096 base)...\n");
+  gsa::SobolIndices reference = gsa::saltelli_indices(qoi, ranges, 4096);
+  util::TextTable ref({"parameter", "reference S1", "reference ST"});
+  for (std::size_t j = 0; j < 5; ++j) {
+    ref.add_row({ranges[j].name,
+                 util::TextTable::num(reference.first_order[j], 3),
+                 util::TextTable::num(reference.total_order[j], 3)});
+  }
+  std::printf("%s\n", ref.render().c_str());
+
+  // --- MUSIC: one trajectory, indices recorded after every sample ----
+  gsa::MusicConfig mcfg;
+  mcfg.ranges = ranges;
+  mcfg.n_init = 25;
+  mcfg.n_total = 200;
+  mcfg.n_candidates = 200;
+  mcfg.surrogate_mc_n = 1024;
+  mcfg.reopt_every = 25;
+  mcfg.seed = 7;
+  std::printf("running MUSIC to %zu samples...\n", mcfg.n_total);
+  gsa::MusicResult music = gsa::run_music(mcfg, qoi);
+
+  // --- PCE: one-shot fit per sample size ------------------------------
+  std::printf("running degree-3 PCE at each sample size...\n\n");
+  std::vector<gsa::MusicStep> pce_trajectory;
+  for (std::size_t n = 25; n <= 200; n += 5) {
+    gsa::SobolIndices idx = gsa::pce_gsa(qoi, ranges, n, /*seed=*/13);
+    std::vector<double> s1 = idx.first_order;
+    for (double& v : s1) v = std::clamp(v, 0.0, 1.0);
+    pce_trajectory.push_back(gsa::MusicStep{n, s1, {}});
+  }
+
+  // --- the five panels -------------------------------------------------
+  for (std::size_t j = 0; j < 5; ++j) {
+    util::TextTable panel({"n", "MUSIC S1", "PCE S1", "reference"});
+    for (std::size_t r = 0; r < music.trajectory.size(); r += 15) {
+      const auto& m = music.trajectory[r];
+      // Nearest PCE record at-or-below this n.
+      const gsa::MusicStep* p = &pce_trajectory.front();
+      for (const auto& cand : pce_trajectory) {
+        if (cand.n <= m.n) p = &cand;
+      }
+      panel.add_row({std::to_string(m.n),
+                     util::TextTable::num(m.s1[j], 3),
+                     util::TextTable::num(p->s1[j], 3),
+                     util::TextTable::num(reference.first_order[j], 3)});
+    }
+    const auto& last = music.trajectory.back();
+    const auto& plast = pce_trajectory.back();
+    panel.add_row({std::to_string(last.n),
+                   util::TextTable::num(last.s1[j], 3),
+                   util::TextTable::num(plast.s1[j], 3),
+                   util::TextTable::num(reference.first_order[j], 3)});
+    std::printf("Panel: %s\n%s\n", ranges[j].name.c_str(),
+                panel.render().c_str());
+  }
+
+  // --- stabilization + accuracy summary -------------------------------
+  const double kEps = 0.05;
+  std::size_t music_stable = gsa::stabilization_n(music.trajectory, kEps);
+  std::size_t pce_stable = gsa::stabilization_n(pce_trajectory, kEps);
+
+  auto final_error = [&](const std::vector<double>& s1) {
+    double err = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) {
+      err = std::max(err, std::fabs(s1[j] - reference.first_order[j]));
+    }
+    return err;
+  };
+  util::TextTable summary({"method", "stabilized by (eps=0.05)",
+                           "final max |S1 - ref|", "model evals at stability"});
+  summary.add_row({"MUSIC", std::to_string(music_stable),
+                   util::TextTable::num(final_error(music.final_s1), 3),
+                   std::to_string(music_stable)});
+  summary.add_row({"PCE (degree 3)", std::to_string(pce_stable),
+                   util::TextTable::num(final_error(pce_trajectory.back().s1),
+                                        3),
+                   std::to_string(pce_stable)});
+  std::printf("Convergence summary:\n%s\n", summary.render().c_str());
+  std::printf("Paper's qualitative claim: MUSIC stabilizes by ~200 samples,\n"
+              "faster than the one-shot PCE — reproduced iff MUSIC's\n"
+              "stabilization n (%zu) <= PCE's (%zu).\n",
+              music_stable, pce_stable);
+
+  // --- CSV artifact for external plotting ------------------------------
+  util::CsvTable csv({"method", "n", "parameter", "s1", "reference"});
+  auto dump = [&](const std::string& method,
+                  const std::vector<gsa::MusicStep>& trajectory) {
+    for (const auto& step : trajectory) {
+      for (std::size_t j = 0; j < 5; ++j) {
+        csv.add_row({method, std::to_string(step.n), ranges[j].name,
+                     util::format("%.5f", step.s1[j]),
+                     util::format("%.5f", reference.first_order[j])});
+      }
+    }
+  };
+  dump("music", music.trajectory);
+  dump("pce3", pce_trajectory);
+  util::write_text_file("results/fig4_convergence.csv", csv.to_string());
+  std::printf("wrote results/fig4_convergence.csv (%zu rows)\n",
+              csv.num_rows());
+  return 0;
+}

@@ -1,0 +1,168 @@
+/// Micro-benchmarks (google-benchmark) of the substrates: throughput
+/// numbers that bound how far the simulated platform scales — SHA-256
+/// hashing, storage puts, event-loop dispatch, EMEWS task round-trips,
+/// MetaRVM steps/s, GP fit/predict scaling, Saltelli throughput, and the
+/// Goldstein MCMC iteration cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "crypto/sha256.hpp"
+#include "emews/task_api.hpp"
+#include "emews/worker_pool.hpp"
+#include "epi/metarvm.hpp"
+#include "epi/wastewater.hpp"
+#include "fabric/event_loop.hpp"
+#include "fabric/storage.hpp"
+#include "gp/gp.hpp"
+#include "gsa/sobol.hpp"
+#include "num/sampling.hpp"
+#include "rt/goldstein.hpp"
+
+using namespace osprey;
+
+static void BM_Sha256(benchmark::State& state) {
+  std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash_hex(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_StoragePut(benchmark::State& state) {
+  fabric::EventLoop loop;
+  fabric::AuthService auth;
+  fabric::StorageEndpoint ep("bench", loop, auth);
+  std::string token = auth.issue_full_token("bench");
+  ep.create_collection("c", token);
+  std::string payload(4096, 'x');
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ep.put("c", "obj" + std::to_string(i++ % 1000), payload, token);
+  }
+}
+BENCHMARK(BM_StoragePut);
+
+static void BM_EventLoopDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    fabric::EventLoop loop;
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule_at(i, [] {});
+    }
+    loop.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopDispatch);
+
+static void BM_TaskRoundTrip(benchmark::State& state) {
+  emews::TaskDb db;
+  emews::TaskQueue queue(db, "bench");
+  emews::WorkerPool pool(
+      db, "bench",
+      [](const util::Value& v) { return v; },
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    emews::TaskFuture f = queue.submit(util::Value(1.0));
+    benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TaskRoundTrip)->Arg(1)->Arg(4);
+
+static void BM_MetaRvmRun(benchmark::State& state) {
+  epi::MetaRvm model(epi::MetaRvmConfig::single_group(
+      state.range(0), state.range(0) / 2000 + 1, 90));
+  epi::MetaRvmParams params;
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.hospitalization_qoi(params, 1, rep++));
+  }
+  state.SetItemsProcessed(state.iterations() * 90);  // days simulated
+}
+BENCHMARK(BM_MetaRvmRun)->Arg(10'000)->Arg(200'000)->Arg(2'000'000);
+
+static void BM_WastewaterGenerate(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    epi::WastewaterGenerator gen(epi::chicago_plants()[0],
+                                 epi::chicago_truths()[0],
+                                 epi::WastewaterConfig{}, seed++);
+    benchmark::DoNotOptimize(gen.samples().size());
+  }
+}
+BENCHMARK(BM_WastewaterGenerate);
+
+static void BM_GpFit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  num::RngStream rng(1);
+  num::Matrix x = num::latin_hypercube(n, 5, rng);
+  num::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = x(i, 0) + std::sin(3.0 * x(i, 1)) + 0.1 * rng.normal();
+  }
+  gp::GpConfig cfg;
+  cfg.mle_restarts = 0;
+  cfg.mle_max_iterations = 60;
+  for (auto _ : state) {
+    gp::GaussianProcess gp(cfg);
+    gp.fit(x, y);
+    benchmark::DoNotOptimize(gp.log_marginal_likelihood());
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(50)->Arg(100)->Arg(200);
+
+static void BM_GpPredictMean(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  num::RngStream rng(1);
+  num::Matrix x = num::latin_hypercube(n, 5, rng);
+  num::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = x(i, 0) + x(i, 1);
+  gp::GpConfig cfg;
+  cfg.mle_restarts = 0;
+  cfg.mle_max_iterations = 40;
+  gp::GaussianProcess gp(cfg);
+  gp.fit(x, y);
+  num::Matrix queries = num::latin_hypercube(1024, 5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.predict_mean(queries));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_GpPredictMean)->Arg(100)->Arg(200);
+
+static void BM_SaltelliOnCheapModel(benchmark::State& state) {
+  auto ranges = std::vector<num::ParamRange>{
+      {"a", 0, 1}, {"b", 0, 1}, {"c", 0, 1}, {"d", 0, 1}, {"e", 0, 1}};
+  gsa::ModelFn fn = [](const num::Vector& x) {
+    return x[0] + 2.0 * x[1] * x[2] + x[3] - x[4];
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gsa::saltelli_indices(fn, ranges,
+                              static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_SaltelliOnCheapModel)->Arg(256)->Arg(1024);
+
+static void BM_GoldsteinMcmc(benchmark::State& state) {
+  epi::Plant plant = epi::chicago_plants()[0];
+  epi::WastewaterConfig ww;
+  ww.days = 90;
+  epi::WastewaterGenerator gen(plant, epi::chicago_truths()[0], ww, 3);
+  rt::GoldsteinConfig cfg;
+  cfg.iterations = static_cast<int>(state.range(0));
+  cfg.burnin = cfg.iterations / 2;
+  cfg.flow_liters_per_day = plant.avg_flow_mgd * 3.785e6;
+  rt::GoldsteinEstimator estimator(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(gen.samples(), 90));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GoldsteinMcmc)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

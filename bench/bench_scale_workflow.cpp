@@ -1,0 +1,159 @@
+/// Scale bench: how far does the "always-on" orchestration layer go?
+/// The paper runs 4 feeds for weeks; production surveillance (the IWSS
+/// covers dozens of plants) runs many feeds for years. This bench
+/// drives N ingestion flows + N analysis flows + 1 ALL-policy
+/// aggregation over a full simulated year with cheap analysis functions,
+/// and reports orchestration throughput: virtual-time events, flow runs,
+/// metadata traffic, transfers — and the real-time cost of simulating it.
+
+#include <chrono>
+#include <cstdio>
+
+#include "aero/server.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+using namespace osprey;
+using util::Value;
+using util::ValueObject;
+using util::kDay;
+using util::kMinute;
+using util::kSecond;
+
+namespace {
+
+constexpr int kFeeds = 20;
+constexpr int kDays = 365;
+
+Value transform(const Value& args) {
+  ValueObject out;
+  out["output"] = args.at("input");
+  return Value(std::move(out));
+}
+
+Value analysis(const Value& args) {
+  ValueObject outputs;
+  outputs["out"] = Value("analyzed:" +
+                         std::to_string(args.at("inputs").size()));
+  ValueObject out;
+  out["outputs"] = Value(std::move(outputs));
+  return Value(std::move(out));
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::kError);
+  std::printf("%s", util::banner(
+      "Scale — 20 feeds x 365 days of always-on orchestration").c_str());
+
+  fabric::EventLoop loop;
+  fabric::AuthService auth;
+  fabric::TimerService timers(loop, auth);
+  fabric::TransferService transfers(loop, auth);
+  fabric::FlowsService flows(loop, auth);
+  aero::AeroServer server(loop, auth, timers, transfers, flows);
+  fabric::StorageEndpoint eagle("eagle", loop, auth);
+  fabric::StorageEndpoint scratch("scratch", loop, auth);
+  fabric::BatchScheduler pbs(loop, 8);
+  fabric::ComputeEndpoint login("login", loop, auth, 4);
+  fabric::ComputeEndpoint compute("compute", loop, auth, pbs);
+  eagle.create_collection("data", server.token());
+  scratch.create_collection("staging", server.token());
+  std::string transform_fn =
+      login.register_function("transform", transform, 30 * kSecond);
+  std::string analysis_fn =
+      compute.register_function("analysis", analysis, 10 * kMinute);
+  std::string agg_fn =
+      login.register_function("aggregate", analysis, kMinute);
+
+  // Feeds publish weekly, staggered across weekdays.
+  std::vector<std::string> analysis_out_uuids;
+  for (int f = 0; f < kFeeds; ++f) {
+    std::vector<std::pair<fabric::SimTime, std::string>> timeline;
+    for (int week = 0; week * 7 < kDays; ++week) {
+      timeline.emplace_back((week * 7 + f % 7) * kDay,
+                            "feed" + std::to_string(f) + "-week" +
+                                std::to_string(week));
+    }
+    aero::IngestionFlowSpec ing;
+    ing.name = "ingest-" + std::to_string(f);
+    ing.source = std::make_shared<aero::ScriptedSource>(
+        "https://feeds/" + std::to_string(f), std::move(timeline));
+    ing.poll_period = kDay;
+    ing.compute = &login;
+    ing.function_id = transform_fn;
+    ing.staging = &scratch;
+    ing.staging_collection = "staging";
+    ing.storage = &eagle;
+    ing.collection = "data";
+    ing.base_path = "feed/" + std::to_string(f);
+    auto handles = server.register_ingestion(std::move(ing));
+
+    aero::AnalysisFlowSpec ana;
+    ana.name = "analyze-" + std::to_string(f);
+    ana.input_uuids = {handles.output_uuid};
+    ana.policy = aero::TriggerPolicy::kAny;
+    ana.compute = &compute;
+    ana.function_id = analysis_fn;
+    ana.staging = &scratch;
+    ana.staging_collection = "staging";
+    ana.storage = &eagle;
+    ana.collection = "data";
+    ana.base_path = "analysis/" + std::to_string(f);
+    ana.output_names = {"out"};
+    analysis_out_uuids.push_back(
+        server.register_analysis(std::move(ana))[0]);
+  }
+  aero::AnalysisFlowSpec agg;
+  agg.name = "aggregate-all";
+  agg.input_uuids = analysis_out_uuids;
+  agg.policy = aero::TriggerPolicy::kAll;
+  agg.compute = &login;
+  agg.function_id = agg_fn;
+  agg.staging = &scratch;
+  agg.staging_collection = "staging";
+  agg.storage = &eagle;
+  agg.collection = "data";
+  agg.base_path = "aggregate";
+  agg.output_names = {"out"};
+  auto agg_uuid = server.register_analysis(std::move(agg))[0];
+
+  auto t0 = std::chrono::steady_clock::now();
+  loop.run_until(static_cast<fabric::SimTime>(kDays) * kDay);
+  auto t1 = std::chrono::steady_clock::now();
+  double wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  util::TextTable table({"metric", "value"});
+  table.add_row({"virtual days simulated", std::to_string(kDays)});
+  table.add_row({"feeds", std::to_string(kFeeds)});
+  table.add_row({"polls", std::to_string(server.polls())});
+  table.add_row({"updates detected",
+                 std::to_string(server.updates_detected())});
+  table.add_row({"ingestion runs", std::to_string(server.ingestion_runs())});
+  table.add_row({"analysis runs", std::to_string(server.analysis_runs())});
+  table.add_row({"aggregations",
+                 std::to_string(server.db().latest_version_number(agg_uuid))});
+  table.add_row({"failed runs", std::to_string(server.failed_runs())});
+  table.add_row({"event-loop events",
+                 std::to_string(loop.events_processed())});
+  table.add_row({"metadata queries", std::to_string(server.db().query_count())});
+  table.add_row({"metadata updates", std::to_string(server.db().update_count())});
+  table.add_row({"transfers", std::to_string(transfers.completed_count())});
+  table.add_row({"PBS jobs", std::to_string(pbs.jobs().size())});
+  table.add_row({"storage objects", std::to_string(eagle.num_objects())});
+  table.add_row({"wall time", util::TextTable::num(wall_ms, 0) + " ms"});
+  table.add_row({"virtual:real speedup",
+                 util::TextTable::num(static_cast<double>(kDays) * 86400.0 /
+                                          (wall_ms / 1000.0),
+                                      0) +
+                     "x"});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("A year of 20-feed always-on surveillance orchestration "
+              "replays in %.1f s of real time —\nthe determinism/testing "
+              "payoff of the discrete-event fabric (DESIGN.md).\n",
+              wall_ms / 1000.0);
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// Use case 2 (paper §3): the Shared Development Environment workflow —
+/// 10 MUSIC active-learning GSA instances (one per stochastic MetaRVM
+/// replicate), interleaved over an EMEWS task queue with a worker pool
+/// started through the simulated PBS scheduler.
+
+#include <cstdio>
+
+#include "core/usecase_gsa.hpp"
+#include "num/stats.hpp"
+#include "util/table.hpp"
+
+using namespace osprey;
+
+int main() {
+  core::OspreyPlatform platform;
+  core::GsaUseCaseConfig config;
+  config.n_replicates = 10;
+  config.n_workers = 4;
+  config.music.n_init = 20;
+  config.music.n_total = 60;
+  config.music.surrogate_mc_n = 512;
+  config.model = epi::MetaRvmConfig::stratified_demo(150'000, 90);
+
+  std::printf("Interleaving %zu MUSIC instances over an EMEWS pool of %zu "
+              "workers (scheduler-launched)...\n",
+              config.n_replicates, config.n_workers);
+  core::GsaUseCase usecase(platform, config);
+  core::GsaUseCaseResult result = usecase.run();
+
+  std::printf("Evaluated %llu MetaRVM runs; pool utilization %.0f%%; "
+              "%llu cooperative polls\n",
+              static_cast<unsigned long long>(result.tasks_evaluated),
+              100.0 * result.pool_utilization,
+              static_cast<unsigned long long>(result.driver_polls));
+
+  // Final first-order Sobol indices per replicate (paper Figure 5).
+  auto ranges = core::table1_ranges();
+  util::TextTable table({"replicate", "ts", "tv", "pea", "psh", "phd"});
+  for (std::size_t r = 0; r < result.replicates.size(); ++r) {
+    const auto& s1 = result.replicates[r].final_s1;
+    std::vector<std::string> row{std::to_string(r)};
+    for (double v : s1) row.push_back(util::TextTable::num(v, 3));
+    table.add_row(row);
+  }
+  std::printf("\nFirst-order Sobol indices at the final design (n=%zu):\n%s",
+              config.music.n_total, table.render().c_str());
+
+  // Cross-replicate spread: the aleatoric-uncertainty picture.
+  util::TextTable spread({"parameter", "mean S1", "sd across replicates"});
+  for (std::size_t j = 0; j < ranges.size(); ++j) {
+    std::vector<double> vals;
+    for (const auto& rep : result.replicates) {
+      vals.push_back(rep.final_s1[j]);
+    }
+    spread.add_row({ranges[j].name,
+                    util::TextTable::num(num::mean(vals), 3),
+                    util::TextTable::num(num::stddev(vals), 3)});
+  }
+  std::printf("\nStochastic variability of the sensitivity estimates:\n%s",
+              spread.render().c_str());
+  return 0;
+}

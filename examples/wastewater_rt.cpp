@@ -1,0 +1,79 @@
+/// Use case 1 (paper §2): the fully automated, event-driven wastewater
+/// R(t) pipeline. Builds the whole OSPREY platform — simulated Globus
+/// fabric, AERO server, four IWSS-like feeds — runs 120 virtual days of
+/// daily polling, and reads back the per-plant and ensemble estimates a
+/// public-health stakeholder would see.
+
+#include <cstdio>
+
+#include "core/usecase_ww.hpp"
+#include "num/stats.hpp"
+#include "util/table.hpp"
+
+using namespace osprey;
+
+int main() {
+  core::OspreyPlatform platform;
+  core::WwUseCaseConfig config;
+  config.horizon_days = 120;
+  config.seed = 42;
+  core::WastewaterUseCase usecase(platform, config);
+  usecase.build();
+
+  std::printf("Running %d virtual days of the automated workflow...\n",
+              config.horizon_days);
+  usecase.run_to_end();
+
+  const auto& aero = platform.aero();
+  std::printf(
+      "\nAERO activity: %llu polls, %llu upstream updates detected,\n"
+      "  %llu ingestion runs, %llu analysis runs (%llu failed),\n"
+      "  metadata traffic: %llu queries, %llu updates\n",
+      static_cast<unsigned long long>(aero.polls()),
+      static_cast<unsigned long long>(aero.updates_detected()),
+      static_cast<unsigned long long>(aero.ingestion_runs()),
+      static_cast<unsigned long long>(aero.analysis_runs()),
+      static_cast<unsigned long long>(aero.failed_runs()),
+      static_cast<unsigned long long>(aero.db().query_count()),
+      static_cast<unsigned long long>(aero.db().update_count()));
+
+  util::TextTable table(
+      {"plant", "population", "estimates", "RMSE vs truth", "95% coverage"});
+  for (const auto& po : usecase.plant_outputs()) {
+    std::vector<double> est(po.series.median.begin() + 7,
+                            po.series.median.end() - 7);
+    std::vector<double> truth(po.truth.begin() + 7, po.truth.end() - 7);
+    table.add_row({po.plant.name,
+                   std::to_string(po.plant.population_served),
+                   std::to_string(po.versions),
+                   util::TextTable::num(num::rmse(est, truth), 3),
+                   util::TextTable::num(po.series.coverage(po.truth), 2)});
+  }
+  std::printf("\nPer-plant R(t) estimation quality:\n%s",
+              table.render().c_str());
+
+  if (usecase.has_aggregate()) {
+    rt::RtSeries agg = usecase.aggregate_output();
+    std::vector<double> truth = usecase.aggregate_truth(agg.days());
+    std::printf("\nPopulation-weighted ensemble R(t) (%zu days), RMSE %.3f:\n",
+                agg.days(),
+                num::rmse(std::vector<double>(agg.median.begin() + 7,
+                                              agg.median.end() - 7),
+                          std::vector<double>(truth.begin() + 7,
+                                              truth.end() - 7)));
+    util::TextTable agg_table({"day", "truth", "ensemble", "95% CI"});
+    for (std::size_t t = 7; t < agg.days(); t += 14) {
+      agg_table.add_row(
+          {std::to_string(t), util::TextTable::num(truth[t], 2),
+           util::TextTable::num(agg.median[t], 2),
+           "[" + util::TextTable::num(agg.lo95[t], 2) + ", " +
+               util::TextTable::num(agg.hi95[t], 2) + "]"});
+    }
+    std::printf("%s", agg_table.render().c_str());
+  }
+
+  // Provenance export for inspection with graphviz.
+  std::printf("\nProvenance graph: %zu runs recorded (DOT export: %zu bytes)\n",
+              aero.db().runs().size(), aero.db().provenance_dot().size());
+  return 0;
+}

@@ -1,0 +1,569 @@
+#include "aero/server.hpp"
+
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace osprey::aero {
+
+using osprey::util::Value;
+using osprey::util::ValueObject;
+
+AeroServer::AeroServer(fabric::EventLoop& loop, fabric::AuthService& auth,
+                       fabric::TimerService& timers,
+                       fabric::TransferService& transfers,
+                       fabric::FlowsService& flows, std::string identity)
+    : loop_(loop),
+      auth_(auth),
+      timers_(timers),
+      transfers_(transfers),
+      flows_(flows),
+      identity_(std::move(identity)),
+      token_(auth.issue_full_token(identity_)) {}
+
+IngestionHandles AeroServer::register_ingestion(IngestionFlowSpec spec) {
+  OSPREY_REQUIRE(spec.source != nullptr, "ingestion needs a data source");
+  OSPREY_REQUIRE(spec.compute != nullptr, "ingestion needs a compute endpoint");
+  OSPREY_REQUIRE(spec.staging != nullptr && spec.storage != nullptr,
+                 "ingestion needs staging and storage endpoints");
+  OSPREY_REQUIRE(spec.compute->has_function(spec.function_id),
+                 "transformation function is not registered on the endpoint");
+
+  Ingestion ing;
+  ing.raw_uuid = db_.register_object(spec.name + "/raw", spec.name);
+  ing.output_uuid = db_.register_object(spec.name + "/transformed", spec.name);
+  ing.spec = std::move(spec);
+
+  std::size_t index = ingestions_.size();
+  ingestions_.push_back(std::move(ing));
+
+  Ingestion& stored = ingestions_[index];
+  stored.timer = timers_.every(
+      stored.spec.poll_period, stored.spec.first_poll,
+      [this, index] { poll_ingestion(index); }, token_,
+      "poll:" + stored.spec.name);
+
+  OSPREY_LOG_INFO("aero", "registered ingestion flow '" << stored.spec.name
+                          << "' polling " << stored.spec.source->url());
+  return IngestionHandles{stored.raw_uuid, stored.output_uuid, stored.timer};
+}
+
+AeroServer::Ingestion* AeroServer::find_ingestion(const std::string& name) {
+  for (Ingestion& ing : ingestions_) {
+    if (ing.spec.name == name) return &ing;
+  }
+  return nullptr;
+}
+
+const AeroServer::Ingestion* AeroServer::find_ingestion(
+    const std::string& name) const {
+  for (const Ingestion& ing : ingestions_) {
+    if (ing.spec.name == name) return &ing;
+  }
+  return nullptr;
+}
+
+bool AeroServer::pause_ingestion(const std::string& name) {
+  Ingestion* ing = find_ingestion(name);
+  if (ing == nullptr || ing->cancelled || ing->paused) return false;
+  timers_.cancel(ing->timer);
+  ing->paused = true;
+  OSPREY_LOG_INFO("aero", "paused ingestion '" << name << "'");
+  return true;
+}
+
+bool AeroServer::resume_ingestion(const std::string& name) {
+  Ingestion* ing = find_ingestion(name);
+  if (ing == nullptr || ing->cancelled || !ing->paused) return false;
+  // Re-arm at the next period boundary after "now".
+  std::size_t index = static_cast<std::size_t>(ing - ingestions_.data());
+  ing->timer = timers_.every(
+      ing->spec.poll_period, loop_.now() + ing->spec.poll_period,
+      [this, index] { poll_ingestion(index); }, token_,
+      "poll:" + ing->spec.name);
+  ing->paused = false;
+  OSPREY_LOG_INFO("aero", "resumed ingestion '" << name << "'");
+  return true;
+}
+
+bool AeroServer::ingestion_paused(const std::string& name) const {
+  const Ingestion* ing = find_ingestion(name);
+  return ing != nullptr && ing->paused;
+}
+
+bool AeroServer::cancel_ingestion(const std::string& name) {
+  Ingestion* ing = find_ingestion(name);
+  if (ing == nullptr || ing->cancelled) return false;
+  if (!ing->paused) timers_.cancel(ing->timer);
+  ing->cancelled = true;
+  ing->paused = false;
+  OSPREY_LOG_INFO("aero", "cancelled ingestion '" << name << "'");
+  return true;
+}
+
+std::vector<std::string> AeroServer::register_analysis(AnalysisFlowSpec spec) {
+  OSPREY_REQUIRE(!spec.input_uuids.empty(), "analysis needs input UUIDs");
+  OSPREY_REQUIRE(spec.compute != nullptr, "analysis needs a compute endpoint");
+  OSPREY_REQUIRE(spec.staging != nullptr && spec.storage != nullptr,
+                 "analysis needs staging and storage endpoints");
+  OSPREY_REQUIRE(!spec.output_names.empty(), "analysis needs output names");
+  OSPREY_REQUIRE(spec.compute->has_function(spec.function_id),
+                 "analysis function is not registered on the endpoint");
+  for (const std::string& uuid : spec.input_uuids) {
+    OSPREY_REQUIRE(db_.has_object(uuid), "unknown input UUID: " + uuid);
+  }
+
+  Analysis analysis;
+  for (const std::string& name : spec.output_names) {
+    analysis.output_uuids.push_back(
+        db_.register_object(spec.name + "/" + name, spec.name));
+  }
+  for (const std::string& uuid : spec.input_uuids) {
+    analysis.consumed_version[uuid] = db_.latest_version_number(uuid);
+  }
+  analysis.spec = std::move(spec);
+
+  std::vector<std::string> outputs = analysis.output_uuids;
+  analyses_.push_back(std::move(analysis));
+  OSPREY_LOG_INFO("aero", "registered analysis flow '"
+                          << analyses_.back().spec.name << "' with "
+                          << analyses_.back().spec.input_uuids.size()
+                          << " input(s)");
+  return outputs;
+}
+
+void AeroServer::poll_ingestion(std::size_t index) {
+  Ingestion& ing = ingestions_[index];
+  ++polls_;
+  // A flaky upstream must not take the whole server down; failed
+  // fetches are counted and retried on the next poll.
+  std::optional<std::string> payload;
+  try {
+    payload = ing.spec.source->fetch(loop_.now());
+  } catch (const std::exception& e) {
+    ++fetch_errors_;
+    OSPREY_LOG_WARN("aero", "fetch failed for '" << ing.spec.name
+                            << "': " << e.what());
+    return;
+  }
+  if (!payload.has_value()) return;
+  std::string checksum = osprey::crypto::Sha256::hash_hex(*payload);
+  if (checksum == ing.last_checksum) return;  // no upstream change
+
+  ++updates_detected_;
+  ing.last_checksum = checksum;
+  OSPREY_LOG_INFO("aero", "update detected for '" << ing.spec.name << "' at "
+                          << osprey::util::format_sim_time(loop_.now()));
+  if (ing.running) {
+    // A new upstream version arrived mid-run; remember the freshest one.
+    ing.pending = true;
+    ing.pending_payload = std::move(*payload);
+    return;
+  }
+  ing.attempts = 0;  // fresh trigger
+  run_ingestion_flow(index, std::move(*payload), "poll:" + ing.spec.source->url());
+}
+
+void AeroServer::run_ingestion_flow(std::size_t index, std::string payload,
+                                    const std::string& trigger) {
+  Ingestion& ing = ingestions_[index];
+  ing.running = true;
+  ing.current_payload = payload;  // kept in case the run must be retried
+  ++ingestion_runs_;
+
+  const IngestionFlowSpec& spec = ing.spec;
+  std::string raw_path = spec.base_path + "/raw";
+  std::string out_path = spec.base_path + "/transformed";
+
+  std::uint64_t run_id =
+      db_.start_run(spec.name, FlowKind::kIngestion, trigger, {},
+                    spec.compute->name(), loop_.now());
+
+  // Shared run state the steps hand forward.
+  auto payload_ptr = std::make_shared<std::string>(std::move(payload));
+  auto output_ptr = std::make_shared<std::string>();
+
+  fabric::FlowDefinition flow;
+  flow.name = spec.name;
+
+  // Step 1: upload the raw payload. It lands in compute-local staging
+  // (the "temporarily sent to a Globus Compute endpoint" hop) and is
+  // transferred to the durable user collection.
+  flow.steps.push_back(fabric::FlowStep{
+      "upload-raw",
+      [this, index, payload_ptr, raw_path](fabric::FlowRunContext&,
+                                           fabric::StepDone done) {
+        Ingestion& ing2 = ingestions_[index];
+        const IngestionFlowSpec& s = ing2.spec;
+        s.staging->put(s.staging_collection, raw_path, *payload_ptr, token_);
+        transfers_.transfer(
+            *s.staging, s.staging_collection, raw_path, *s.storage,
+            s.collection, raw_path, token_,
+            [this, index, raw_path, done](const fabric::TransferRecord& rec) {
+              if (rec.status != fabric::TransferStatus::kSucceeded) {
+                done(false, "raw upload failed: " + rec.error);
+                return;
+              }
+              Ingestion& ing3 = ingestions_[index];
+              const IngestionFlowSpec& s3 = ing3.spec;
+              db_.add_version(ing3.raw_uuid, rec.checksum, rec.bytes,
+                              loop_.now(), s3.storage->name(), s3.collection,
+                              raw_path);
+              done(true, "");
+            });
+      }});
+
+  // Step 2: run the user's validation/transformation function on the
+  // compute endpoint, with the staged data as input.
+  flow.steps.push_back(fabric::FlowStep{
+      "transform",
+      [this, index, payload_ptr, output_ptr](fabric::FlowRunContext&,
+                                             fabric::StepDone done) {
+        Ingestion& ing2 = ingestions_[index];
+        const IngestionFlowSpec& s = ing2.spec;
+        ValueObject args;
+        args["input"] = Value(*payload_ptr);
+        args["url"] = Value(s.source->url());
+        args["args"] = s.function_args;
+        s.compute->execute(
+            s.function_id, Value(std::move(args)), token_,
+            [output_ptr, done](const Value& result,
+                               const fabric::ComputeTaskRecord& rec) {
+              if (rec.status != fabric::ComputeTaskStatus::kSucceeded) {
+                done(false, "transformation failed: " + rec.error);
+                return;
+              }
+              if (!result.contains("output")) {
+                done(false, "transformation returned no 'output'");
+                return;
+              }
+              *output_ptr = result.at("output").as_string();
+              done(true, "");
+            });
+      }});
+
+  // Step 3: upload the transformed file to the user collection.
+  flow.steps.push_back(fabric::FlowStep{
+      "stage-out",
+      [this, index, output_ptr, out_path](fabric::FlowRunContext&,
+                                          fabric::StepDone done) {
+        Ingestion& ing2 = ingestions_[index];
+        const IngestionFlowSpec& s = ing2.spec;
+        s.staging->put(s.staging_collection, out_path, *output_ptr, token_);
+        transfers_.transfer(
+            *s.staging, s.staging_collection, out_path, *s.storage,
+            s.collection, out_path, token_,
+            [done](const fabric::TransferRecord& rec) {
+              done(rec.status == fabric::TransferStatus::kSucceeded,
+                   rec.error);
+            });
+      }});
+
+  // Step 4: register versioning metadata for the transformed output;
+  // this is what triggers dependent analysis flows.
+  flow.steps.push_back(fabric::FlowStep{
+      "register-metadata",
+      [this, index, output_ptr, out_path](fabric::FlowRunContext&,
+                                          fabric::StepDone done) {
+        Ingestion& ing2 = ingestions_[index];
+        const IngestionFlowSpec& s = ing2.spec;
+        std::string checksum = osprey::crypto::Sha256::hash_hex(*output_ptr);
+        db_.add_version(ing2.output_uuid, checksum, output_ptr->size(),
+                        loop_.now(), s.storage->name(), s.collection,
+                        out_path);
+        done(true, "");
+      }});
+
+  flows_.run(flow, token_,
+             [this, index, run_id](const fabric::FlowRunRecord& rec,
+                                   const Value&) {
+               Ingestion& ing2 = ingestions_[index];
+               bool ok = rec.status == fabric::FlowRunStatus::kSucceeded;
+               std::vector<VersionRef> outputs;
+               if (ok) {
+                 outputs.push_back(VersionRef{
+                     ing2.raw_uuid, db_.latest_version_number(ing2.raw_uuid)});
+                 outputs.push_back(
+                     VersionRef{ing2.output_uuid,
+                                db_.latest_version_number(ing2.output_uuid)});
+               } else {
+                 ++failed_runs_;
+               }
+               db_.finish_run(run_id,
+                              ok ? RunStatus::kSucceeded : RunStatus::kFailed,
+                              outputs, loop_.now());
+               ing2.running = false;
+               std::string output_uuid = ing2.output_uuid;
+               if (ok) {
+                 on_version_added(output_uuid,
+                                  "update of " + ing2.spec.name);
+               } else if (ing2.attempts < ing2.spec.max_retries &&
+                          !ing2.pending) {
+                 // Retry the same payload after a backoff.
+                 ++ing2.attempts;
+                 ++retries_;
+                 int attempt = ing2.attempts;
+                 loop_.schedule_after(
+                     ing2.spec.retry_backoff, [this, index, attempt] {
+                       Ingestion& ing3 = ingestions_[index];
+                       // Superseded by a newer run or a cancellation.
+                       if (ing3.running || ing3.cancelled) return;
+                       run_ingestion_flow(
+                           index, ing3.current_payload,
+                           "retry " + std::to_string(attempt) + ":" +
+                               ing3.spec.source->url());
+                     });
+                 return;
+               }
+               // Re-run for any upstream update that arrived meanwhile.
+               if (ing2.pending) {
+                 ing2.pending = false;
+                 ing2.attempts = 0;
+                 std::string payload2 = std::move(ing2.pending_payload);
+                 run_ingestion_flow(index, std::move(payload2),
+                                    "poll(pending):" +
+                                        ing2.spec.source->url());
+               }
+             });
+}
+
+bool AeroServer::analysis_ready(const Analysis& analysis) const {
+  if (analysis.spec.policy == TriggerPolicy::kAny) {
+    for (const std::string& uuid : analysis.spec.input_uuids) {
+      if (db_.latest_version_number(uuid) >
+          analysis.consumed_version.at(uuid)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  // ALL: every input must have a version newer than the last consumed.
+  for (const std::string& uuid : analysis.spec.input_uuids) {
+    if (db_.latest_version_number(uuid) <=
+        analysis.consumed_version.at(uuid)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AeroServer::on_version_added(const std::string& uuid,
+                                  const std::string& cause) {
+  for (std::size_t i = 0; i < analyses_.size(); ++i) {
+    Analysis& analysis = analyses_[i];
+    bool is_input = false;
+    for (const std::string& input : analysis.spec.input_uuids) {
+      if (input == uuid) {
+        is_input = true;
+        break;
+      }
+    }
+    if (!is_input) continue;
+    if (!analysis_ready(analysis)) continue;
+    ++analysis_triggers_;
+    if (analysis.running) {
+      analysis.pending = true;
+      analysis.pending_cause = cause;
+      continue;
+    }
+    analysis.attempts = 0;  // fresh trigger
+    run_analysis_flow(i, cause);
+  }
+}
+
+void AeroServer::run_analysis_flow(std::size_t index,
+                                   const std::string& trigger) {
+  Analysis& analysis = analyses_[index];
+  analysis.running = true;
+  ++analysis_runs_;
+
+  const AnalysisFlowSpec& spec = analysis.spec;
+
+  // Snapshot the input versions this run consumes.
+  std::vector<VersionRef> inputs;
+  for (const std::string& uuid : spec.input_uuids) {
+    int v = db_.latest_version_number(uuid);
+    inputs.push_back(VersionRef{uuid, v});
+    analysis.consumed_version[uuid] = v;
+  }
+
+  std::uint64_t run_id = db_.start_run(spec.name, FlowKind::kAnalysis,
+                                       trigger, inputs, spec.compute->name(),
+                                       loop_.now());
+
+  auto staged = std::make_shared<std::map<std::string, std::string>>();
+  auto outputs = std::make_shared<std::map<std::string, std::string>>();
+
+  fabric::FlowDefinition flow;
+  flow.name = spec.name;
+
+  // Step 1: stage every input from the durable collection to the
+  // compute endpoint's temporary space.
+  flow.steps.push_back(fabric::FlowStep{
+      "stage-in",
+      [this, index, staged](fabric::FlowRunContext&, fabric::StepDone done) {
+        Analysis& a = analyses_[index];
+        const AnalysisFlowSpec& s = a.spec;
+        auto remaining =
+            std::make_shared<std::size_t>(s.input_uuids.size());
+        auto failed = std::make_shared<bool>(false);
+        for (const std::string& uuid : s.input_uuids) {
+          std::optional<DataVersion> ver = db_.latest_version(uuid);
+          if (!ver.has_value()) {
+            done(false, "input has no version: " + uuid);
+            return;
+          }
+          std::string staging_path = "stage/" + uuid;
+          transfers_.transfer(
+              *s.storage, ver->collection, ver->path, *s.staging,
+              s.staging_collection, staging_path, token_,
+              [this, index, uuid, staged, staging_path, remaining, failed,
+               done](const fabric::TransferRecord& rec) {
+                if (*failed) return;
+                if (rec.status != fabric::TransferStatus::kSucceeded) {
+                  *failed = true;
+                  done(false, "stage-in failed: " + rec.error);
+                  return;
+                }
+                Analysis& a2 = analyses_[index];
+                const fabric::StoredObject& obj = a2.spec.staging->get(
+                    a2.spec.staging_collection, staging_path, token_);
+                (*staged)[uuid] = obj.bytes;
+                if (--(*remaining) == 0) done(true, "");
+              });
+        }
+      }});
+
+  // Step 2: run the user analysis function with the staged inputs.
+  flow.steps.push_back(fabric::FlowStep{
+      "execute",
+      [this, index, staged, outputs](fabric::FlowRunContext&,
+                                     fabric::StepDone done) {
+        Analysis& a = analyses_[index];
+        const AnalysisFlowSpec& s = a.spec;
+        ValueObject input_obj;
+        for (const auto& [uuid, bytes] : *staged) {
+          input_obj[uuid] = Value(bytes);
+        }
+        ValueObject args;
+        args["inputs"] = Value(std::move(input_obj));
+        args["args"] = s.function_args;
+        s.compute->execute(
+            s.function_id, Value(std::move(args)), token_,
+            [index, outputs, done, this](const Value& result,
+                                         const fabric::ComputeTaskRecord& rec) {
+              if (rec.status != fabric::ComputeTaskStatus::kSucceeded) {
+                done(false, "analysis failed: " + rec.error);
+                return;
+              }
+              if (!result.contains("outputs")) {
+                done(false, "analysis returned no 'outputs'");
+                return;
+              }
+              Analysis& a2 = analyses_[index];
+              for (const std::string& name : a2.spec.output_names) {
+                if (!result.at("outputs").contains(name)) {
+                  done(false, "analysis missing output: " + name);
+                  return;
+                }
+                (*outputs)[name] =
+                    result.at("outputs").at(name).as_string();
+              }
+              done(true, "");
+            });
+      }});
+
+  // Step 3: upload every output to the durable collection.
+  flow.steps.push_back(fabric::FlowStep{
+      "stage-out",
+      [this, index, outputs](fabric::FlowRunContext&, fabric::StepDone done) {
+        Analysis& a = analyses_[index];
+        const AnalysisFlowSpec& s = a.spec;
+        auto remaining = std::make_shared<std::size_t>(s.output_names.size());
+        auto failed = std::make_shared<bool>(false);
+        for (const std::string& name : s.output_names) {
+          std::string staging_path = s.base_path + "/" + name;
+          s.staging->put(s.staging_collection, staging_path,
+                         outputs->at(name), token_);
+          transfers_.transfer(
+              *s.staging, s.staging_collection, staging_path, *s.storage,
+              s.collection, staging_path, token_,
+              [remaining, failed, done](const fabric::TransferRecord& rec) {
+                if (*failed) return;
+                if (rec.status != fabric::TransferStatus::kSucceeded) {
+                  *failed = true;
+                  done(false, "stage-out failed: " + rec.error);
+                  return;
+                }
+                if (--(*remaining) == 0) done(true, "");
+              });
+        }
+      }});
+
+  // Step 4: register versioning metadata for every output.
+  flow.steps.push_back(fabric::FlowStep{
+      "register-metadata",
+      [this, index, outputs](fabric::FlowRunContext&, fabric::StepDone done) {
+        Analysis& a = analyses_[index];
+        const AnalysisFlowSpec& s = a.spec;
+        for (std::size_t k = 0; k < s.output_names.size(); ++k) {
+          const std::string& name = s.output_names[k];
+          const std::string& bytes = outputs->at(name);
+          db_.add_version(a.output_uuids[k],
+                          osprey::crypto::Sha256::hash_hex(bytes),
+                          bytes.size(), loop_.now(), s.storage->name(),
+                          s.collection, s.base_path + "/" + name);
+        }
+        done(true, "");
+      }});
+
+  flows_.run(
+      flow, token_,
+      [this, index, run_id](const fabric::FlowRunRecord& rec, const Value&) {
+        Analysis& a = analyses_[index];
+        bool ok = rec.status == fabric::FlowRunStatus::kSucceeded;
+        std::vector<VersionRef> outs;
+        if (ok) {
+          for (const std::string& uuid : a.output_uuids) {
+            outs.push_back(VersionRef{uuid, db_.latest_version_number(uuid)});
+          }
+        } else {
+          ++failed_runs_;
+        }
+        db_.finish_run(run_id, ok ? RunStatus::kSucceeded : RunStatus::kFailed,
+                       outs, loop_.now());
+        a.running = false;
+        std::string flow_name = a.spec.name;
+        if (ok) {
+          // Announce each output version; may trigger downstream flows.
+          std::vector<std::string> produced = a.output_uuids;
+          for (const std::string& uuid : produced) {
+            on_version_added(uuid, "update of " + flow_name);
+          }
+        } else if (a.attempts < a.spec.max_retries && !a.pending) {
+          ++a.attempts;
+          ++retries_;
+          int attempt = a.attempts;
+          loop_.schedule_after(a.spec.retry_backoff,
+                               [this, index, attempt] {
+                                 Analysis& a3 = analyses_[index];
+                                 if (a3.running) return;
+                                 run_analysis_flow(
+                                     index, "retry " +
+                                                std::to_string(attempt) +
+                                                ":" + a3.spec.name);
+                               });
+          return;
+        }
+        Analysis& a2 = analyses_[index];
+        if (a2.pending && analysis_ready(a2)) {
+          a2.pending = false;
+          std::string cause = std::move(a2.pending_cause);
+          run_analysis_flow(index, cause + " (queued)");
+        } else {
+          a2.pending = false;
+        }
+      });
+}
+
+}  // namespace osprey::aero

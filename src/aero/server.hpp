@@ -1,0 +1,202 @@
+#pragma once
+
+/// \file server.hpp
+/// The AERO server: event-based research orchestration over the
+/// simulated fabric. Reproduces the paper's §2.2 mechanics:
+///
+///  - Ingestion flows poll an upstream URL on a timer ("daily"); a
+///    checksum change means new data. The raw payload is staged at the
+///    compute endpoint, a user transformation function runs there, and
+///    both raw and transformed payloads are uploaded to a user-specified
+///    storage collection. Versioning metadata (checksum, timestamp,
+///    version number) is recorded for input and output.
+///  - Registration returns UUIDs identifying the output data; analysis
+///    flows take those UUIDs as inputs and are triggered when inputs
+///    update, under an ANY or ALL policy.
+///  - AERO wraps every user function with stage-in → execute →
+///    stage-out → metadata-update steps (run as a fabric FlowDefinition).
+///  - The server only ever handles metadata; payloads move between
+///    storage endpoints via the transfer service.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aero/metadata_db.hpp"
+#include "aero/source.hpp"
+#include "fabric/compute.hpp"
+#include "fabric/flows.hpp"
+#include "fabric/storage.hpp"
+#include "fabric/timer.hpp"
+#include "fabric/transfer.hpp"
+#include "util/value.hpp"
+
+namespace osprey::aero {
+
+enum class TriggerPolicy { kAny, kAll };
+
+/// Registration request for an ingestion flow (paper: polling frequency,
+/// URL, function + args, compute endpoint, storage collection).
+struct IngestionFlowSpec {
+  std::string name;
+  std::shared_ptr<DataSource> source;
+  SimTime poll_period = osprey::util::kDay;
+  SimTime first_poll = 0;
+
+  fabric::ComputeEndpoint* compute = nullptr;
+  std::string function_id;                 // validation/transformation fn
+  osprey::util::Value function_args;       // extra args to that fn
+
+  fabric::StorageEndpoint* staging = nullptr;  // compute-local temp space
+  std::string staging_collection;
+  fabric::StorageEndpoint* storage = nullptr;  // durable collection (Eagle)
+  std::string collection;
+  std::string base_path;  // raw -> <base>/raw, transformed -> <base>/transformed
+
+  /// Automatic re-runs after a failed flow (transfer/compute faults).
+  int max_retries = 0;
+  SimTime retry_backoff = 5 * osprey::util::kMinute;
+};
+
+/// UUIDs returned by ingestion registration.
+struct IngestionHandles {
+  std::string raw_uuid;
+  std::string output_uuid;
+  fabric::TimerId timer = 0;
+};
+
+/// Registration request for an analysis flow: input data UUIDs instead
+/// of a URL, plus the trigger policy.
+struct AnalysisFlowSpec {
+  std::string name;
+  std::vector<std::string> input_uuids;
+  TriggerPolicy policy = TriggerPolicy::kAll;
+
+  fabric::ComputeEndpoint* compute = nullptr;
+  std::string function_id;
+  osprey::util::Value function_args;
+
+  fabric::StorageEndpoint* staging = nullptr;
+  std::string staging_collection;
+  fabric::StorageEndpoint* storage = nullptr;
+  std::string collection;
+  std::string base_path;
+  /// Names of the outputs the analysis function produces (keys of the
+  /// "outputs" object in its result). One data object per name.
+  std::vector<std::string> output_names;
+
+  /// Automatic re-runs after a failed flow (transfer/compute faults).
+  int max_retries = 0;
+  SimTime retry_backoff = 5 * osprey::util::kMinute;
+};
+
+/// The orchestration server.
+class AeroServer {
+ public:
+  /// The server authenticates to the fabric as `identity` (a full-scope
+  /// token is issued at construction). Collections the flows touch must
+  /// be readable/writable by this identity.
+  AeroServer(fabric::EventLoop& loop, fabric::AuthService& auth,
+             fabric::TimerService& timers, fabric::TransferService& transfers,
+             fabric::FlowsService& flows, std::string identity = "aero");
+
+  AeroServer(const AeroServer&) = delete;
+  AeroServer& operator=(const AeroServer&) = delete;
+
+  /// Register an ingestion flow; arms its polling timer and returns the
+  /// UUIDs of the raw and transformed data objects.
+  IngestionHandles register_ingestion(IngestionFlowSpec spec);
+
+  /// Register an analysis flow; returns one output UUID per output name.
+  std::vector<std::string> register_analysis(AnalysisFlowSpec spec);
+
+  /// Pause an ingestion flow's polling (by flow name). Paused flows keep
+  /// their registration and data; resume re-arms the timer at the next
+  /// period boundary. Returns false for unknown names.
+  bool pause_ingestion(const std::string& name);
+  bool resume_ingestion(const std::string& name);
+  bool ingestion_paused(const std::string& name) const;
+
+  /// Permanently cancel an ingestion flow's polling. Its data objects
+  /// and provenance remain in the metadata DB.
+  bool cancel_ingestion(const std::string& name);
+
+  MetadataDb& db() { return db_; }
+  const MetadataDb& db() const { return db_; }
+
+  const std::string& identity() const { return identity_; }
+  const std::string& token() const { return token_; }
+
+  // --- counters for the Figure-1 trace tables ---
+  std::uint64_t polls() const { return polls_; }
+  std::uint64_t updates_detected() const { return updates_detected_; }
+  std::uint64_t ingestion_runs() const { return ingestion_runs_; }
+  std::uint64_t analysis_triggers() const { return analysis_triggers_; }
+  std::uint64_t analysis_runs() const { return analysis_runs_; }
+  std::uint64_t failed_runs() const { return failed_runs_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t fetch_errors() const { return fetch_errors_; }
+
+ private:
+  struct Ingestion {
+    IngestionFlowSpec spec;
+    std::string raw_uuid;
+    std::string output_uuid;
+    std::string last_checksum;  // of the upstream payload last ingested
+    bool running = false;
+    bool pending = false;       // an update arrived while running
+    std::string pending_payload;
+    int attempts = 0;           // of the current trigger (for retries)
+    std::string current_payload;  // kept for retry re-runs
+    fabric::TimerId timer = 0;
+    bool paused = false;
+    bool cancelled = false;
+  };
+
+  struct Analysis {
+    AnalysisFlowSpec spec;
+    std::vector<std::string> output_uuids;
+    /// For the ALL policy: the version of each input consumed last run.
+    std::map<std::string, int> consumed_version;
+    bool running = false;
+    bool pending = false;
+    std::string pending_cause;
+    int attempts = 0;           // of the current trigger (for retries)
+  };
+
+  void poll_ingestion(std::size_t index);
+  Ingestion* find_ingestion(const std::string& name);
+  const Ingestion* find_ingestion(const std::string& name) const;
+  void run_ingestion_flow(std::size_t index, std::string payload,
+                          const std::string& trigger);
+  void run_analysis_flow(std::size_t index, const std::string& trigger);
+  /// Called after any data object gains a version; evaluates triggers.
+  void on_version_added(const std::string& uuid, const std::string& cause);
+  /// Policy evaluation for one analysis flow.
+  bool analysis_ready(const Analysis& analysis) const;
+
+  fabric::EventLoop& loop_;
+  fabric::AuthService& auth_;
+  fabric::TimerService& timers_;
+  fabric::TransferService& transfers_;
+  fabric::FlowsService& flows_;
+  std::string identity_;
+  std::string token_;
+  MetadataDb db_;
+
+  std::vector<Ingestion> ingestions_;
+  std::vector<Analysis> analyses_;
+
+  std::uint64_t polls_ = 0;
+  std::uint64_t updates_detected_ = 0;
+  std::uint64_t ingestion_runs_ = 0;
+  std::uint64_t analysis_triggers_ = 0;
+  std::uint64_t analysis_runs_ = 0;
+  std::uint64_t failed_runs_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t fetch_errors_ = 0;
+};
+
+}  // namespace osprey::aero

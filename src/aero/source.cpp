@@ -1,0 +1,30 @@
+#include "aero/source.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace osprey::aero {
+
+ScriptedSource::ScriptedSource(
+    std::string url, std::vector<std::pair<SimTime, std::string>> timeline)
+    : url_(std::move(url)), timeline_(std::move(timeline)) {
+  OSPREY_REQUIRE(std::is_sorted(timeline_.begin(), timeline_.end(),
+                                [](const auto& a, const auto& b) {
+                                  return a.first < b.first;
+                                }),
+                 "scripted timeline must be sorted by time");
+}
+
+std::optional<std::string> ScriptedSource::fetch(SimTime now) {
+  ++fetches_;
+  const std::string* latest = nullptr;
+  for (const auto& [t, payload] : timeline_) {
+    if (t > now) break;
+    latest = &payload;
+  }
+  if (latest == nullptr) return std::nullopt;
+  return *latest;
+}
+
+}  // namespace osprey::aero

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file source.hpp
+/// Upstream data sources for AERO ingestion flows. A DataSource stands
+/// in for "a URL from which to retrieve the data" — here, the Illinois
+/// Wastewater Surveillance System feed. Sources are polled; AERO
+/// detects updates by checksum change.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace osprey::aero {
+
+using osprey::util::SimTime;
+
+/// Abstract upstream feed.
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  /// The source's URL (identification/provenance only).
+  virtual std::string url() const = 0;
+
+  /// Current upstream content at virtual time `now`, or nullopt when the
+  /// source has published nothing yet.
+  virtual std::optional<std::string> fetch(SimTime now) = 0;
+};
+
+/// Test/demo source publishing pre-scripted payloads at fixed times.
+class ScriptedSource final : public DataSource {
+ public:
+  ScriptedSource(std::string url,
+                 std::vector<std::pair<SimTime, std::string>> timeline);
+
+  std::string url() const override { return url_; }
+  std::optional<std::string> fetch(SimTime now) override;
+
+  std::size_t fetch_count() const { return fetches_; }
+
+ private:
+  std::string url_;
+  std::vector<std::pair<SimTime, std::string>> timeline_;  // sorted by time
+  std::size_t fetches_ = 0;
+};
+
+}  // namespace osprey::aero

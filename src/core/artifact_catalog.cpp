@@ -1,0 +1,178 @@
+#include "core/artifact_catalog.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace osprey::core {
+
+using osprey::util::Value;
+using osprey::util::ValueArray;
+using osprey::util::ValueObject;
+
+const char* artifact_type_name(ArtifactType type) {
+  switch (type) {
+    case ArtifactType::kModel: return "model";
+    case ArtifactType::kMeAlgorithm: return "me-algorithm";
+    case ArtifactType::kHarness: return "harness";
+    case ArtifactType::kFlowDefinition: return "flow-definition";
+    case ArtifactType::kDataset: return "dataset";
+  }
+  return "?";
+}
+
+namespace {
+
+ArtifactType artifact_type_from_name(const std::string& name) {
+  for (ArtifactType t :
+       {ArtifactType::kModel, ArtifactType::kMeAlgorithm,
+        ArtifactType::kHarness, ArtifactType::kFlowDefinition,
+        ArtifactType::kDataset}) {
+    if (name == artifact_type_name(t)) return t;
+  }
+  throw osprey::util::InvalidArgument("unknown artifact type: " + name);
+}
+
+Language language_from_name(const std::string& name) {
+  for (Language l : {Language::kPython, Language::kR, Language::kJulia,
+                     Language::kCpp}) {
+    if (name == language_name(l)) return l;
+  }
+  throw osprey::util::InvalidArgument("unknown language: " + name);
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+}  // namespace
+
+void ArtifactCatalog::add(ArtifactRecord record) {
+  OSPREY_REQUIRE(!record.name.empty(), "artifact needs a name");
+  OSPREY_REQUIRE(!record.version.empty(), "artifact needs a version");
+  OSPREY_REQUIRE(!has(record.name, record.version),
+                 "artifact already registered: " + record.name + "@" +
+                     record.version);
+  record.registered_order = records_.size();
+  records_.push_back(std::move(record));
+}
+
+bool ArtifactCatalog::has(const std::string& name,
+                          const std::string& version) const {
+  for (const auto& r : records_) {
+    if (r.name == name && r.version == version) return true;
+  }
+  return false;
+}
+
+const ArtifactRecord& ArtifactCatalog::get(const std::string& name,
+                                           const std::string& version) const {
+  for (const auto& r : records_) {
+    if (r.name == name && r.version == version) return r;
+  }
+  throw osprey::util::NotFound("no such artifact: " + name + "@" + version);
+}
+
+const ArtifactRecord& ArtifactCatalog::latest(const std::string& name) const {
+  const ArtifactRecord* best = nullptr;
+  for (const auto& r : records_) {
+    if (r.name != name) continue;
+    if (best == nullptr || r.registered_order > best->registered_order) {
+      best = &r;
+    }
+  }
+  if (best == nullptr) {
+    throw osprey::util::NotFound("no such artifact: " + name);
+  }
+  return *best;
+}
+
+std::vector<ArtifactRecord> ArtifactCatalog::by_type(
+    ArtifactType type) const {
+  std::vector<ArtifactRecord> out;
+  for (const auto& r : records_) {
+    if (r.type == type) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<ArtifactRecord> ArtifactCatalog::by_tag(
+    const std::string& tag) const {
+  std::vector<ArtifactRecord> out;
+  for (const auto& r : records_) {
+    if (std::find(r.tags.begin(), r.tags.end(), tag) != r.tags.end()) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<ArtifactRecord> ArtifactCatalog::by_language(
+    Language language) const {
+  std::vector<ArtifactRecord> out;
+  for (const auto& r : records_) {
+    if (r.language == language) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<ArtifactRecord> ArtifactCatalog::search(
+    const std::string& text) const {
+  std::string needle = lower(text);
+  std::vector<ArtifactRecord> out;
+  for (const auto& r : records_) {
+    bool hit = lower(r.name).find(needle) != std::string::npos ||
+               lower(r.description).find(needle) != std::string::npos;
+    for (const std::string& tag : r.tags) {
+      if (hit) break;
+      hit = lower(tag).find(needle) != std::string::npos;
+    }
+    if (hit) out.push_back(r);
+  }
+  return out;
+}
+
+Value ArtifactCatalog::to_json() const {
+  ValueArray artifacts;
+  for (const auto& r : records_) {
+    ValueObject obj;
+    obj["name"] = Value(r.name);
+    obj["type"] = Value(artifact_type_name(r.type));
+    obj["language"] = Value(language_name(r.language));
+    obj["version"] = Value(r.version);
+    obj["description"] = Value(r.description);
+    ValueArray tags;
+    for (const std::string& t : r.tags) tags.emplace_back(t);
+    obj["tags"] = Value(std::move(tags));
+    obj["location"] = Value(r.location);
+    artifacts.emplace_back(std::move(obj));
+  }
+  ValueObject root;
+  root["catalog_format"] = Value(std::int64_t{1});
+  root["artifacts"] = Value(std::move(artifacts));
+  return Value(std::move(root));
+}
+
+ArtifactCatalog ArtifactCatalog::from_json(const Value& json) {
+  OSPREY_REQUIRE(json.get_or("catalog_format", std::int64_t{0}) == 1,
+                 "unsupported catalog format");
+  ArtifactCatalog catalog;
+  for (const Value& entry : json.at("artifacts").as_array()) {
+    ArtifactRecord r;
+    r.name = entry.at("name").as_string();
+    r.type = artifact_type_from_name(entry.at("type").as_string());
+    r.language = language_from_name(entry.at("language").as_string());
+    r.version = entry.at("version").as_string();
+    r.description = entry.at("description").as_string();
+    for (const Value& t : entry.at("tags").as_array()) {
+      r.tags.push_back(t.as_string());
+    }
+    r.location = entry.at("location").as_string();
+    catalog.add(std::move(r));
+  }
+  return catalog;
+}
+
+}  // namespace osprey::core

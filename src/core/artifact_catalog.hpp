@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file artifact_catalog.hpp
+/// Workflow-artifact catalog — the paper's closing future-work item:
+/// "a continued need to improve the ability to share scientific
+/// workflows, including making workflow artifacts such as models and
+/// model exploration algorithms more easily discoverable and
+/// shareable."
+///
+/// A registry of named artifacts (models, ME algorithms, harnesses,
+/// flow definitions, datasets) with type/language/tag metadata, simple
+/// discovery queries, and a JSON export suitable for publication in a
+/// shared collection.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/harness.hpp"
+#include "util/value.hpp"
+
+namespace osprey::core {
+
+enum class ArtifactType {
+  kModel,          // e.g. MetaRVM
+  kMeAlgorithm,    // e.g. MUSIC, PCE, a calibrator
+  kHarness,        // glue code routing between languages
+  kFlowDefinition, // an AERO/Globus flow
+  kDataset,        // a published data object
+};
+
+const char* artifact_type_name(ArtifactType type);
+
+struct ArtifactRecord {
+  std::string name;
+  ArtifactType type = ArtifactType::kModel;
+  Language language = Language::kCpp;
+  std::string version = "1.0.0";
+  std::string description;
+  std::vector<std::string> tags;
+  /// Where a copy lives ("endpoint/collection/path", a DOI, a repo URL).
+  std::string location;
+  std::uint64_t registered_order = 0;  // catalog insertion order
+};
+
+/// The catalog. Names are unique per (name, version).
+class ArtifactCatalog {
+ public:
+  /// Register an artifact; throws InvalidArgument on duplicates.
+  void add(ArtifactRecord record);
+
+  bool has(const std::string& name, const std::string& version) const;
+  const ArtifactRecord& get(const std::string& name,
+                            const std::string& version) const;
+  /// Latest registered version of `name`.
+  const ArtifactRecord& latest(const std::string& name) const;
+
+  std::size_t size() const { return records_.size(); }
+
+  // --- discovery ---
+  std::vector<ArtifactRecord> by_type(ArtifactType type) const;
+  std::vector<ArtifactRecord> by_tag(const std::string& tag) const;
+  std::vector<ArtifactRecord> by_language(Language language) const;
+  /// Case-insensitive substring search over name, description and tags.
+  std::vector<ArtifactRecord> search(const std::string& text) const;
+
+  /// JSON export of the whole catalog (deterministic ordering).
+  osprey::util::Value to_json() const;
+  /// Import records from a to_json() export (merges; duplicate
+  /// name+version entries throw).
+  static ArtifactCatalog from_json(const osprey::util::Value& json);
+
+ private:
+  std::vector<ArtifactRecord> records_;
+};
+
+}  // namespace osprey::core

@@ -1,0 +1,99 @@
+#include "core/metarvm_gsa.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace osprey::core {
+
+using osprey::num::ParamRange;
+using osprey::num::Vector;
+using osprey::util::Value;
+using osprey::util::ValueObject;
+
+std::vector<ParamRange> table1_ranges() {
+  return {
+      ParamRange{"ts", 0.1, 0.9},
+      ParamRange{"tv", 0.01, 0.5},
+      ParamRange{"pea", 0.4, 0.9},
+      ParamRange{"psh", 0.1, 0.4},
+      ParamRange{"phd", 0.0, 0.3},
+  };
+}
+
+std::vector<std::string> table1_descriptions() {
+  return {
+      "Transmission rate for susceptible",
+      "Transmission rate for vaccinated",
+      "Proportion of asymptomatic cases",
+      "Proportion of hospitalized",
+      "Proportion of dead",
+  };
+}
+
+epi::MetaRvmParams params_from_point(const Vector& x) {
+  OSPREY_REQUIRE(x.size() == 5, "Table-1 point must have 5 coordinates");
+  epi::MetaRvmParams p = epi::MetaRvmParams::nominal();
+  p.ts = x[0];
+  p.tv = x[1];
+  p.pea = x[2];
+  p.psh = x[3];
+  p.phd = x[4];
+  return p;
+}
+
+const char* qoi_name(Qoi qoi) {
+  switch (qoi) {
+    case Qoi::kTotalHospitalizations: return "total hospitalizations";
+    case Qoi::kTotalDeaths: return "total deaths";
+    case Qoi::kPeakHospitalOccupancy: return "peak hospital occupancy";
+    case Qoi::kTotalInfections: return "total infections";
+  }
+  return "?";
+}
+
+double extract_qoi(const epi::MetaRvmTrajectory& trajectory, Qoi qoi) {
+  switch (qoi) {
+    case Qoi::kTotalHospitalizations:
+      return static_cast<double>(trajectory.total_hospitalizations());
+    case Qoi::kTotalDeaths:
+      return static_cast<double>(trajectory.total_deaths());
+    case Qoi::kPeakHospitalOccupancy: {
+      std::int64_t peak = 0;
+      // Census per day summed over groups (all groups share day counts).
+      std::size_t n_days = trajectory.groups.front().daily.size();
+      for (std::size_t t = 0; t < n_days; ++t) {
+        std::int64_t census = 0;
+        for (const auto& g : trajectory.groups) census += g.daily[t].h;
+        peak = std::max(peak, census);
+      }
+      return static_cast<double>(peak);
+    }
+    case Qoi::kTotalInfections:
+      return static_cast<double>(trajectory.total_infections());
+  }
+  return 0.0;
+}
+
+double evaluate_metarvm_qoi(const epi::MetaRvm& model, const Vector& x,
+                            std::uint64_t seed, std::uint64_t replicate,
+                            Qoi qoi) {
+  epi::MetaRvmParams params = params_from_point(x);
+  osprey::num::RngStream root(seed);
+  osprey::num::RngStream stream = root.substream(replicate);
+  epi::MetaRvmTrajectory traj = model.run(params, stream);
+  return extract_qoi(traj, qoi);
+}
+
+Value metarvm_task_model(const std::shared_ptr<const epi::MetaRvm>& model,
+                         std::uint64_t seed, const Value& payload) {
+  Vector x = payload.at("x").to_doubles();
+  std::uint64_t replicate =
+      static_cast<std::uint64_t>(payload.at("replicate").as_int());
+  double qoi = evaluate_metarvm_qoi(*model, x, seed, replicate);
+  ValueObject out;
+  out["y"] = Value(qoi);
+  return Value(std::move(out));
+}
+
+}  // namespace osprey::core

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file metarvm_gsa.hpp
+/// The paper's Table 1: the five MetaRVM parameters treated as
+/// uncertain in the GSA, their ranges, and the mapping from a sample
+/// point to a full parameter set (everything else at nominal values).
+/// The quantity of interest is the total number of hospitalizations at
+/// the end of the 90-day simulation.
+
+#include <cstdint>
+#include <memory>
+
+#include "epi/metarvm.hpp"
+#include "num/sampling.hpp"
+#include "util/value.hpp"
+
+namespace osprey::core {
+
+/// Table 1 of the paper, in order: ts, tv, pea, psh, phd.
+std::vector<osprey::num::ParamRange> table1_ranges();
+
+/// Human-readable Table-1 descriptions (parallel to table1_ranges()).
+std::vector<std::string> table1_descriptions();
+
+/// Point (ts, tv, pea, psh, phd) -> full parameter set at nominal values.
+epi::MetaRvmParams params_from_point(const osprey::num::Vector& x);
+
+/// Quantities of interest a GSA can target. The paper uses
+/// kTotalHospitalizations ("the total number of hospitalizations at the
+/// end of the simulation period"); the others support QoI-sensitivity
+/// comparisons (different outcomes weight the parameters differently).
+enum class Qoi {
+  kTotalHospitalizations,
+  kTotalDeaths,
+  kPeakHospitalOccupancy,  // max simultaneous H census over the horizon
+  kTotalInfections,
+};
+
+const char* qoi_name(Qoi qoi);
+
+/// Extract a QoI from a finished trajectory.
+double extract_qoi(const epi::MetaRvmTrajectory& trajectory, Qoi qoi);
+
+/// The GSA model: evaluates the hospitalization QoI of `model` for a
+/// Table-1 point under replicate `replicate` of `seed`. Matches the
+/// paper's replicate semantics: the same replicate uses the same random
+/// stream for every parameter point (common random numbers), so the
+/// response surface per replicate is deterministic.
+double evaluate_metarvm_qoi(const epi::MetaRvm& model,
+                            const osprey::num::Vector& x, std::uint64_t seed,
+                            std::uint64_t replicate,
+                            Qoi qoi = Qoi::kTotalHospitalizations);
+
+/// EMEWS worker model function for the GSA task protocol
+/// ({"x": [...], "replicate": k} -> {"y": qoi}); shares `model`.
+osprey::util::Value metarvm_task_model(
+    const std::shared_ptr<const epi::MetaRvm>& model, std::uint64_t seed,
+    const osprey::util::Value& payload);
+
+}  // namespace osprey::core

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file usecase_ww.hpp
+/// Use case 1 (paper §2): the fully automated multi-source wastewater
+/// R(t) workflow of Figure 1, built on the OSPREY platform:
+///
+///   4 ingestion flows (daily polling of the IWSS-like feeds, validate +
+///   transform on the login node, versioned storage) →
+///   4 R(t) analysis flows (Goldstein-style MCMC on the PBS-scheduled
+///   compute endpoint, triggered by transformed-data updates) →
+///   1 aggregation flow (population-weighted ensemble, triggered when
+///   ALL four R(t) analyses have produced new data).
+///
+/// Harness languages mirror the paper: a Python harness wraps a Julia
+/// R(t) estimation and R plotting; aggregation is an R function behind a
+/// Python harness (see core/harness.hpp for the substitution note).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/harness.hpp"
+#include "core/platform.hpp"
+#include "core/wastewater_source.hpp"
+#include "epi/wastewater.hpp"
+#include "rt/goldstein.hpp"
+#include "rt/posterior.hpp"
+
+namespace osprey::core {
+
+struct WwUseCaseConfig {
+  int horizon_days = 120;
+  std::uint64_t seed = 42;
+  /// Day the daily polling timers first fire (enough samples must have
+  /// accumulated for the estimator's minimum).
+  int first_poll_day = 28;
+  /// MCMC settings for the per-plant estimations (smaller than the
+  /// estimator defaults: the workflow runs one MCMC per plant per week).
+  rt::GoldsteinConfig goldstein;
+  /// Posterior draws serialized for the ensemble aggregation.
+  int aggregate_draws = 200;
+  epi::WastewaterConfig ww;
+
+  WwUseCaseConfig() {
+    goldstein.iterations = 1600;
+    goldstein.burnin = 800;
+    goldstein.thin = 4;
+  }
+};
+
+/// Builder + result reader for the workflow.
+class WastewaterUseCase {
+ public:
+  WastewaterUseCase(OspreyPlatform& platform, WwUseCaseConfig config);
+
+  /// Create endpoints/collections, register harnesses, compute
+  /// functions and all AERO flows. Call once, before running.
+  void build();
+
+  /// Drive virtual time to the end of the horizon (plus a tail so the
+  /// last analyses and aggregation complete).
+  void run_to_end();
+
+  // --- results ---
+  struct PlantOutput {
+    epi::Plant plant;
+    rt::RtSeries series;          // latest published estimate
+    std::vector<double> truth;    // ground-truth R(t), same length
+    int versions = 0;             // published estimate versions
+  };
+  /// Latest per-plant R(t) estimates read back from the storage
+  /// endpoint (as a stakeholder would).
+  std::vector<PlantOutput> plant_outputs() const;
+
+  bool has_aggregate() const;
+  /// The population-weighted ensemble estimate (Figure 2, bottom).
+  rt::RtSeries aggregate_output() const;
+  /// Population-weighted truth for scoring the ensemble.
+  std::vector<double> aggregate_truth(std::size_t days) const;
+
+  // --- introspection ---
+  HarnessRegistry& harnesses() { return harnesses_; }
+  const std::vector<std::shared_ptr<epi::WastewaterGenerator>>& generators()
+      const {
+    return generators_;
+  }
+  const std::vector<aero::IngestionHandles>& ingestions() const {
+    return ingestion_handles_;
+  }
+  /// Per plant: [summary uuid, draws uuid, plot uuid].
+  const std::vector<std::vector<std::string>>& analysis_outputs() const {
+    return analysis_outputs_;
+  }
+  const std::vector<std::string>& aggregate_outputs() const {
+    return aggregate_outputs_;
+  }
+
+  static constexpr const char* kStorageName = "alcf-eagle";
+  static constexpr const char* kStagingName = "bebop-scratch";
+  static constexpr const char* kCollection = "ww-rt";
+  static constexpr const char* kStagingCollection = "staging";
+
+ private:
+  void register_harnesses();
+  rt::RtSeries read_series(const std::string& uuid) const;
+
+  OspreyPlatform& platform_;
+  WwUseCaseConfig config_;
+  HarnessRegistry harnesses_;
+  std::vector<std::shared_ptr<epi::WastewaterGenerator>> generators_;
+  std::vector<aero::IngestionHandles> ingestion_handles_;
+  std::vector<std::vector<std::string>> analysis_outputs_;
+  std::vector<std::string> aggregate_outputs_;
+  bool built_ = false;
+};
+
+}  // namespace osprey::core

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file interleave.hpp
+/// Cooperative interleaving of multiple model-exploration algorithm
+/// instances over one task queue — the paper's solution (§3.2) to the
+/// utilization problem when instances alternate between large initial
+/// designs and single-point refinements:
+///
+///   "each algorithm checks for the completion of a single Future,
+///    ceding control to the next instance after this check"
+///
+/// An algorithm exposes start() / poll() steps; the driver round-robins
+/// poll() across unfinished instances, sleeping on the task database's
+/// completion signal when a full round makes no progress (so the driver
+/// never burns a core busy-waiting).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "emews/task_db.hpp"
+
+namespace osprey::emews {
+
+/// Result of one cooperative poll step.
+enum class PollResult {
+  kFinished,  // the instance has completed its whole algorithm
+  kProgress,  // something advanced (a future completed, tasks submitted)
+  kBlocked,   // the checked future is still outstanding
+};
+
+/// Interface a cooperative ME algorithm instance implements.
+class CoopAlgorithm {
+ public:
+  virtual ~CoopAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Submit the instance's initial work (e.g. its LHS design).
+  virtual void start() = 0;
+
+  /// Check ONE outstanding future and advance if possible, then return.
+  virtual PollResult poll() = 0;
+};
+
+/// Round-robin driver.
+class InterleavedDriver {
+ public:
+  explicit InterleavedDriver(TaskDb& db) : db_(&db) {}
+
+  void add(std::shared_ptr<CoopAlgorithm> algorithm);
+
+  /// start() every instance, then interleave poll() until all finish.
+  void run();
+
+  std::uint64_t total_polls() const { return polls_; }
+  std::uint64_t blocked_waits() const { return blocked_waits_; }
+
+ private:
+  TaskDb* db_;
+  std::vector<std::shared_ptr<CoopAlgorithm>> algorithms_;
+  std::uint64_t polls_ = 0;
+  std::uint64_t blocked_waits_ = 0;
+};
+
+/// Baseline for the ablation bench: run instances strictly one after
+/// another (start, poll to completion, next) — the paper's "if our MUSIC
+/// instances were run sequentially" scenario.
+class SequentialDriver {
+ public:
+  explicit SequentialDriver(TaskDb& db) : db_(&db) {}
+
+  void add(std::shared_ptr<CoopAlgorithm> algorithm);
+  void run();
+
+ private:
+  TaskDb* db_;
+  std::vector<std::shared_ptr<CoopAlgorithm>> algorithms_;
+};
+
+}  // namespace osprey::emews

@@ -1,0 +1,43 @@
+#include "emews/pool_launcher.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace osprey::emews {
+
+LaunchedPool::LaunchedPool(fabric::BatchScheduler& scheduler, TaskDb& db,
+                           const std::string& task_type, ModelFn model,
+                           PoolLaunchSpec spec)
+    : slot_(std::make_shared<Slot>()) {
+  fabric::JobSpec job;
+  job.name = "emews:" + spec.name;
+  job.nodes = spec.nodes;
+  job.walltime = spec.walltime;
+  std::shared_ptr<Slot> slot = slot_;
+  job.run = [slot, &db, task_type, model = std::move(model),
+             spec]() -> fabric::SimTime {
+    // The scheduler granted the nodes: bring up the (real) workers.
+    slot->pool = std::make_shared<WorkerPool>(db, task_type, model,
+                                              spec.n_workers, spec.name);
+    return spec.reservation;
+  };
+  job_ = scheduler.submit(std::move(job));
+  OSPREY_LOG_INFO("emews", "pool '" << spec.name
+                           << "' submitted to scheduler as job " << job_);
+}
+
+WorkerPool& LaunchedPool::pool() {
+  OSPREY_REQUIRE(started(), "pool job has not started yet");
+  return *slot_->pool;
+}
+
+const WorkerPool& LaunchedPool::pool() const {
+  OSPREY_REQUIRE(started(), "pool job has not started yet");
+  return *slot_->pool;
+}
+
+void LaunchedPool::stop() {
+  if (slot_->pool) slot_->pool->shutdown();
+}
+
+}  // namespace osprey::emews

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file pool_launcher.hpp
+/// Programmatic worker-pool startup through the batch scheduler — the
+/// paper's "the ability to programmatically start a worker pool on a
+/// compute node via an API call ... by submitting a job to the compute
+/// resource scheduler (e.g., SLURM or PBS)".
+///
+/// The scheduler decides *when* the pool starts (virtual queue wait on
+/// the simulated PBS); the pool's worker threads are real. stop() plays
+/// the finalization role: drain, join, and release.
+
+#include <memory>
+#include <string>
+
+#include "emews/worker_pool.hpp"
+#include "fabric/scheduler.hpp"
+
+namespace osprey::emews {
+
+struct PoolLaunchSpec {
+  std::string name = "worker-pool";
+  std::size_t n_workers = 4;
+  int nodes = 1;
+  fabric::SimTime walltime = 12 * osprey::util::kHour;
+  /// Virtual duration the pool job occupies its nodes (the reservation
+  /// length requested from the scheduler).
+  fabric::SimTime reservation = 8 * osprey::util::kHour;
+};
+
+/// Handle to a scheduler-launched pool. The pool object comes into
+/// existence when the simulated scheduler starts the job, so callers
+/// must drive the event loop past the queue wait before using pool().
+class LaunchedPool {
+ public:
+  LaunchedPool(fabric::BatchScheduler& scheduler, TaskDb& db,
+               const std::string& task_type, ModelFn model,
+               PoolLaunchSpec spec);
+
+  fabric::JobId job_id() const { return job_; }
+
+  /// True once the scheduler has started the job and the workers exist.
+  bool started() const { return static_cast<bool>(slot_->pool); }
+
+  /// The running pool; throws if the job has not started yet.
+  WorkerPool& pool();
+  const WorkerPool& pool() const;
+
+  /// Drain + join the workers (no-op if never started).
+  void stop();
+
+ private:
+  struct Slot {
+    std::shared_ptr<WorkerPool> pool;
+  };
+
+  fabric::JobId job_ = 0;
+  std::shared_ptr<Slot> slot_;
+};
+
+}  // namespace osprey::emews

@@ -1,0 +1,246 @@
+#include "emews/task_db.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace osprey::emews {
+
+namespace {
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+const char* task_status_name(TaskStatus s) {
+  switch (s) {
+    case TaskStatus::kQueued: return "QUEUED";
+    case TaskStatus::kRunning: return "RUNNING";
+    case TaskStatus::kComplete: return "COMPLETE";
+    case TaskStatus::kFailed: return "FAILED";
+    case TaskStatus::kCancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+TaskRecord& TaskDb::record_locked(TaskId id) {
+  OSPREY_REQUIRE(id < tasks_.size(), "unknown task id");
+  return tasks_[id];
+}
+
+const TaskRecord& TaskDb::record_locked(TaskId id) const {
+  OSPREY_REQUIRE(id < tasks_.size(), "unknown task id");
+  return tasks_[id];
+}
+
+TaskId TaskDb::submit(const std::string& type, osprey::util::Value payload,
+                      int priority) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OSPREY_REQUIRE(!closed_, "submit to a closed task database");
+  TaskId id = tasks_.size();
+  TaskRecord rec;
+  rec.id = id;
+  rec.type = type;
+  rec.payload = std::move(payload);
+  rec.priority = priority;
+  rec.submitted_ns = steady_ns();
+  tasks_.push_back(std::move(rec));
+  queues_[type][priority].push_back(id);
+  queue_cv_.notify_one();
+  return id;
+}
+
+std::optional<TaskId> TaskDb::claim(const std::string& type,
+                                    const std::string& worker) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    auto qit = queues_.find(type);
+    if (qit != queues_.end() && !qit->second.empty()) {
+      auto& by_priority = qit->second;
+      auto pit = by_priority.begin();
+      TaskId id = pit->second.front();
+      pit->second.pop_front();
+      if (pit->second.empty()) by_priority.erase(pit);
+      TaskRecord& rec = record_locked(id);
+      rec.status = TaskStatus::kRunning;
+      rec.worker = worker;
+      rec.started_ns = steady_ns();
+      return id;
+    }
+    if (closed_) return std::nullopt;
+    queue_cv_.wait(lock);
+  }
+}
+
+std::optional<TaskId> TaskDb::claim_for(const std::string& type,
+                                        const std::string& worker,
+                                        std::int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    auto qit = queues_.find(type);
+    if (qit != queues_.end() && !qit->second.empty()) {
+      auto& by_priority = qit->second;
+      auto pit = by_priority.begin();
+      TaskId id = pit->second.front();
+      pit->second.pop_front();
+      if (pit->second.empty()) by_priority.erase(pit);
+      TaskRecord& rec = record_locked(id);
+      rec.status = TaskStatus::kRunning;
+      rec.worker = worker;
+      rec.started_ns = steady_ns();
+      return id;
+    }
+    if (closed_) return std::nullopt;
+    if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return std::nullopt;
+    }
+  }
+}
+
+std::optional<TaskId> TaskDb::try_claim(const std::string& type,
+                                        const std::string& worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto qit = queues_.find(type);
+  if (qit == queues_.end() || qit->second.empty()) return std::nullopt;
+  auto& by_priority = qit->second;
+  auto pit = by_priority.begin();
+  TaskId id = pit->second.front();
+  pit->second.pop_front();
+  if (pit->second.empty()) by_priority.erase(pit);
+  TaskRecord& rec = record_locked(id);
+  rec.status = TaskStatus::kRunning;
+  rec.worker = worker;
+  rec.started_ns = steady_ns();
+  return id;
+}
+
+void TaskDb::finish_locked(TaskId id, TaskStatus status) {
+  TaskRecord& rec = record_locked(id);
+  rec.status = status;
+  rec.completed_ns = steady_ns();
+  ++finished_;
+  done_cv_.notify_all();
+}
+
+void TaskDb::complete(TaskId id, osprey::util::Value result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TaskRecord& rec = record_locked(id);
+  OSPREY_REQUIRE(rec.status == TaskStatus::kRunning,
+                 "complete() on a task that is not running");
+  rec.result = std::move(result);
+  finish_locked(id, TaskStatus::kComplete);
+}
+
+void TaskDb::fail(TaskId id, const std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TaskRecord& rec = record_locked(id);
+  OSPREY_REQUIRE(rec.status == TaskStatus::kRunning,
+                 "fail() on a task that is not running");
+  rec.error = error;
+  finish_locked(id, TaskStatus::kFailed);
+}
+
+bool TaskDb::cancel(TaskId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TaskRecord& rec = record_locked(id);
+  if (rec.status != TaskStatus::kQueued) return false;
+  // Remove from its queue.
+  auto& by_priority = queues_[rec.type];
+  auto pit = by_priority.find(rec.priority);
+  if (pit != by_priority.end()) {
+    auto& fifo = pit->second;
+    for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+      if (*it == id) {
+        fifo.erase(it);
+        break;
+      }
+    }
+    if (fifo.empty()) by_priority.erase(pit);
+  }
+  finish_locked(id, TaskStatus::kCancelled);
+  return true;
+}
+
+TaskRecord TaskDb::snapshot(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return record_locked(id);
+}
+
+bool TaskDb::is_done(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TaskStatus s = record_locked(id).status;
+  return s == TaskStatus::kComplete || s == TaskStatus::kFailed ||
+         s == TaskStatus::kCancelled;
+}
+
+TaskRecord TaskDb::wait(TaskId id) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    TaskStatus s = record_locked(id).status;
+    return s == TaskStatus::kComplete || s == TaskStatus::kFailed ||
+           s == TaskStatus::kCancelled;
+  });
+  return record_locked(id);
+}
+
+std::uint64_t TaskDb::finished_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_;
+}
+
+void TaskDb::wait_for_more_finished(std::uint64_t seen) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return finished_ > seen || closed_; });
+}
+
+std::size_t TaskDb::queued_count(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto qit = queues_.find(type);
+  if (qit == queues_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& [prio, fifo] : qit->second) {
+    (void)prio;
+    n += fifo.size();
+  }
+  return n;
+}
+
+std::size_t TaskDb::total_submitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+void TaskDb::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  closed_ = true;
+  // Cancel everything still queued.
+  for (auto& [type, by_priority] : queues_) {
+    (void)type;
+    for (auto& [prio, fifo] : by_priority) {
+      (void)prio;
+      for (TaskId id : fifo) {
+        TaskRecord& rec = record_locked(id);
+        rec.status = TaskStatus::kCancelled;
+        rec.completed_ns = steady_ns();
+        ++finished_;
+      }
+      fifo.clear();
+    }
+  }
+  queues_.clear();
+  queue_cv_.notify_all();
+  done_cv_.notify_all();
+}
+
+bool TaskDb::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace osprey::emews

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file task_db.hpp
+/// The EMEWS task database: the decoupled heart of the model-exploration
+/// framework. Model-exploration (ME) algorithms insert tasks; worker
+/// pools on compute resources claim and evaluate them; results flow back
+/// through the same database. Submission returns immediately (the
+/// asynchronous Future pattern of §3.2); completion is signalled through
+/// condition variables so pollers never spin.
+///
+/// Thread-safe: ME algorithm threads, worker threads and monitors may
+/// call concurrently.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/value.hpp"
+
+namespace osprey::emews {
+
+using TaskId = std::uint64_t;
+
+enum class TaskStatus { kQueued, kRunning, kComplete, kFailed, kCancelled };
+
+const char* task_status_name(TaskStatus s);
+
+/// Snapshot of one task's state.
+struct TaskRecord {
+  TaskId id = 0;
+  std::string type;          // queue name, e.g. "metarvm"
+  osprey::util::Value payload;
+  int priority = 0;          // higher runs first
+  TaskStatus status = TaskStatus::kQueued;
+  osprey::util::Value result;
+  std::string error;
+  std::string worker;        // who evaluated it
+  // Wall-clock nanoseconds (steady clock) for throughput accounting.
+  std::uint64_t submitted_ns = 0;
+  std::uint64_t started_ns = 0;
+  std::uint64_t completed_ns = 0;
+};
+
+/// The task database.
+class TaskDb {
+ public:
+  TaskDb() = default;
+  TaskDb(const TaskDb&) = delete;
+  TaskDb& operator=(const TaskDb&) = delete;
+
+  /// Insert a task; returns its id immediately (the Future handle is
+  /// built from this id).
+  TaskId submit(const std::string& type, osprey::util::Value payload,
+                int priority = 0);
+
+  /// Claim the highest-priority queued task of `type`, blocking until
+  /// one is available or the database is closed (-> nullopt). FIFO
+  /// within a priority level.
+  std::optional<TaskId> claim(const std::string& type,
+                              const std::string& worker);
+
+  /// Non-blocking claim.
+  std::optional<TaskId> try_claim(const std::string& type,
+                                  const std::string& worker);
+
+  /// Claim with a timeout: blocks up to `timeout_ms` for a task of
+  /// `type`, then returns nullopt. Lets worker pools poll a shared queue
+  /// and still observe their own stop signal (multiple pools may serve
+  /// one queue, so unblocking cannot rely on per-pool poison messages).
+  std::optional<TaskId> claim_for(const std::string& type,
+                                  const std::string& worker,
+                                  std::int64_t timeout_ms);
+
+  void complete(TaskId id, osprey::util::Value result);
+  void fail(TaskId id, const std::string& error);
+  /// Cancel a still-queued task; returns false if it already started.
+  bool cancel(TaskId id);
+
+  /// Copy of the task's current state.
+  TaskRecord snapshot(TaskId id) const;
+  /// True once the task is complete/failed/cancelled.
+  bool is_done(TaskId id) const;
+  /// Block until the task is done; returns its record.
+  TaskRecord wait(TaskId id) const;
+
+  /// Total finished tasks (complete + failed + cancelled); used by
+  /// cooperative pollers to sleep until something new finishes.
+  std::uint64_t finished_count() const;
+  /// Block until finished_count() > `seen` or the database is closed.
+  void wait_for_more_finished(std::uint64_t seen) const;
+
+  std::size_t queued_count(const std::string& type) const;
+  std::size_t total_submitted() const;
+
+  /// Close the database: wakes all blocked claims/waits. Pending queued
+  /// tasks are cancelled.
+  void close();
+  bool closed() const;
+
+ private:
+  TaskRecord& record_locked(TaskId id);
+  const TaskRecord& record_locked(TaskId id) const;
+  void finish_locked(TaskId id, TaskStatus status);
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;        // new task or close
+  mutable std::condition_variable done_cv_; // task finished or close
+  std::vector<TaskRecord> tasks_;
+  // type -> priority -> FIFO of task ids (higher priority first).
+  std::map<std::string, std::map<int, std::deque<TaskId>, std::greater<int>>>
+      queues_;
+  std::uint64_t finished_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace osprey::emews

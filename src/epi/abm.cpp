@@ -1,0 +1,210 @@
+#include "epi/abm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace osprey::epi {
+
+using osprey::num::RngStream;
+
+namespace {
+
+enum class State : std::uint8_t {
+  kS, kV, kE, kIa, kIp, kIs, kH, kR, kD
+};
+
+inline double hazard_to_prob(double rate) {
+  return rate <= 0.0 ? 0.0 : 1.0 - std::exp(-rate);
+}
+
+}  // namespace
+
+AgentBasedModel::AgentBasedModel(AbmConfig config)
+    : config_(std::move(config)) {
+  OSPREY_REQUIRE(config_.n_agents > 0, "need at least one agent");
+  OSPREY_REQUIRE(config_.initial_infections >= 0 &&
+                     config_.initial_infections <= config_.n_agents,
+                 "initial infections out of range");
+  OSPREY_REQUIRE(config_.days >= 0, "negative horizon");
+  OSPREY_REQUIRE(config_.contacts_per_day > 0, "contacts must be positive");
+  OSPREY_REQUIRE(config_.vax_rate_per_day >= 0, "negative vaccination rate");
+}
+
+MetaRvmTrajectory AgentBasedModel::run(const MetaRvmParams& params,
+                                       RngStream& rng) const {
+  params.validate();
+  const std::int64_t n = config_.n_agents;
+  const int days = config_.days;
+
+  std::vector<State> state(static_cast<std::size_t>(n), State::kS);
+  for (std::int64_t i = 0; i < config_.initial_infections; ++i) {
+    state[static_cast<std::size_t>(i)] = State::kIp;  // seeds, as in MetaRVM
+  }
+
+  // Per-contact transmission probability: matches the metapopulation
+  // force of infection ts * I_eff / N in the mean field.
+  const double beta_contact = params.ts / config_.contacts_per_day;
+  const double vax_protection =
+      params.ts > 0.0
+          ? (params.tv * (1.0 - params.ve)) / params.ts
+          : 0.0;  // per-contact multiplier for vaccinated targets
+
+  const double p_leave_e = hazard_to_prob(1.0 / params.de);
+  const double p_leave_ia = hazard_to_prob(1.0 / params.da);
+  const double p_leave_ip = hazard_to_prob(1.0 / params.dp);
+  const double p_leave_is = hazard_to_prob(1.0 / params.ds);
+  const double p_leave_h = hazard_to_prob(1.0 / params.dh);
+  const double p_wane_v = hazard_to_prob(1.0 / params.dv);
+  const double p_wane_r =
+      params.dr > 0.0 ? hazard_to_prob(1.0 / params.dr) : 0.0;
+  const double p_vax = hazard_to_prob(config_.vax_rate_per_day);
+
+  MetaRvmTrajectory traj;
+  traj.days = days;
+  traj.groups.resize(1);
+  GroupTrajectory& gt = traj.groups[0];
+  gt.name = "abm";
+  gt.new_infections.assign(static_cast<std::size_t>(days), 0);
+  gt.new_hospitalizations.assign(static_cast<std::size_t>(days), 0);
+  gt.new_deaths.assign(static_cast<std::size_t>(days), 0);
+
+  auto census = [&] {
+    Compartments c;
+    for (State s : state) {
+      switch (s) {
+        case State::kS: ++c.s; break;
+        case State::kV: ++c.v; break;
+        case State::kE: ++c.e; break;
+        case State::kIa: ++c.ia; break;
+        case State::kIp: ++c.ip; break;
+        case State::kIs: ++c.is; break;
+        case State::kH: ++c.h; break;
+        case State::kR: ++c.r; break;
+        case State::kD: ++c.d; break;
+      }
+    }
+    return c;
+  };
+  gt.daily.reserve(static_cast<std::size_t>(days) + 1);
+  gt.daily.push_back(census());
+
+  std::vector<std::size_t> infectious;
+  std::vector<std::uint8_t> newly_exposed(static_cast<std::size_t>(n), 0);
+
+  for (int day = 0; day < days; ++day) {
+    // --- transmission: each infectious agent meets random others ------
+    infectious.clear();
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      State s = state[i];
+      if (s == State::kIa || s == State::kIp || s == State::kIs) {
+        infectious.push_back(i);
+      }
+    }
+    std::fill(newly_exposed.begin(), newly_exposed.end(), 0);
+    std::int64_t infections_today = 0;
+    for (std::size_t src : infectious) {
+      double weight = 1.0;
+      if (state[src] == State::kIa) weight = params.rel_inf_asymp;
+      if (state[src] == State::kIp) weight = params.rel_inf_presymp;
+      std::int64_t contacts = rng.poisson(config_.contacts_per_day);
+      for (std::int64_t c = 0; c < contacts; ++c) {
+        std::size_t dst = static_cast<std::size_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(n)));
+        if (dst == src || newly_exposed[dst]) continue;
+        double p = 0.0;
+        if (state[dst] == State::kS) {
+          p = beta_contact * weight;
+        } else if (state[dst] == State::kV) {
+          p = beta_contact * weight * vax_protection;
+        } else {
+          continue;
+        }
+        if (rng.uniform() < p) {
+          newly_exposed[dst] = 1;
+          ++infections_today;
+        }
+      }
+    }
+
+    // --- per-agent state progression (memoryless sojourns) -----------
+    std::int64_t hospitalizations_today = 0;
+    std::int64_t deaths_today = 0;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      if (newly_exposed[i]) continue;  // applied after progression below
+      switch (state[i]) {
+        case State::kS:
+          if (p_vax > 0.0 && rng.uniform() < p_vax) state[i] = State::kV;
+          break;
+        case State::kV:
+          if (p_wane_v > 0.0 && rng.uniform() < p_wane_v) {
+            state[i] = State::kS;
+          }
+          break;
+        case State::kE:
+          if (rng.uniform() < p_leave_e) {
+            state[i] = rng.uniform() < params.pea ? State::kIa : State::kIp;
+          }
+          break;
+        case State::kIa:
+          if (rng.uniform() < p_leave_ia) state[i] = State::kR;
+          break;
+        case State::kIp:
+          if (rng.uniform() < p_leave_ip) state[i] = State::kIs;
+          break;
+        case State::kIs:
+          if (rng.uniform() < p_leave_is) {
+            if (rng.uniform() < params.psh) {
+              state[i] = State::kH;
+              ++hospitalizations_today;
+            } else {
+              state[i] = State::kR;
+            }
+          }
+          break;
+        case State::kH:
+          if (rng.uniform() < p_leave_h) {
+            if (rng.uniform() < params.phd) {
+              state[i] = State::kD;
+              ++deaths_today;
+            } else {
+              state[i] = State::kR;
+            }
+          }
+          break;
+        case State::kR:
+          if (p_wane_r > 0.0 && rng.uniform() < p_wane_r) {
+            state[i] = State::kS;
+          }
+          break;
+        case State::kD:
+          break;
+      }
+    }
+    // Exposures land after progression (an agent infected today starts
+    // its latent period tomorrow), matching the chain-binomial ordering.
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      if (newly_exposed[i]) state[i] = State::kE;
+    }
+
+    gt.new_infections[static_cast<std::size_t>(day)] = infections_today;
+    gt.new_hospitalizations[static_cast<std::size_t>(day)] =
+        hospitalizations_today;
+    gt.new_deaths[static_cast<std::size_t>(day)] = deaths_today;
+    gt.daily.push_back(census());
+    OSPREY_CHECK(gt.daily.back().total() == n,
+                 "agent count not conserved");
+  }
+  return traj;
+}
+
+double AgentBasedModel::hospitalization_qoi(const MetaRvmParams& params,
+                                            std::uint64_t seed,
+                                            std::uint64_t replicate) const {
+  RngStream root(seed);
+  RngStream stream = root.substream(replicate);
+  MetaRvmTrajectory traj = run(params, stream);
+  return static_cast<double>(traj.total_hospitalizations());
+}
+
+}  // namespace osprey::epi

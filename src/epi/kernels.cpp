@@ -1,0 +1,48 @@
+#include "epi/kernels.hpp"
+
+#include <cmath>
+
+#include "num/special.hpp"
+#include "util/error.hpp"
+
+namespace osprey::epi {
+
+std::vector<double> discretized_gamma(double mean, double sd, int max_days) {
+  OSPREY_REQUIRE(mean > 0 && sd > 0, "gamma mean/sd must be positive");
+  OSPREY_REQUIRE(max_days >= 1, "max_days must be >= 1");
+  double shape = (mean / sd) * (mean / sd);
+  double scale = sd * sd / mean;
+  std::vector<double> w(static_cast<std::size_t>(max_days));
+  double prev_cdf = 0.0;
+  for (int s = 1; s <= max_days; ++s) {
+    double cdf = osprey::num::gamma_p(shape, static_cast<double>(s) / scale);
+    w[static_cast<std::size_t>(s - 1)] = cdf - prev_cdf;
+    prev_cdf = cdf;
+  }
+  double total = 0.0;
+  for (double x : w) total += x;
+  OSPREY_CHECK(total > 0.0, "degenerate discretized gamma");
+  for (double& x : w) x /= total;
+  return w;
+}
+
+std::vector<double> default_generation_interval() {
+  return discretized_gamma(5.2, 1.9, 14);
+}
+
+std::vector<double> default_shedding_kernel() {
+  // Peak shedding ~5 days post infection, long right tail out to 3 weeks.
+  return discretized_gamma(6.7, 4.0, 21);
+}
+
+double renewal_pressure(const std::vector<double>& incidence, std::size_t t,
+                        const std::vector<double>& w) {
+  double sum = 0.0;
+  for (std::size_t s = 1; s <= w.size(); ++s) {
+    if (s > t) break;
+    sum += w[s - 1] * incidence[t - s];
+  }
+  return sum;
+}
+
+}  // namespace osprey::epi

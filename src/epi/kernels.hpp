@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file kernels.hpp
+/// Discretized epidemiological kernels: the generation-interval
+/// distribution of the renewal equation and the per-infection fecal
+/// shedding-load curve that links incidence to wastewater pathogen
+/// concentration. Shared by the synthetic data generator and the
+/// Goldstein-style R(t) estimator.
+
+#include <vector>
+
+namespace osprey::epi {
+
+/// Discretize a Gamma(mean, sd) density onto days 1..max_days and
+/// normalize to sum 1. Day s holds the probability mass of [s-1, s).
+std::vector<double> discretized_gamma(double mean, double sd, int max_days);
+
+/// COVID-like generation interval: Gamma(mean 5.2 d, sd 1.9 d), 14 days.
+std::vector<double> default_generation_interval();
+
+/// Per-infection shedding-load curve over ~3 weeks: gamma-shaped rise
+/// and decay (peak around day 5 post-infection), normalized to sum 1.
+std::vector<double> default_shedding_kernel();
+
+/// Renewal-equation convolution term: sum_s w[s-1] * incidence[t-s]
+/// (the infection pressure Lambda(t)). `t` indexes incidence days.
+double renewal_pressure(const std::vector<double>& incidence, std::size_t t,
+                        const std::vector<double>& w);
+
+}  // namespace osprey::epi

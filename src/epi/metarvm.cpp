@@ -1,0 +1,234 @@
+#include "epi/metarvm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace osprey::epi {
+
+using osprey::num::Matrix;
+using osprey::num::RngStream;
+
+void MetaRvmParams::validate() const {
+  auto in01 = [](double x) { return x >= 0.0 && x <= 1.0; };
+  OSPREY_REQUIRE(ts >= 0.0 && tv >= 0.0, "transmission rates must be >= 0");
+  OSPREY_REQUIRE(in01(ve), "ve must be in [0,1]");
+  OSPREY_REQUIRE(in01(pea), "pea must be in [0,1]");
+  OSPREY_REQUIRE(in01(psh), "psh must be in [0,1]");
+  OSPREY_REQUIRE(in01(phd), "phd must be in [0,1]");
+  OSPREY_REQUIRE(de > 0 && da > 0 && dp > 0 && ds > 0 && dh > 0 && dv > 0,
+                 "durations must be positive");
+  OSPREY_REQUIRE(dr >= 0, "dr must be >= 0 (0 disables reinfection)");
+  OSPREY_REQUIRE(rel_inf_asymp >= 0 && rel_inf_presymp >= 0,
+                 "relative infectiousness must be >= 0");
+}
+
+MetaRvmConfig MetaRvmConfig::single_group(std::int64_t population,
+                                          std::int64_t initial_infections,
+                                          int days) {
+  MetaRvmConfig cfg;
+  cfg.groups.push_back(Group{"all", population, initial_infections, 0.0});
+  cfg.contact = Matrix(1, 1, 1.0);
+  cfg.days = days;
+  return cfg;
+}
+
+MetaRvmConfig MetaRvmConfig::stratified_demo(std::int64_t total_population,
+                                             int days) {
+  MetaRvmConfig cfg;
+  std::int64_t children = total_population * 22 / 100;
+  std::int64_t seniors = total_population * 17 / 100;
+  std::int64_t adults = total_population - children - seniors;
+  cfg.groups.push_back(Group{"children", children, children / 20000 + 1, 0.001});
+  cfg.groups.push_back(Group{"adults", adults, adults / 20000 + 1, 0.004});
+  cfg.groups.push_back(Group{"seniors", seniors, seniors / 20000 + 1, 0.008});
+  // Assortative mixing: strong within-group contact, weaker across.
+  cfg.contact = Matrix(3, 3, 0.0);
+  const double m[3][3] = {{1.4, 0.5, 0.2}, {0.5, 1.0, 0.4}, {0.2, 0.4, 0.8}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) cfg.contact(i, j) = m[i][j];
+  }
+  cfg.days = days;
+  return cfg;
+}
+
+std::vector<std::int64_t> MetaRvmTrajectory::total_new_hospitalizations()
+    const {
+  std::vector<std::int64_t> out(static_cast<std::size_t>(days), 0);
+  for (const GroupTrajectory& g : groups) {
+    for (std::size_t t = 0; t < out.size(); ++t) {
+      out[t] += g.new_hospitalizations[t];
+    }
+  }
+  return out;
+}
+
+std::int64_t MetaRvmTrajectory::total_hospitalizations() const {
+  std::int64_t n = 0;
+  for (const GroupTrajectory& g : groups) {
+    for (std::int64_t x : g.new_hospitalizations) n += x;
+  }
+  return n;
+}
+
+std::int64_t MetaRvmTrajectory::total_deaths() const {
+  std::int64_t n = 0;
+  for (const GroupTrajectory& g : groups) {
+    for (std::int64_t x : g.new_deaths) n += x;
+  }
+  return n;
+}
+
+std::int64_t MetaRvmTrajectory::total_infections() const {
+  std::int64_t n = 0;
+  for (const GroupTrajectory& g : groups) {
+    for (std::int64_t x : g.new_infections) n += x;
+  }
+  return n;
+}
+
+MetaRvm::MetaRvm(MetaRvmConfig config) : config_(std::move(config)) {
+  OSPREY_REQUIRE(!config_.groups.empty(), "MetaRVM needs at least one group");
+  OSPREY_REQUIRE(config_.days >= 0, "negative horizon");
+  std::size_t n = config_.groups.size();
+  if (config_.contact.rows() == 0) {
+    config_.contact = Matrix(n, n, 1.0);
+  }
+  OSPREY_REQUIRE(config_.contact.rows() == n && config_.contact.cols() == n,
+                 "contact matrix must be (groups x groups)");
+  for (const Group& g : config_.groups) {
+    OSPREY_REQUIRE(g.population >= 0, "negative population");
+    OSPREY_REQUIRE(g.initial_infections >= 0 &&
+                       g.initial_infections <= g.population,
+                   "initial infections out of range");
+    OSPREY_REQUIRE(g.vax_rate_per_day >= 0, "negative vaccination rate");
+  }
+}
+
+namespace {
+
+/// Daily transition probability for an exponential hazard.
+inline double hazard_to_prob(double rate) {
+  return rate <= 0.0 ? 0.0 : 1.0 - std::exp(-rate);
+}
+
+}  // namespace
+
+MetaRvmTrajectory MetaRvm::run(const MetaRvmParams& params,
+                               RngStream& rng) const {
+  params.validate();
+  const std::size_t n_groups = config_.groups.size();
+  const int days = config_.days;
+
+  std::vector<Compartments> state(n_groups);
+  MetaRvmTrajectory traj;
+  traj.days = days;
+  traj.groups.resize(n_groups);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const Group& grp = config_.groups[g];
+    state[g].s = grp.population - grp.initial_infections;
+    // Seed infections start presymptomatic (they will progress).
+    state[g].ip = grp.initial_infections;
+    traj.groups[g].name = grp.name;
+    traj.groups[g].daily.reserve(static_cast<std::size_t>(days) + 1);
+    traj.groups[g].daily.push_back(state[g]);
+    traj.groups[g].new_infections.assign(static_cast<std::size_t>(days), 0);
+    traj.groups[g].new_hospitalizations.assign(static_cast<std::size_t>(days),
+                                               0);
+    traj.groups[g].new_deaths.assign(static_cast<std::size_t>(days), 0);
+  }
+
+  const double p_leave_e = hazard_to_prob(1.0 / params.de);
+  const double p_leave_ia = hazard_to_prob(1.0 / params.da);
+  const double p_leave_ip = hazard_to_prob(1.0 / params.dp);
+  const double p_leave_is = hazard_to_prob(1.0 / params.ds);
+  const double p_leave_h = hazard_to_prob(1.0 / params.dh);
+  const double p_wane_v = hazard_to_prob(1.0 / params.dv);
+  const double p_wane_r =
+      params.dr > 0.0 ? hazard_to_prob(1.0 / params.dr) : 0.0;
+
+  for (int day = 0; day < days; ++day) {
+    // Force of infection per group from the current state.
+    std::vector<double> foi(n_groups, 0.0);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      double sum = 0.0;
+      for (std::size_t h = 0; h < n_groups; ++h) {
+        const Compartments& ch = state[h];
+        double n_h = static_cast<double>(config_.groups[h].population);
+        if (n_h <= 0.0) continue;
+        double infectious =
+            params.rel_inf_asymp * static_cast<double>(ch.ia) +
+            params.rel_inf_presymp * static_cast<double>(ch.ip) +
+            static_cast<double>(ch.is);
+        sum += config_.contact(g, h) * infectious / n_h;
+      }
+      foi[g] = sum;
+    }
+
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      Compartments& c = state[g];
+      GroupTrajectory& gt = traj.groups[g];
+      const Group& grp = config_.groups[g];
+
+      // --- draws from the current state (order documented: infection
+      // first, then vaccination of the remaining susceptibles) ---
+      double p_inf_s = hazard_to_prob(params.ts * foi[g]);
+      std::int64_t s_to_e = rng.binomial(c.s, p_inf_s);
+      double p_vax = hazard_to_prob(grp.vax_rate_per_day);
+      std::int64_t s_to_v = rng.binomial(c.s - s_to_e, p_vax);
+
+      // Vaccinated face a tv-driven FOI further reduced by efficacy ve.
+      double p_inf_v = hazard_to_prob(params.tv * (1.0 - params.ve) * foi[g]);
+      std::int64_t v_to_e = rng.binomial(c.v, p_inf_v);
+      std::int64_t v_to_s = rng.binomial(c.v - v_to_e, p_wane_v);
+
+      std::int64_t e_out = rng.binomial(c.e, p_leave_e);
+      std::int64_t e_to_ia = rng.binomial(e_out, params.pea);
+      std::int64_t e_to_ip = e_out - e_to_ia;
+
+      std::int64_t ia_to_r = rng.binomial(c.ia, p_leave_ia);
+      std::int64_t ip_to_is = rng.binomial(c.ip, p_leave_ip);
+
+      std::int64_t is_out = rng.binomial(c.is, p_leave_is);
+      std::int64_t is_to_h = rng.binomial(is_out, params.psh);
+      std::int64_t is_to_r = is_out - is_to_h;
+
+      std::int64_t h_out = rng.binomial(c.h, p_leave_h);
+      std::int64_t h_to_d = rng.binomial(h_out, params.phd);
+      std::int64_t h_to_r = h_out - h_to_d;
+
+      std::int64_t r_to_s = rng.binomial(c.r, p_wane_r);
+
+      // --- apply ---
+      c.s += -s_to_e - s_to_v + v_to_s + r_to_s;
+      c.v += s_to_v - v_to_e - v_to_s;
+      c.e += s_to_e + v_to_e - e_out;
+      c.ia += e_to_ia - ia_to_r;
+      c.ip += e_to_ip - ip_to_is;
+      c.is += ip_to_is - is_out;
+      c.h += is_to_h - h_out;
+      c.r += ia_to_r + is_to_r + h_to_r - r_to_s;
+      c.d += h_to_d;
+
+      gt.new_infections[static_cast<std::size_t>(day)] = s_to_e + v_to_e;
+      gt.new_hospitalizations[static_cast<std::size_t>(day)] = is_to_h;
+      gt.new_deaths[static_cast<std::size_t>(day)] = h_to_d;
+      gt.daily.push_back(c);
+
+      OSPREY_CHECK(c.total() == grp.population,
+                   "population not conserved in group " + grp.name);
+    }
+  }
+  return traj;
+}
+
+double MetaRvm::hospitalization_qoi(const MetaRvmParams& params,
+                                    std::uint64_t seed,
+                                    std::uint64_t replicate) const {
+  RngStream root(seed);
+  RngStream stream = root.substream(replicate);
+  MetaRvmTrajectory traj = run(params, stream);
+  return static_cast<double>(traj.total_hospitalizations());
+}
+
+}  // namespace osprey::epi

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file metarvm.hpp
+/// MetaRVM: the stochastic metapopulation compartmental model of
+/// Fadikar et al. used in the paper's SDE use case (§3.1.1, Figure 3).
+///
+/// Compartments (per demographic group):
+///   S  susceptible          V  vaccinated
+///   E  exposed (latent)     Ia asymptomatic infectious
+///   Ip presymptomatic       Is symptomatic infectious
+///   H  hospitalized         R  recovered
+///   D  dead
+///
+/// Transitions follow the paper's description: S/V are exposed at rates
+/// driven by ts/tv; vaccine immunity (ve) reduces the vaccinated force
+/// of infection and wanes at 1/dv; E splits pea : (1-pea) into Ia : Ip
+/// after de days; Ia recovers after da; Ip becomes Is after dp; Is
+/// recovers or is hospitalized (probability psh = 1 - psr) after ds; H
+/// resolves after dh with death probability phd; R returns to S after
+/// dr when reinfection is enabled. Heterogeneous mixing across groups
+/// uses a contact matrix.
+///
+/// Dynamics are a chain-binomial: each day, each outflow is a binomial
+/// draw with probability 1 - exp(-rate). All randomness comes from the
+/// caller's RngStream, so "each replicate generated using a unique
+/// random stream seed value" is a substream choice.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "num/rng.hpp"
+#include "num/vecmat.hpp"
+
+namespace osprey::epi {
+
+/// Model parameters (Figure 3 of the paper). Durations are in days,
+/// proportions in [0, 1].
+struct MetaRvmParams {
+  double ts = 0.30;    // transmission rate, susceptible
+  double tv = 0.10;    // transmission rate, vaccinated
+  double ve = 0.50;    // vaccine efficacy (extra FOI reduction for V)
+  double dv = 180.0;   // mean days of vaccine-conferred immunity
+  double de = 3.0;     // mean latent days
+  double pea = 0.60;   // proportion of exposed becoming asymptomatic
+  double da = 5.0;     // mean asymptomatic infectious days
+  double dp = 2.0;     // mean presymptomatic days
+  double ds = 5.0;     // mean symptomatic days
+  double psh = 0.20;   // proportion of symptomatic hospitalized (1 - psr)
+  double dh = 7.0;     // mean hospitalized days
+  double phd = 0.10;   // probability of death in hospital
+  double dr = 0.0;     // mean immune days before reinfection; 0 = permanent
+  double rel_inf_asymp = 0.6;    // relative infectiousness of Ia
+  double rel_inf_presymp = 1.0;  // relative infectiousness of Ip
+
+  /// Nominal values used when a parameter is not swept (GSA setup §3.1.2
+  /// fixes "the remaining parameters at nominal values").
+  static MetaRvmParams nominal() { return MetaRvmParams{}; }
+
+  /// Throws InvalidArgument when a value is outside its domain.
+  void validate() const;
+};
+
+/// One demographic subgroup of the metapopulation.
+struct Group {
+  std::string name;
+  std::int64_t population = 0;
+  std::int64_t initial_infections = 0;
+  double vax_rate_per_day = 0.0;  // S -> V hazard per day
+};
+
+/// Full model configuration.
+struct MetaRvmConfig {
+  std::vector<Group> groups;
+  /// contact(i, j): relative rate at which group i contacts group j.
+  /// Empty = homogeneous mixing (all ones).
+  osprey::num::Matrix contact;
+  int days = 90;
+
+  /// Single well-mixed population convenience.
+  static MetaRvmConfig single_group(std::int64_t population,
+                                    std::int64_t initial_infections,
+                                    int days = 90);
+  /// A stratified demo population (children/adults/seniors) with an
+  /// assortative contact matrix and age-dependent vaccination.
+  static MetaRvmConfig stratified_demo(std::int64_t total_population,
+                                       int days = 90);
+};
+
+/// Integer compartment occupancy of one group.
+struct Compartments {
+  std::int64_t s = 0, v = 0, e = 0, ia = 0, ip = 0, is = 0, h = 0, r = 0,
+               d = 0;
+  std::int64_t total() const { return s + v + e + ia + ip + is + h + r + d; }
+};
+
+/// Per-group daily series.
+struct GroupTrajectory {
+  std::string name;
+  std::vector<Compartments> daily;          // index 0 = initial state
+  std::vector<std::int64_t> new_infections; // per day
+  std::vector<std::int64_t> new_hospitalizations;
+  std::vector<std::int64_t> new_deaths;
+};
+
+/// Output of a run.
+struct MetaRvmTrajectory {
+  std::vector<GroupTrajectory> groups;
+  int days = 0;
+
+  /// Sum across groups of new hospital admissions per day.
+  std::vector<std::int64_t> total_new_hospitalizations() const;
+  /// The paper's GSA quantity of interest: "the total number of
+  /// hospitalizations at the end of the simulation period".
+  std::int64_t total_hospitalizations() const;
+  std::int64_t total_deaths() const;
+  std::int64_t total_infections() const;
+};
+
+/// The simulator. Stateless between runs; thread-safe for concurrent
+/// run() calls (each call uses only its arguments).
+class MetaRvm {
+ public:
+  explicit MetaRvm(MetaRvmConfig config);
+
+  const MetaRvmConfig& config() const { return config_; }
+
+  /// Simulate one replicate. All stochasticity is drawn from `rng`.
+  MetaRvmTrajectory run(const MetaRvmParams& params,
+                        osprey::num::RngStream& rng) const;
+
+  /// Convenience: run replicate `replicate` of seed `seed` and return
+  /// the GSA QoI (total hospitalizations at day `config.days`).
+  double hospitalization_qoi(const MetaRvmParams& params, std::uint64_t seed,
+                             std::uint64_t replicate) const;
+
+ private:
+  MetaRvmConfig config_;
+};
+
+}  // namespace osprey::epi

@@ -1,0 +1,66 @@
+#include "epi/seir.hpp"
+
+#include "util/error.hpp"
+
+namespace osprey::epi {
+
+namespace {
+
+struct Derivative {
+  double ds, de_, di, dr;
+};
+
+Derivative rhs(const SeirParams& p, const SeirState& y) {
+  double n = y.n();
+  double foi = n > 0.0 ? p.beta * y.i / n : 0.0;
+  Derivative d;
+  d.ds = -foi * y.s;
+  d.de_ = foi * y.s - y.e / p.de;
+  d.di = y.e / p.de - y.i / p.di;
+  d.dr = y.i / p.di;
+  return d;
+}
+
+SeirState add_scaled(const SeirState& y, const Derivative& d, double h) {
+  SeirState out;
+  out.s = y.s + h * d.ds;
+  out.e = y.e + h * d.de_;
+  out.i = y.i + h * d.di;
+  out.r = y.r + h * d.dr;
+  return out;
+}
+
+}  // namespace
+
+SeirTrajectory run_seir(const SeirParams& params, const SeirState& initial,
+                        int days, int steps_per_day) {
+  OSPREY_REQUIRE(days >= 0, "negative horizon");
+  OSPREY_REQUIRE(steps_per_day >= 1, "steps_per_day must be >= 1");
+  OSPREY_REQUIRE(params.de > 0 && params.di > 0, "durations must be positive");
+
+  SeirTrajectory traj;
+  traj.states.reserve(static_cast<std::size_t>(days) + 1);
+  traj.incidence.reserve(static_cast<std::size_t>(days));
+  traj.states.push_back(initial);
+
+  SeirState y = initial;
+  double h = 1.0 / steps_per_day;
+  for (int day = 0; day < days; ++day) {
+    double s_begin = y.s;
+    for (int k = 0; k < steps_per_day; ++k) {
+      Derivative k1 = rhs(params, y);
+      Derivative k2 = rhs(params, add_scaled(y, k1, h / 2.0));
+      Derivative k3 = rhs(params, add_scaled(y, k2, h / 2.0));
+      Derivative k4 = rhs(params, add_scaled(y, k3, h));
+      y.s += h / 6.0 * (k1.ds + 2.0 * k2.ds + 2.0 * k3.ds + k4.ds);
+      y.e += h / 6.0 * (k1.de_ + 2.0 * k2.de_ + 2.0 * k3.de_ + k4.de_);
+      y.i += h / 6.0 * (k1.di + 2.0 * k2.di + 2.0 * k3.di + k4.di);
+      y.r += h / 6.0 * (k1.dr + 2.0 * k2.dr + 2.0 * k3.dr + k4.dr);
+    }
+    traj.states.push_back(y);
+    traj.incidence.push_back(s_begin - y.s);  // susceptible depletion
+  }
+  return traj;
+}
+
+}  // namespace osprey::epi

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file seir.hpp
+/// Deterministic SEIR reference model — the "widely used compartmental
+/// framework" MetaRVM extends (§3.1.1). Used as a sanity baseline in
+/// tests (the stochastic model's mean should track it) and in the
+/// quickstart example.
+
+#include <vector>
+
+namespace osprey::epi {
+
+struct SeirParams {
+  double beta = 0.35;   // transmission rate (per day)
+  double de = 3.0;      // mean latent duration (days); sigma = 1/de
+  double di = 5.0;      // mean infectious duration (days); gamma = 1/di
+
+  double r0() const { return beta * di; }
+};
+
+struct SeirState {
+  double s = 0.0, e = 0.0, i = 0.0, r = 0.0;
+  double n() const { return s + e + i + r; }
+};
+
+struct SeirTrajectory {
+  std::vector<SeirState> states;    // one per day, index 0 = initial
+  std::vector<double> incidence;    // new infections per day
+};
+
+/// Integrate the SEIR ODEs with RK4 at `steps_per_day` sub-steps.
+SeirTrajectory run_seir(const SeirParams& params, const SeirState& initial,
+                        int days, int steps_per_day = 4);
+
+}  // namespace osprey::epi

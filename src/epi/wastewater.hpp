@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file wastewater.hpp
+/// Synthetic wastewater surveillance for the paper's §2 use case.
+///
+/// The real system ingests SARS-CoV-2 concentrations from the Illinois
+/// Wastewater Surveillance System for four Chicago-area water
+/// reclamation plants (O'Brien, Calumet, Stickney South, Stickney
+/// North). That feed is not available offline, so this module generates
+/// a statistically faithful substitute with a KNOWN ground-truth R(t):
+///
+///   truth R(t)  --renewal equation-->  daily incidence I(t)
+///   I(t) --shedding kernel, flow normalization, lognormal noise-->
+///   sampled concentrations (3 samples/week), published weekly as CSV.
+///
+/// Because the truth is known, the reproduction can score estimator
+/// accuracy — something the paper itself cannot do on real data.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "num/rng.hpp"
+
+namespace osprey::epi {
+
+/// A water reclamation plant and the population it serves.
+struct Plant {
+  std::string name;
+  std::int64_t population_served = 0;
+  double avg_flow_mgd = 300.0;  // million gallons/day, normalizes loads
+};
+
+/// The four Chicago-area plants of the paper (population figures are
+/// public approximations; they drive the ensemble weights).
+std::vector<Plant> chicago_plants();
+
+/// Shape of the ground-truth R(t) trajectory for one plant: a smooth
+/// wave R(t) = exp(level + amp1*sin(2*pi*(t+phase)/period) + trend*t).
+struct RtTruthParams {
+  double level = 0.05;
+  double amp = 0.35;
+  double phase_days = 0.0;
+  double period_days = 140.0;
+  double trend_per_day = -0.002;
+};
+
+/// Per-plant generator configuration.
+struct WastewaterConfig {
+  int days = 120;
+  double initial_incidence = 200.0;   // seed infections/day before day 0
+  double noise_sigma = 0.35;          // lognormal measurement noise (log sd)
+  double shedding_scale = 1.0e9;      // genome copies shed per infection
+  double reporting_fraction = 0.25;   // for the parallel case-count series
+  /// Sampling weekdays (0 = Monday); IWSS-like Mon/Wed/Fri cadence.
+  std::vector<int> sample_weekdays = {0, 2, 4};
+  /// The upstream dataset is (re)published every `publish_period_days`.
+  int publish_period_days = 7;
+};
+
+/// One measured wastewater sample.
+struct WwSample {
+  int day = 0;
+  double concentration = 0.0;  // genome copies per liter (arbitrary units)
+};
+
+/// Generates and serves the synthetic feed for one plant.
+class WastewaterGenerator {
+ public:
+  WastewaterGenerator(Plant plant, RtTruthParams truth,
+                      WastewaterConfig config, std::uint64_t seed);
+
+  const Plant& plant() const { return plant_; }
+  const WastewaterConfig& config() const { return config_; }
+
+  /// Ground-truth R(t), one value per day.
+  const std::vector<double>& true_rt() const { return true_rt_; }
+  /// Realized daily incidence (stochastic renewal process).
+  const std::vector<double>& incidence() const { return incidence_; }
+  /// Noiseless daily concentration (for diagnostics).
+  const std::vector<double>& latent_concentration() const {
+    return latent_conc_;
+  }
+  /// All measured samples over the horizon.
+  const std::vector<WwSample>& samples() const { return samples_; }
+  /// Reported daily case counts (under-reported incidence, for the Cori
+  /// baseline).
+  const std::vector<double>& reported_cases() const { return cases_; }
+
+  /// Samples with day <= `day`.
+  std::vector<WwSample> samples_through(int day) const;
+
+  /// The upstream feed as published at virtual day `day`: a CSV with all
+  /// samples up to the last publication date at-or-before `day`
+  /// (columns: day, plant, concentration_gc_per_l). Weekly cadence means
+  /// the content — and its checksum — only changes on publication days.
+  std::string published_csv(int day) const;
+
+  /// Day of the last publication at-or-before `day` (-1 before first).
+  int last_publication_day(int day) const;
+
+ private:
+  void generate(std::uint64_t seed);
+
+  Plant plant_;
+  RtTruthParams truth_;
+  WastewaterConfig config_;
+  std::vector<double> true_rt_;
+  std::vector<double> incidence_;
+  std::vector<double> latent_conc_;
+  std::vector<double> cases_;
+  std::vector<WwSample> samples_;
+};
+
+/// Truth parameter sets giving the four plants distinct but related
+/// epidemic waves (same period, different phases/levels).
+std::vector<RtTruthParams> chicago_truths();
+
+}  // namespace osprey::epi

@@ -1,0 +1,55 @@
+#include "fabric/auth.hpp"
+
+#include "util/error.hpp"
+
+namespace osprey::fabric {
+
+AuthService::AuthService(std::uint64_t seed) : uuids_(seed) {}
+
+std::string AuthService::issue_token(
+    const std::string& identity,
+    const std::vector<std::string>& token_scopes) {
+  OSPREY_REQUIRE(!identity.empty(), "identity must not be empty");
+  std::string token = "tok-" + uuids_.next();
+  TokenInfo info;
+  info.identity = identity;
+  info.scopes.insert(token_scopes.begin(), token_scopes.end());
+  tokens_.emplace(token, std::move(info));
+  ++issued_;
+  return token;
+}
+
+std::string AuthService::issue_full_token(const std::string& identity) {
+  return issue_token(identity,
+                     {scopes::kStorageRead, scopes::kStorageWrite,
+                      scopes::kTransfer, scopes::kCompute, scopes::kFlows,
+                      scopes::kTimers});
+}
+
+void AuthService::revoke(const std::string& token) {
+  auto it = tokens_.find(token);
+  if (it != tokens_.end()) it->second.revoked = true;
+}
+
+const TokenInfo& AuthService::validate(
+    const std::string& token, const std::string& required_scope) const {
+  ++validations_;
+  auto it = tokens_.find(token);
+  if (it == tokens_.end()) {
+    throw osprey::util::AuthError("unknown token");
+  }
+  if (it->second.revoked) {
+    throw osprey::util::AuthError("token revoked");
+  }
+  if (!required_scope.empty() &&
+      it->second.scopes.count(required_scope) == 0) {
+    throw osprey::util::AuthError("token lacks scope: " + required_scope);
+  }
+  return it->second;
+}
+
+const std::string& AuthService::identity_of(const std::string& token) const {
+  return validate(token, "").identity;
+}
+
+}  // namespace osprey::fabric

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file auth.hpp
+/// Simulated Globus Auth: identities, bearer tokens, and scope checks.
+/// Every fabric service validates the caller's token and required scope,
+/// mirroring the paper's reliance on "the security and robustness of
+/// Globus technologies such as Globus Auth".
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/uuid.hpp"
+
+namespace osprey::fabric {
+
+/// Well-known scopes used by the fabric services.
+namespace scopes {
+inline const char* kStorageRead = "storage:read";
+inline const char* kStorageWrite = "storage:write";
+inline const char* kTransfer = "transfer";
+inline const char* kCompute = "compute";
+inline const char* kFlows = "flows";
+inline const char* kTimers = "timers";
+}  // namespace scopes
+
+struct TokenInfo {
+  std::string identity;
+  std::set<std::string> scopes;
+  bool revoked = false;
+};
+
+/// Issues and validates bearer tokens.
+class AuthService {
+ public:
+  explicit AuthService(std::uint64_t seed = 0xA117);
+
+  /// Issue a token for `identity` carrying `scopes`.
+  std::string issue_token(const std::string& identity,
+                          const std::vector<std::string>& token_scopes);
+
+  /// Issue a token carrying every well-known scope (convenience for
+  /// platform bootstrap).
+  std::string issue_full_token(const std::string& identity);
+
+  void revoke(const std::string& token);
+
+  /// Validate token + scope; throws AuthError on unknown/revoked tokens
+  /// or missing scope. Returns the token's info on success.
+  const TokenInfo& validate(const std::string& token,
+                            const std::string& required_scope) const;
+
+  /// Identity behind a token (throws AuthError if unknown/revoked).
+  const std::string& identity_of(const std::string& token) const;
+
+  std::size_t tokens_issued() const { return issued_; }
+  std::size_t validations() const { return validations_; }
+
+ private:
+  osprey::util::UuidFactory uuids_;
+  std::map<std::string, TokenInfo> tokens_;
+  std::size_t issued_ = 0;
+  mutable std::size_t validations_ = 0;
+};
+
+}  // namespace osprey::fabric

@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file compute.hpp
+/// Simulated Globus Compute (funcX): a federated function-serving
+/// endpoint. Users register functions and execute them remotely with
+/// JSON-like arguments. Two endpoint kinds reproduce the paper's setup:
+///
+///  - kLoginNode: a shared login node with a small number of slots;
+///    cheap tasks (the paper's data transformation and aggregation, each
+///    "running in under a minute") execute here directly.
+///  - kBatch: each execution submits a one-node job to the PBS-style
+///    BatchScheduler (the paper's GlobusComputeEngine on Bebop), so
+///    expensive tasks pay queue wait before running.
+///
+/// Functions execute real C++ inline; their *virtual* duration is the
+/// registered cost (possibly input-dependent).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fabric/auth.hpp"
+#include "fabric/event_loop.hpp"
+#include "fabric/scheduler.hpp"
+#include "util/uuid.hpp"
+#include "util/value.hpp"
+
+namespace osprey::fabric {
+
+using osprey::util::Value;
+
+/// A registered remote function: Value in, Value out.
+using ComputeFn = std::function<Value(const Value&)>;
+/// Virtual cost model for a function, possibly input-dependent.
+using CostFn = std::function<SimTime(const Value&)>;
+
+using ComputeTaskId = std::uint64_t;
+
+enum class ComputeTaskStatus { kPending, kRunning, kSucceeded, kFailed };
+
+struct ComputeTaskRecord {
+  ComputeTaskId id = 0;
+  std::string function_name;
+  std::string endpoint;
+  SimTime submitted = 0;
+  SimTime started = -1;
+  SimTime completed = -1;
+  ComputeTaskStatus status = ComputeTaskStatus::kPending;
+  std::string error;
+};
+
+enum class EndpointKind { kLoginNode, kBatch };
+
+/// A Globus-Compute-like endpoint bound to either login-node slots or a
+/// batch scheduler.
+class ComputeEndpoint {
+ public:
+  /// Login-node endpoint with `slots` concurrent execution slots.
+  ComputeEndpoint(std::string name, EventLoop& loop, AuthService& auth,
+                  int slots);
+  /// Batch endpoint: executions become one-node jobs on `scheduler`.
+  ComputeEndpoint(std::string name, EventLoop& loop, AuthService& auth,
+                  BatchScheduler& scheduler);
+
+  const std::string& name() const { return name_; }
+  EndpointKind kind() const { return kind_; }
+
+  /// Walltime requested for each batch job (batch endpoints only).
+  /// Tasks whose declared cost exceeds it are killed by the scheduler
+  /// and reported failed ("walltime exceeded").
+  void set_batch_walltime(SimTime walltime);
+  SimTime batch_walltime() const { return batch_walltime_; }
+
+  /// Register a function with a fixed virtual cost.
+  std::string register_function(const std::string& name, ComputeFn fn,
+                                SimTime cost);
+  /// Register a function with an input-dependent virtual cost.
+  std::string register_function(const std::string& name, ComputeFn fn,
+                                CostFn cost);
+  bool has_function(const std::string& function_id) const;
+
+  using Callback =
+      std::function<void(const Value& result, const ComputeTaskRecord&)>;
+
+  /// Execute asynchronously; `on_done` fires in virtual time once the
+  /// task has run (or failed — result is null and record.error set).
+  ComputeTaskId execute(const std::string& function_id, Value args,
+                        const std::string& token, Callback on_done);
+
+  const ComputeTaskRecord& task(ComputeTaskId id) const;
+  const std::vector<ComputeTaskRecord>& tasks() const { return records_; }
+  std::size_t completed_count() const { return completed_; }
+
+ private:
+  struct Registered {
+    std::string name;
+    ComputeFn fn;
+    CostFn cost;
+  };
+
+  struct PendingTask {
+    ComputeTaskId id;
+    const Registered* fn;
+    Value args;
+    Callback on_done;
+  };
+
+  void run_on_login_node(PendingTask task);
+  void run_via_scheduler(PendingTask task);
+  void drain_login_queue();
+  /// Executes the function body, fills the record, schedules the callback
+  /// `duration` later. When `limit >= 0` and the declared cost exceeds
+  /// it, the body is NOT run: the task fails at the limit (walltime
+  /// kill). Returns the virtual duration the resources are occupied.
+  SimTime execute_body(PendingTask& task, SimTime limit = -1);
+
+  std::string name_;
+  EventLoop& loop_;
+  AuthService& auth_;
+  EndpointKind kind_;
+  int slots_ = 1;
+  int busy_slots_ = 0;
+  BatchScheduler* scheduler_ = nullptr;
+  SimTime batch_walltime_ = 4 * osprey::util::kHour;
+  osprey::util::UuidFactory uuids_;
+  std::map<std::string, Registered> functions_;  // id -> registration
+  std::vector<ComputeTaskRecord> records_;
+  std::deque<PendingTask> login_queue_;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace osprey::fabric

@@ -1,0 +1,83 @@
+#include "fabric/flows.hpp"
+
+#include <memory>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace osprey::fabric {
+
+FlowsService::FlowsService(EventLoop& loop, AuthService& auth)
+    : loop_(loop), auth_(auth) {}
+
+FlowRunId FlowsService::run(const FlowDefinition& flow,
+                            const std::string& token, RunCallback on_done,
+                            osprey::util::Value initial_state) {
+  auth_.validate(token, scopes::kFlows);
+  OSPREY_REQUIRE(!flow.steps.empty(), "flow has no steps");
+  FlowRunId id = records_.size();
+  FlowRunRecord rec;
+  rec.id = id;
+  rec.flow_name = flow.name;
+  rec.started = loop_.now();
+  records_.push_back(rec);
+
+  auto active = std::make_shared<ActiveRun>();
+  active->flow = flow;
+  active->context.run_id = id;
+  active->context.state = std::move(initial_state);
+  active->on_done = std::move(on_done);
+
+  loop_.schedule_after(0, [this, active] { advance(active); });
+  return id;
+}
+
+void FlowsService::advance(std::shared_ptr<ActiveRun> run) {
+  FlowRunRecord& rec = records_[run->context.run_id];
+  if (run->next_step >= run->flow.steps.size()) {
+    finish(run, FlowRunStatus::kSucceeded);
+    return;
+  }
+  std::size_t step_index = run->next_step++;
+  const FlowStep& step = run->flow.steps[step_index];
+  rec.steps.push_back(StepRecord{step.name, loop_.now(), -1, false, ""});
+  OSPREY_LOG_DEBUG("flows", rec.flow_name << " step '" << step.name << "'");
+
+  // The completion continuation may fire later in virtual time.
+  auto done = [this, run, step_index](bool ok, const std::string& error) {
+    FlowRunRecord& r = records_[run->context.run_id];
+    StepRecord& sr = r.steps[step_index];
+    sr.ended = loop_.now();
+    sr.ok = ok;
+    sr.error = error;
+    if (!ok) {
+      OSPREY_LOG_WARN("flows", r.flow_name << " step '" << sr.name
+                                           << "' failed: " << error);
+      finish(run, FlowRunStatus::kFailed);
+      return;
+    }
+    advance(run);
+  };
+
+  try {
+    step.fn(run->context, done);
+  } catch (const std::exception& e) {
+    done(false, e.what());
+  }
+}
+
+void FlowsService::finish(std::shared_ptr<ActiveRun> run,
+                          FlowRunStatus status) {
+  FlowRunRecord& rec = records_[run->context.run_id];
+  rec.status = status;
+  rec.ended = loop_.now();
+  if (status == FlowRunStatus::kSucceeded) ++succeeded_;
+  if (run->on_done) run->on_done(rec, run->context.state);
+}
+
+const FlowRunRecord& FlowsService::record(FlowRunId id) const {
+  OSPREY_REQUIRE(id < records_.size(), "unknown flow run id");
+  return records_[id];
+}
+
+}  // namespace osprey::fabric

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file flows.hpp
+/// Simulated Globus Flows: named sequences of asynchronous steps with
+/// per-step provenance. AERO wraps every user function in a flow of
+/// stage-in → execute → stage-out → metadata-update steps; this service
+/// runs those sequences and records what happened.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/auth.hpp"
+#include "fabric/event_loop.hpp"
+#include "util/value.hpp"
+
+namespace osprey::fabric {
+
+using FlowRunId = std::uint64_t;
+
+enum class FlowRunStatus { kRunning, kSucceeded, kFailed };
+
+struct StepRecord {
+  std::string name;
+  SimTime started = -1;
+  SimTime ended = -1;
+  bool ok = false;
+  std::string error;
+};
+
+struct FlowRunRecord {
+  FlowRunId id = 0;
+  std::string flow_name;
+  SimTime started = 0;
+  SimTime ended = -1;
+  FlowRunStatus status = FlowRunStatus::kRunning;
+  std::vector<StepRecord> steps;
+};
+
+/// Mutable state shared by the steps of one flow run.
+struct FlowRunContext {
+  FlowRunId run_id = 0;
+  /// Scratch bag steps use to hand values downstream.
+  osprey::util::Value state;
+};
+
+/// A step completes by calling `done(ok, error)` — possibly later in
+/// virtual time (after a transfer or compute task finishes).
+using StepDone = std::function<void(bool ok, const std::string& error)>;
+using StepFn = std::function<void(FlowRunContext&, StepDone)>;
+
+struct FlowStep {
+  std::string name;
+  StepFn fn;
+};
+
+/// Definition of a flow: an ordered list of named steps.
+struct FlowDefinition {
+  std::string name;
+  std::vector<FlowStep> steps;
+};
+
+/// Runs flow definitions and keeps their run records.
+class FlowsService {
+ public:
+  FlowsService(EventLoop& loop, AuthService& auth);
+
+  using RunCallback = std::function<void(const FlowRunRecord&,
+                                         const osprey::util::Value& state)>;
+
+  /// Start a run; steps execute in order, each beginning when its
+  /// predecessor's `done` fires. A failed step aborts the run.
+  FlowRunId run(const FlowDefinition& flow, const std::string& token,
+                RunCallback on_done = nullptr,
+                osprey::util::Value initial_state = {});
+
+  const FlowRunRecord& record(FlowRunId id) const;
+  const std::vector<FlowRunRecord>& records() const { return records_; }
+  std::size_t runs_started() const { return records_.size(); }
+  std::size_t runs_succeeded() const { return succeeded_; }
+
+ private:
+  struct ActiveRun {
+    FlowDefinition flow;
+    FlowRunContext context;
+    RunCallback on_done;
+    std::size_t next_step = 0;
+  };
+
+  void advance(std::shared_ptr<ActiveRun> run);
+  void finish(std::shared_ptr<ActiveRun> run, FlowRunStatus status);
+
+  EventLoop& loop_;
+  AuthService& auth_;
+  std::vector<FlowRunRecord> records_;
+  std::size_t succeeded_ = 0;
+};
+
+}  // namespace osprey::fabric

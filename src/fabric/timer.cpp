@@ -1,0 +1,46 @@
+#include "fabric/timer.hpp"
+
+#include "util/error.hpp"
+
+namespace osprey::fabric {
+
+TimerService::TimerService(EventLoop& loop, AuthService& auth)
+    : loop_(loop), auth_(auth) {}
+
+TimerId TimerService::every(SimTime period, SimTime first_at,
+                            std::function<void()> fn,
+                            const std::string& token,
+                            const std::string& name) {
+  auth_.validate(token, scopes::kTimers);
+  OSPREY_REQUIRE(period > 0, "timer period must be positive");
+  OSPREY_REQUIRE(static_cast<bool>(fn), "null timer callback");
+  OSPREY_REQUIRE(first_at >= loop_.now(), "first firing is in the past");
+  TimerId id = next_id_++;
+  timers_.emplace(id, Timer{name, period, std::move(fn), 0});
+  arm(id, first_at);
+  return id;
+}
+
+void TimerService::arm(TimerId id, SimTime at) {
+  Timer& timer = timers_.at(id);
+  timer.pending_event = loop_.schedule_at(at, [this, id, at] {
+    auto it = timers_.find(id);
+    if (it == timers_.end()) return;  // cancelled meanwhile
+    ++fires_;
+    // Re-arm before invoking so the callback may cancel the timer.
+    SimTime next = at + it->second.period;
+    std::function<void()> fn = it->second.fn;  // copy: cancel() may erase
+    arm(id, next);
+    fn();
+  });
+}
+
+bool TimerService::cancel(TimerId id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return false;
+  loop_.cancel(it->second.pending_event);
+  timers_.erase(it);
+  return true;
+}
+
+}  // namespace osprey::fabric

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file timer.hpp
+/// Simulated Globus Timers: periodic actions on the research fabric.
+/// AERO's ingestion flows poll their upstream data source "at a user
+/// specifiable frequency, in this case daily" through this service.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "fabric/auth.hpp"
+#include "fabric/event_loop.hpp"
+
+namespace osprey::fabric {
+
+using TimerId = std::uint64_t;
+
+/// Periodic callback scheduling with cancellation.
+class TimerService {
+ public:
+  TimerService(EventLoop& loop, AuthService& auth);
+
+  /// Fire `fn` first at `first_at` (absolute) and then every `period`.
+  TimerId every(SimTime period, SimTime first_at, std::function<void()> fn,
+                const std::string& token, const std::string& name = "");
+
+  /// Cancel; returns false for unknown/finished timers.
+  bool cancel(TimerId id);
+
+  std::size_t active_count() const { return timers_.size(); }
+  std::uint64_t total_fires() const { return fires_; }
+
+ private:
+  struct Timer {
+    std::string name;
+    SimTime period;
+    std::function<void()> fn;
+    EventId pending_event;
+  };
+
+  void arm(TimerId id, SimTime at);
+
+  EventLoop& loop_;
+  AuthService& auth_;
+  std::map<TimerId, Timer> timers_;
+  TimerId next_id_ = 0;
+  std::uint64_t fires_ = 0;
+};
+
+}  // namespace osprey::fabric

@@ -1,0 +1,140 @@
+#include "fabric/transfer.hpp"
+
+#include <cmath>
+
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace osprey::fabric {
+
+TransferService::TransferService(EventLoop& loop, AuthService& auth,
+                                 SimTime latency,
+                                 double bandwidth_bytes_per_s)
+    : loop_(loop),
+      auth_(auth),
+      latency_(latency),
+      bandwidth_(bandwidth_bytes_per_s) {
+  OSPREY_REQUIRE(bandwidth_ > 0.0, "bandwidth must be positive");
+}
+
+void TransferService::inject_failures(double rate, std::uint64_t seed) {
+  OSPREY_REQUIRE(rate >= 0.0 && rate <= 1.0, "failure rate in [0,1]");
+  failure_rate_ = rate;
+  failure_state_ = seed | 1;
+}
+
+bool TransferService::should_fail_next() {
+  if (failure_rate_ <= 0.0) return false;
+  // splitmix64 step on the private counter.
+  std::uint64_t z = (failure_state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  if (u < failure_rate_) {
+    ++injected_;
+    return true;
+  }
+  return false;
+}
+
+SimTime TransferService::duration_for(std::uint64_t bytes) const {
+  double seconds = static_cast<double>(bytes) / bandwidth_;
+  return latency_ + static_cast<SimTime>(
+                        std::llround(seconds * osprey::util::kSecond));
+}
+
+TransferId TransferService::transfer(
+    StorageEndpoint& src, const std::string& src_collection,
+    const std::string& src_path, StorageEndpoint& dst,
+    const std::string& dst_collection, const std::string& dst_path,
+    const std::string& token, Callback on_done) {
+  auth_.validate(token, scopes::kTransfer);
+
+  TransferId id = records_.size();
+  TransferRecord rec;
+  rec.id = id;
+  rec.src_endpoint = src.name();
+  rec.src_collection = src_collection;
+  rec.src_path = src_path;
+  rec.dst_endpoint = dst.name();
+  rec.dst_collection = dst_collection;
+  rec.dst_path = dst_path;
+  rec.submitted = loop_.now();
+
+  // Snapshot the source now; the copy materializes at completion time.
+  std::string bytes;
+  std::string checksum;
+  std::string error;
+  bool read_ok = true;
+  try {
+    const StoredObject& obj = src.get(src_collection, src_path, token);
+    bytes = obj.bytes;
+    checksum = obj.checksum;
+  } catch (const osprey::util::Error& e) {
+    read_ok = false;
+    error = e.what();
+  }
+
+  rec.bytes = bytes.size();
+  rec.checksum = checksum;
+  records_.push_back(rec);
+
+  if (!read_ok) {
+    records_[id].status = TransferStatus::kFailed;
+    records_[id].error = error;
+    records_[id].completed = loop_.now();
+    if (on_done) {
+      loop_.schedule_after(0, [this, id, on_done] { on_done(records_[id]); });
+    }
+    return id;
+  }
+
+  if (should_fail_next()) {
+    // Injected network failure: surfaces after the setup latency, like a
+    // dropped connection.
+    loop_.schedule_after(latency_, [this, id, on_done] {
+      TransferRecord& r = records_[id];
+      r.status = TransferStatus::kFailed;
+      r.error = "injected network failure";
+      r.completed = loop_.now();
+      if (on_done) on_done(r);
+    });
+    return id;
+  }
+
+  SimTime duration = duration_for(rec.bytes);
+  loop_.schedule_after(
+      duration, [this, id, &dst, dst_collection, dst_path, token,
+                 bytes = std::move(bytes), checksum, on_done] {
+        TransferRecord& r = records_[id];
+        try {
+          std::string written = dst.put(dst_collection, dst_path, bytes, token);
+          if (written != checksum) {
+            // Unreachable by construction, but integrity is checked the
+            // way real Globus transfers verify checksums.
+            throw osprey::util::IntegrityError("checksum mismatch after copy");
+          }
+          r.status = TransferStatus::kSucceeded;
+          ++completed_;
+        } catch (const osprey::util::Error& e) {
+          r.status = TransferStatus::kFailed;
+          r.error = e.what();
+        }
+        r.completed = loop_.now();
+        OSPREY_LOG_DEBUG("transfer",
+                         r.src_endpoint << "/" << r.src_path << " -> "
+                                        << r.dst_endpoint << "/" << r.dst_path
+                                        << " (" << r.bytes << " B)");
+        if (on_done) on_done(r);
+      });
+  return id;
+}
+
+const TransferRecord& TransferService::record(TransferId id) const {
+  OSPREY_REQUIRE(id < records_.size(), "unknown transfer id");
+  return records_[id];
+}
+
+}  // namespace osprey::fabric

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file transfer.hpp
+/// Simulated Globus Transfer: asynchronous endpoint-to-endpoint copies
+/// with a latency + bandwidth cost model and checksum verification.
+/// AERO stages inputs/outputs through this service; the AERO server
+/// itself never touches payload bytes.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fabric/auth.hpp"
+#include "fabric/event_loop.hpp"
+#include "fabric/storage.hpp"
+
+namespace osprey::fabric {
+
+using TransferId = std::uint64_t;
+
+enum class TransferStatus { kInFlight, kSucceeded, kFailed };
+
+struct TransferRecord {
+  TransferId id = 0;
+  std::string src_endpoint, src_collection, src_path;
+  std::string dst_endpoint, dst_collection, dst_path;
+  std::uint64_t bytes = 0;
+  std::string checksum;
+  SimTime submitted = 0;
+  SimTime completed = 0;
+  TransferStatus status = TransferStatus::kInFlight;
+  std::string error;
+};
+
+/// Cost model and async execution of copies between StorageEndpoints.
+class TransferService {
+ public:
+  /// `latency` is a fixed per-transfer setup cost; `bandwidth` is in
+  /// bytes per virtual second.
+  TransferService(EventLoop& loop, AuthService& auth,
+                  SimTime latency = 2 * osprey::util::kSecond,
+                  double bandwidth_bytes_per_s = 100.0e6);
+
+  /// Failure injection: each subsequent transfer independently fails
+  /// with probability `rate` (after its latency). Deterministic per
+  /// `seed`. Used to exercise the orchestration layer's retry paths.
+  void inject_failures(double rate, std::uint64_t seed);
+  std::size_t injected_failures() const { return injected_; }
+
+  using Callback = std::function<void(const TransferRecord&)>;
+
+  /// Start an async copy; `on_done` fires (in virtual time) when the
+  /// write at the destination has completed and its checksum verified.
+  /// The source is read at submission time (consistent snapshot).
+  TransferId transfer(StorageEndpoint& src, const std::string& src_collection,
+                      const std::string& src_path, StorageEndpoint& dst,
+                      const std::string& dst_collection,
+                      const std::string& dst_path, const std::string& token,
+                      Callback on_done = nullptr);
+
+  const TransferRecord& record(TransferId id) const;
+  const std::vector<TransferRecord>& records() const { return records_; }
+
+  /// Virtual duration a payload of `bytes` takes under the cost model.
+  SimTime duration_for(std::uint64_t bytes) const;
+
+  std::size_t completed_count() const { return completed_; }
+
+ private:
+  EventLoop& loop_;
+  AuthService& auth_;
+  SimTime latency_;
+  double bandwidth_;
+  std::vector<TransferRecord> records_;
+  std::size_t completed_ = 0;
+  // Failure injection state (simple xorshift-free counter hash keeps the
+  // fabric library independent of num/).
+  double failure_rate_ = 0.0;
+  std::uint64_t failure_state_ = 0;
+  std::size_t injected_ = 0;
+
+  bool should_fail_next();
+};
+
+}  // namespace osprey::fabric

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file gp.hpp
+/// Gaussian-process regression surrogate with maximum-likelihood
+/// hyperparameter estimation — the from-scratch stand-in for the hetGP
+/// R package the paper's MUSIC workflow uses. The nugget is estimated
+/// alongside the lengthscales, which is the (homoskedastic slice of the)
+/// heteroskedastic-noise capability MUSIC relies on for stochastic
+/// simulators.
+///
+/// Inputs are expected in the unit cube [0,1]^d (MUSIC normalizes Table-1
+/// parameter boxes before fitting); outputs are standardized internally.
+
+#include <cstdint>
+#include <optional>
+
+#include "gp/kernel.hpp"
+#include "num/cholesky.hpp"
+#include "num/rng.hpp"
+
+namespace osprey::gp {
+
+struct GpConfig {
+  double jitter = 1e-10;          // numerical floor added to the diagonal
+  std::size_t mle_restarts = 2;   // extra Nelder–Mead starts
+  std::size_t mle_max_iterations = 200;
+  double min_lengthscale = 1e-3;
+  double max_lengthscale = 1e2;
+  double min_nugget = 1e-8;
+  double max_nugget = 1.0;        // relative to unit output variance
+  std::uint64_t seed = 7;         // restarts' perturbation stream
+};
+
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;  // predictive variance incl. nugget floor 0
+};
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(GpConfig config = {});
+
+  /// Fit hyperparameters by MLE and condition on (x, y).
+  void fit(const Matrix& x, const Vector& y);
+
+  /// Condition on new data, keeping the current hyperparameters (cheap
+  /// path for active-learning loops between re-optimizations).
+  void update_data(const Matrix& x, const Vector& y);
+
+  /// Append one observation, keeping hyperparameters.
+  void add_point(const Vector& x, double y);
+
+  /// Re-run the hyperparameter optimization on the current data.
+  void reoptimize();
+
+  bool fitted() const { return chol_.has_value(); }
+  std::size_t n() const { return x_.rows(); }
+  std::size_t dim() const { return x_.cols(); }
+
+  GpPrediction predict(const Vector& xstar) const;
+  /// Mean-only batch prediction (O(n·d) per point; used by the
+  /// surrogate-based Sobol estimator where variance is not needed).
+  Vector predict_mean(const Matrix& xstar) const;
+
+  /// Log marginal likelihood of the current fit (standardized scale).
+  double log_marginal_likelihood() const;
+
+  const ArdSqExpKernel& kernel() const { return kernel_; }
+  double nugget() const { return nugget_; }
+
+  /// The training response closest (in the kernel metric) to x — the
+  /// y(x_nn) term of the EIGF acquisition.
+  double nearest_response(const Vector& xstar) const;
+
+  /// Leave-one-out cross-validation diagnostics, via the closed form
+  /// mu_{-i} = y_i - [K^{-1} y]_i / [K^{-1}]_{ii} (no n refits). The
+  /// standard surrogate-quality check before trusting GSA estimates.
+  struct LooDiagnostics {
+    double rmse = 0.0;          // raw-scale LOO prediction error
+    double coverage95 = 0.0;    // fraction of y_i inside the 95% LOO band
+    std::vector<double> residuals;  // raw-scale LOO residuals
+  };
+  LooDiagnostics leave_one_out() const;
+
+ private:
+  /// NLML of hyperparameters packed as log values.
+  double nlml(const Vector& log_params) const;
+  void condition();  // rebuild Cholesky and alpha for current hypers/data
+
+  GpConfig config_;
+  Matrix x_;
+  Vector y_;           // raw responses
+  Vector y_std_;       // standardized responses
+  double y_mean_ = 0.0;
+  double y_sd_ = 1.0;
+  ArdSqExpKernel kernel_;
+  double nugget_ = 1e-6;
+  std::optional<osprey::num::Cholesky> chol_;
+  Vector alpha_;       // K^{-1} y_std
+  double lml_ = 0.0;
+};
+
+}  // namespace osprey::gp

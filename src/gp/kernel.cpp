@@ -1,0 +1,53 @@
+#include "gp/kernel.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace osprey::gp {
+
+double ArdSqExpKernel::operator()(const Vector& a, const Vector& b) const {
+  OSPREY_REQUIRE(a.size() == lengthscales.size() && b.size() == a.size(),
+                 "kernel dimension mismatch");
+  double q = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    double d = (a[j] - b[j]) / lengthscales[j];
+    q += d * d;
+  }
+  return variance * std::exp(-0.5 * q);
+}
+
+Matrix ArdSqExpKernel::covariance(const Matrix& x) const {
+  const std::size_t n = x.rows();
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = variance;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double q = 0.0;
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        double d = (x(i, c) - x(j, c)) / lengthscales[c];
+        q += d * d;
+      }
+      double v = variance * std::exp(-0.5 * q);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Vector ArdSqExpKernel::cross(const Matrix& x, const Vector& xstar) const {
+  OSPREY_REQUIRE(xstar.size() == x.cols(), "kernel dimension mismatch");
+  Vector out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double q = 0.0;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      double d = (x(i, c) - xstar[c]) / lengthscales[c];
+      q += d * d;
+    }
+    out[i] = variance * std::exp(-0.5 * q);
+  }
+  return out;
+}
+
+}  // namespace osprey::gp

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file kernel.hpp
+/// Covariance kernels for the Gaussian-process surrogate (the hetGP role
+/// in the paper's MUSIC-GSA stack).
+
+#include "num/vecmat.hpp"
+
+namespace osprey::gp {
+
+using osprey::num::Matrix;
+using osprey::num::Vector;
+
+/// Anisotropic (ARD) squared-exponential kernel:
+///   k(x, x') = variance * exp(-0.5 * sum_j ((x_j - x'_j)/l_j)^2)
+struct ArdSqExpKernel {
+  Vector lengthscales;   // one per input dimension
+  double variance = 1.0;
+
+  double operator()(const Vector& a, const Vector& b) const;
+
+  /// Full covariance matrix K(X, X).
+  Matrix covariance(const Matrix& x) const;
+  /// Cross-covariance vector k(X, x*).
+  Vector cross(const Matrix& x, const Vector& xstar) const;
+};
+
+}  // namespace osprey::gp

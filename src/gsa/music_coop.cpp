@@ -1,0 +1,91 @@
+#include "gsa/music_coop.hpp"
+
+#include "util/error.hpp"
+
+namespace osprey::gsa {
+
+using osprey::emews::PollResult;
+using osprey::util::Value;
+using osprey::util::ValueObject;
+
+MusicCoop::MusicCoop(std::string name, osprey::emews::TaskQueue queue,
+                     MusicConfig config, std::uint64_t replicate)
+    : name_(std::move(name)),
+      queue_(std::move(queue)),
+      engine_(std::move(config)),
+      replicate_(replicate) {}
+
+void MusicCoop::submit_point(const Vector& x_box) {
+  ValueObject payload;
+  payload["x"] = Value::from_doubles(x_box);
+  payload["replicate"] = Value(static_cast<std::int64_t>(replicate_));
+  Pending p;
+  p.x = x_box;
+  p.future = queue_.submit(Value(std::move(payload)));
+  pending_.push_back(std::move(p));
+}
+
+void MusicCoop::start() {
+  Matrix design = engine_.initial_design_box();
+  for (std::size_t i = 0; i < design.rows(); ++i) {
+    submit_point(design.row(i));
+  }
+}
+
+bool MusicCoop::all_collected() const {
+  for (const Pending& p : pending_) {
+    if (!p.collected) return false;
+  }
+  return true;
+}
+
+void MusicCoop::advance_engine() {
+  // Ingest in SUBMISSION order (not completion order) so the GP data —
+  // and therefore the whole trajectory — is independent of worker-pool
+  // timing: the interleaved run is bit-reproducible.
+  for (const Pending& p : pending_) {
+    engine_.ingest(p.x, p.y);
+  }
+  pending_.clear();
+  cursor_ = 0;
+  std::optional<Vector> next = engine_.advance();
+  if (next.has_value()) {
+    submit_point(*next);
+  } else {
+    finished_ = true;
+  }
+}
+
+PollResult MusicCoop::poll() {
+  if (finished_) return PollResult::kFinished;
+  OSPREY_CHECK(!pending_.empty(), "coop instance has nothing outstanding");
+
+  // The paper's contract: check the completion of a single Future, then
+  // cede control. Find the next uncollected future round-robin.
+  std::size_t n = pending_.size();
+  std::size_t checked_index = n;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t i = (cursor_ + k) % n;
+    if (!pending_[i].collected) {
+      checked_index = i;
+      break;
+    }
+  }
+  OSPREY_CHECK(checked_index < n, "no uncollected future outstanding");
+  cursor_ = (checked_index + 1) % n;
+
+  Pending& p = pending_[checked_index];
+  if (!p.future.is_done()) return PollResult::kBlocked;
+
+  Value result = p.future.get();  // throws if the task failed
+  p.y = result.at("y").as_double();
+  p.collected = true;
+
+  if (all_collected()) {
+    advance_engine();
+    if (finished_) return PollResult::kFinished;
+  }
+  return PollResult::kProgress;
+}
+
+}  // namespace osprey::gsa

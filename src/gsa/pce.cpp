@@ -1,0 +1,83 @@
+#include "gsa/pce.hpp"
+
+#include "num/cholesky.hpp"
+#include "num/rng.hpp"
+#include "util/error.hpp"
+
+namespace osprey::gsa {
+
+PceModel::PceModel(const Matrix& u, const Vector& y, const PceConfig& config)
+    : indices_(osprey::num::total_degree_multi_indices(u.cols(),
+                                                       config.degree)),
+      dim_(u.cols()) {
+  OSPREY_REQUIRE(u.rows() == y.size(), "X/y size mismatch");
+  OSPREY_REQUIRE(u.rows() >= 2, "PCE needs at least 2 points");
+
+  // Design matrix of basis evaluations.
+  Matrix psi(u.rows(), indices_.size());
+  for (std::size_t i = 0; i < u.rows(); ++i) {
+    Vector row = osprey::num::evaluate_pce_basis(indices_, u.row(i));
+    psi.set_row(i, row);
+  }
+  coefficients_ = osprey::num::ridge_solve(psi, y, config.ridge_lambda);
+}
+
+double PceModel::predict(const Vector& u) const {
+  Vector basis = osprey::num::evaluate_pce_basis(indices_, u);
+  return osprey::num::dot(basis, coefficients_);
+}
+
+SobolIndices PceModel::sobol() const {
+  SobolIndices out;
+  out.first_order.assign(dim_, 0.0);
+  out.total_order.assign(dim_, 0.0);
+
+  double total_var = 0.0;
+  for (std::size_t a = 1; a < indices_.size(); ++a) {
+    total_var += coefficients_[a] * coefficients_[a];
+  }
+  out.output_variance = total_var;
+  if (total_var <= 0.0) return out;
+
+  for (std::size_t a = 1; a < indices_.size(); ++a) {
+    double c2 = coefficients_[a] * coefficients_[a];
+    // Which dimensions participate in this term?
+    int active = -1;
+    bool single = true;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      if (indices_[a][j] == 0) continue;
+      out.total_order[j] += c2;
+      if (active < 0) {
+        active = static_cast<int>(j);
+      } else {
+        single = false;
+      }
+    }
+    if (single && active >= 0) {
+      out.first_order[static_cast<std::size_t>(active)] += c2;
+    }
+  }
+  for (std::size_t j = 0; j < dim_; ++j) {
+    out.first_order[j] /= total_var;
+    out.total_order[j] /= total_var;
+  }
+  return out;
+}
+
+SobolIndices pce_gsa(const ModelFn& model,
+                     const std::vector<ParamRange>& ranges, std::size_t n,
+                     std::uint64_t seed, const PceConfig& config) {
+  const std::size_t d = ranges.size();
+  osprey::num::RngStream rng(seed);
+  Matrix u = osprey::num::latin_hypercube(n, d, rng);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = model(osprey::num::scale_to_box(u.row(i), ranges));
+  }
+  PceModel pce(u, y, config);
+  SobolIndices out = pce.sobol();
+  out.evaluations = n;
+  return out;
+}
+
+}  // namespace osprey::gsa

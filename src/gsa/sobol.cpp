@@ -1,0 +1,85 @@
+#include "gsa/sobol.hpp"
+
+#include <cmath>
+
+#include "num/stats.hpp"
+#include "util/error.hpp"
+
+namespace osprey::gsa {
+
+SobolIndices saltelli_indices(const BatchModelFn& model,
+                              const std::vector<ParamRange>& ranges,
+                              std::size_t n_base) {
+  const std::size_t d = ranges.size();
+  OSPREY_REQUIRE(d >= 1, "need at least one parameter");
+  OSPREY_REQUIRE(n_base >= 8, "n_base too small");
+  OSPREY_REQUIRE(2 * d <= osprey::num::SobolSequence::kMaxDim,
+                 "too many dimensions for the Sobol' sequence table");
+
+  // A and B from one 2d-dimensional low-discrepancy stream.
+  osprey::num::SobolSequence seq(2 * d);
+  Matrix a(n_base, d), b(n_base, d);
+  for (std::size_t i = 0; i < n_base; ++i) {
+    Vector p = seq.next();
+    for (std::size_t j = 0; j < d; ++j) {
+      a(i, j) = ranges[j].lo + (ranges[j].hi - ranges[j].lo) * p[j];
+      b(i, j) = ranges[j].lo + (ranges[j].hi - ranges[j].lo) * p[d + j];
+    }
+  }
+
+  Vector ya = model(a);
+  Vector yb = model(b);
+  OSPREY_CHECK(ya.size() == n_base && yb.size() == n_base,
+               "model returned wrong batch size");
+
+  // Total variance from the pooled A∪B sample.
+  std::vector<double> pooled;
+  pooled.reserve(2 * n_base);
+  pooled.insert(pooled.end(), ya.begin(), ya.end());
+  pooled.insert(pooled.end(), yb.begin(), yb.end());
+  double var_y = osprey::num::variance(pooled);
+
+  SobolIndices out;
+  out.first_order.assign(d, 0.0);
+  out.total_order.assign(d, 0.0);
+  out.output_variance = var_y;
+  out.evaluations = n_base * (d + 2);
+  if (var_y <= 0.0) return out;  // constant model: all indices zero
+
+  Matrix ab = a;
+  for (std::size_t j = 0; j < d; ++j) {
+    // AB_j: A with column j replaced from B.
+    for (std::size_t i = 0; i < n_base; ++i) ab(i, j) = b(i, j);
+    Vector yab = model(ab);
+    double s1_acc = 0.0;
+    double st_acc = 0.0;
+    for (std::size_t i = 0; i < n_base; ++i) {
+      double db = yb[i] - yab[i];
+      double da = ya[i] - yab[i];
+      s1_acc += db * db;
+      st_acc += da * da;
+    }
+    double n = static_cast<double>(n_base);
+    // Jansen estimators.
+    out.first_order[j] = (var_y - s1_acc / (2.0 * n)) / var_y;
+    out.total_order[j] = st_acc / (2.0 * n) / var_y;
+    // Restore column j for the next dimension.
+    for (std::size_t i = 0; i < n_base; ++i) ab(i, j) = a(i, j);
+  }
+  return out;
+}
+
+SobolIndices saltelli_indices(const ModelFn& model,
+                              const std::vector<ParamRange>& ranges,
+                              std::size_t n_base) {
+  BatchModelFn batch = [&model](const Matrix& x) {
+    Vector out(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      out[i] = model(x.row(i));
+    }
+    return out;
+  };
+  return saltelli_indices(batch, ranges, n_base);
+}
+
+}  // namespace osprey::gsa

@@ -1,0 +1,119 @@
+#include "num/cholesky.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace osprey::num {
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols(), 0.0) {
+  OSPREY_REQUIRE(a.rows() == a.cols(), "Cholesky needs a square matrix");
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      throw osprey::util::NumericalError(
+          "Cholesky pivot non-positive at column " + std::to_string(j));
+    }
+    double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      l_(i, j) = s / ljj;
+    }
+  }
+}
+
+Vector Cholesky::solve_lower(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  OSPREY_REQUIRE(b.size() == n, "solve dimension mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  Vector y = solve_lower(b);
+  // Back substitution with L^T.
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    std::size_t i = ii - 1;
+    double s = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l_(k, i) * x[k];
+    x[i] = s / l_(i, i);
+  }
+  return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  OSPREY_REQUIRE(b.rows() == l_.rows(), "solve dimension mismatch");
+  Matrix out(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    Vector x = solve(col);
+    for (std::size_t i = 0; i < b.rows(); ++i) out(i, j) = x[i];
+  }
+  return out;
+}
+
+double Cholesky::log_det() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Cholesky cholesky_with_jitter(const Matrix& a, double initial_jitter,
+                              int max_tries, double* used_jitter) {
+  double jitter = initial_jitter;
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    Matrix aj = a;
+    if (jitter > 0.0) {
+      for (std::size_t i = 0; i < aj.rows(); ++i) aj(i, i) += jitter;
+    }
+    try {
+      Cholesky chol(aj);
+      if (used_jitter != nullptr) *used_jitter = jitter;
+      return chol;
+    } catch (const osprey::util::NumericalError&) {
+      jitter = (jitter == 0.0) ? 1e-10 : jitter * 10.0;
+    }
+  }
+  throw osprey::util::NumericalError(
+      "cholesky_with_jitter: matrix not SPD even with jitter");
+}
+
+Vector ridge_solve(const Matrix& x, const Vector& y, double lambda) {
+  OSPREY_REQUIRE(x.rows() == y.size(), "ridge_solve dimension mismatch");
+  const std::size_t p = x.cols();
+  // Normal equations: (X^T X + lambda I) b = X^T y.
+  Matrix xtx(p, p, 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t a = 0; a < p; ++a) {
+      double xia = x(i, a);
+      if (xia == 0.0) continue;
+      for (std::size_t b = a; b < p; ++b) {
+        xtx(a, b) += xia * x(i, b);
+      }
+    }
+  }
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = 0; b < a; ++b) xtx(a, b) = xtx(b, a);
+    xtx(a, a) += lambda;
+  }
+  Vector xty(p, 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t a = 0; a < p; ++a) xty[a] += x(i, a) * y[i];
+  }
+  Cholesky chol = cholesky_with_jitter(xtx, 0.0, 8);
+  return chol.solve(xty);
+}
+
+}  // namespace osprey::num

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file cholesky.hpp
+/// Cholesky factorization and triangular solves — the linear-algebra core
+/// of the Gaussian-process surrogate and the PCE least-squares fit.
+
+#include "num/vecmat.hpp"
+
+namespace osprey::num {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite
+/// matrix, with solve and log-determinant support.
+class Cholesky {
+ public:
+  /// Factor `a` (must be square SPD). Throws NumericalError when a pivot
+  /// is non-positive.
+  explicit Cholesky(const Matrix& a);
+
+  const Matrix& lower() const { return l_; }
+
+  /// Solve A x = b.
+  Vector solve(const Vector& b) const;
+  /// Solve A X = B column-wise.
+  Matrix solve(const Matrix& b) const;
+  /// Solve L y = b (forward substitution only).
+  Vector solve_lower(const Vector& b) const;
+
+  /// log|A| = 2 * sum log L_ii.
+  double log_det() const;
+
+ private:
+  Matrix l_;
+};
+
+/// Factor `a + jitter*I`, growing jitter (×10) until factorization
+/// succeeds or `max_tries` is exhausted. Returns the factor and the
+/// jitter actually used. This is the standard GP numerical guard.
+Cholesky cholesky_with_jitter(const Matrix& a, double initial_jitter,
+                              int max_tries, double* used_jitter = nullptr);
+
+/// Solve the ridge-regularized least squares problem
+/// min ||X b - y||^2 + lambda ||b||^2 via normal equations + Cholesky.
+Vector ridge_solve(const Matrix& x, const Vector& y, double lambda);
+
+}  // namespace osprey::num

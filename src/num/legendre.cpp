@@ -1,0 +1,75 @@
+#include "num/legendre.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace osprey::num {
+
+double legendre01(unsigned degree, double u) {
+  // Map [0,1] -> [-1,1] and use the three-term recurrence; the
+  // orthonormalization factor on [0,1] is sqrt(2k+1).
+  double x = 2.0 * u - 1.0;
+  double pkm1 = 1.0;  // P_0
+  if (degree == 0) return 1.0;
+  double pk = x;  // P_1
+  for (unsigned k = 1; k < degree; ++k) {
+    double pkp1 = ((2.0 * k + 1.0) * x * pk - k * pkm1) / (k + 1.0);
+    pkm1 = pk;
+    pk = pkp1;
+  }
+  return pk * std::sqrt(2.0 * degree + 1.0);
+}
+
+namespace {
+
+void enumerate_indices(std::size_t d, unsigned remaining,
+                       std::vector<unsigned>& current,
+                       std::vector<std::vector<unsigned>>& out) {
+  if (current.size() == d) {
+    out.push_back(current);
+    return;
+  }
+  for (unsigned k = 0; k <= remaining; ++k) {
+    current.push_back(k);
+    enumerate_indices(d, remaining - k, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<unsigned>> total_degree_multi_indices(
+    std::size_t d, unsigned total_degree) {
+  OSPREY_REQUIRE(d > 0, "multi-index dimension must be positive");
+  std::vector<std::vector<unsigned>> out;
+  // Enumerate grade by grade so output is graded-lexicographic.
+  for (unsigned grade = 0; grade <= total_degree; ++grade) {
+    std::vector<std::vector<unsigned>> grade_out;
+    std::vector<unsigned> current;
+    enumerate_indices(d, grade, current, grade_out);
+    for (auto& idx : grade_out) {
+      unsigned sum = 0;
+      for (unsigned k : idx) sum += k;
+      if (sum == grade) out.push_back(std::move(idx));
+    }
+  }
+  return out;
+}
+
+Vector evaluate_pce_basis(const std::vector<std::vector<unsigned>>& indices,
+                          const Vector& u) {
+  Vector out(indices.size(), 1.0);
+  for (std::size_t a = 0; a < indices.size(); ++a) {
+    OSPREY_REQUIRE(indices[a].size() == u.size(),
+                   "multi-index dimension mismatch");
+    double prod = 1.0;
+    for (std::size_t j = 0; j < u.size(); ++j) {
+      if (indices[a][j] > 0) prod *= legendre01(indices[a][j], u[j]);
+    }
+    out[a] = prod;
+  }
+  return out;
+}
+
+}  // namespace osprey::num

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file legendre.hpp
+/// Orthonormal Legendre polynomials on [0, 1] and total-degree
+/// multi-index sets — the basis of the polynomial-chaos-expansion (PCE)
+/// GSA baseline.
+
+#include <cstddef>
+#include <vector>
+
+#include "num/vecmat.hpp"
+
+namespace osprey::num {
+
+/// P~_k(u): Legendre polynomial shifted to [0,1] and normalized so that
+/// ∫_0^1 P~_j P~_k du = δ_jk (orthonormal w.r.t. the uniform measure).
+double legendre01(unsigned degree, double u);
+
+/// All multi-indices alpha in N^d with |alpha| <= total_degree, in
+/// graded lexicographic order; the first entry is the zero index.
+std::vector<std::vector<unsigned>> total_degree_multi_indices(
+    std::size_t d, unsigned total_degree);
+
+/// Evaluate the tensor-product basis Psi_alpha(u) = prod_j P~_{alpha_j}(u_j)
+/// for every alpha, at a point u in [0,1]^d.
+Vector evaluate_pce_basis(const std::vector<std::vector<unsigned>>& indices,
+                          const Vector& u);
+
+}  // namespace osprey::num

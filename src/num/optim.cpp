@@ -1,0 +1,139 @@
+#include "num/optim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace osprey::num {
+
+OptimResult nelder_mead(const ObjectiveFn& fn, const Vector& x0,
+                        const NelderMeadOptions& options) {
+  const std::size_t d = x0.size();
+  OSPREY_REQUIRE(d > 0, "nelder_mead needs at least one dimension");
+
+  OptimResult result;
+
+  // Build the initial simplex: x0 plus axis-aligned offsets.
+  std::vector<Vector> simplex(d + 1, x0);
+  for (std::size_t i = 0; i < d; ++i) {
+    simplex[i + 1][i] += options.initial_step;
+  }
+  std::vector<double> f(d + 1);
+  for (std::size_t i = 0; i <= d; ++i) {
+    f[i] = fn(simplex[i]);
+    ++result.evaluations;
+  }
+
+  auto order = [&] {
+    std::vector<std::size_t> idx(d + 1);
+    for (std::size_t i = 0; i <= d; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return f[a] < f[b]; });
+    std::vector<Vector> s2(d + 1);
+    std::vector<double> f2(d + 1);
+    for (std::size_t i = 0; i <= d; ++i) {
+      s2[i] = simplex[idx[i]];
+      f2[i] = f[idx[i]];
+    }
+    simplex.swap(s2);
+    f.swap(f2);
+  };
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    order();
+    ++result.iterations;
+
+    // Convergence: f-spread and simplex diameter.
+    double f_spread = std::fabs(f[d] - f[0]);
+    double diameter = 0.0;
+    for (std::size_t i = 1; i <= d; ++i) {
+      double dist = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        double delta = simplex[i][j] - simplex[0][j];
+        dist += delta * delta;
+      }
+      diameter = std::max(diameter, std::sqrt(dist));
+    }
+    if (f_spread < options.f_tolerance && diameter < options.x_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    Vector centroid(d, 0.0);
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j < d; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(d);
+
+    auto blend = [&](double coef) {
+      Vector x(d);
+      for (std::size_t j = 0; j < d; ++j) {
+        x[j] = centroid[j] + coef * (simplex[d][j] - centroid[j]);
+      }
+      return x;
+    };
+
+    Vector xr = blend(-1.0);  // reflection
+    double fr = fn(xr);
+    ++result.evaluations;
+
+    if (fr < f[0]) {
+      Vector xe = blend(-2.0);  // expansion
+      double fe = fn(xe);
+      ++result.evaluations;
+      if (fe < fr) {
+        simplex[d] = std::move(xe);
+        f[d] = fe;
+      } else {
+        simplex[d] = std::move(xr);
+        f[d] = fr;
+      }
+    } else if (fr < f[d - 1]) {
+      simplex[d] = std::move(xr);
+      f[d] = fr;
+    } else {
+      // Contraction (outside when the reflected point improved the worst).
+      bool outside = fr < f[d];
+      Vector xc = blend(outside ? -0.5 : 0.5);
+      double fc = fn(xc);
+      ++result.evaluations;
+      if (fc < std::min(fr, f[d])) {
+        simplex[d] = std::move(xc);
+        f[d] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 1; i <= d; ++i) {
+          for (std::size_t j = 0; j < d; ++j) {
+            simplex[i][j] = simplex[0][j] + 0.5 * (simplex[i][j] - simplex[0][j]);
+          }
+          f[i] = fn(simplex[i]);
+          ++result.evaluations;
+        }
+      }
+    }
+  }
+
+  order();
+  result.x = simplex[0];
+  result.f = f[0];
+  return result;
+}
+
+OptimResult multistart_minimize(const ObjectiveFn& fn, const Vector& x0,
+                                std::size_t n_restarts, double radius,
+                                RngStream& rng,
+                                const NelderMeadOptions& options) {
+  OptimResult best = nelder_mead(fn, x0, options);
+  for (std::size_t r = 0; r < n_restarts; ++r) {
+    Vector xs = x0;
+    for (double& x : xs) x += rng.uniform(-radius, radius);
+    OptimResult cand = nelder_mead(fn, xs, options);
+    cand.evaluations += best.evaluations;
+    if (cand.f < best.f) best = cand;
+  }
+  return best;
+}
+
+}  // namespace osprey::num

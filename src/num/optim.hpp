@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file optim.hpp
+/// Derivative-free optimization (Nelder–Mead) used for GP
+/// hyperparameter maximum-likelihood fits.
+
+#include <functional>
+
+#include "num/rng.hpp"
+#include "num/vecmat.hpp"
+
+namespace osprey::num {
+
+using ObjectiveFn = std::function<double(const Vector&)>;
+
+struct NelderMeadOptions {
+  std::size_t max_iterations = 500;
+  double f_tolerance = 1e-8;    // stop when the simplex f-spread is below
+  double x_tolerance = 1e-8;    // ... or the simplex diameter is below
+  double initial_step = 0.5;    // initial simplex edge length
+};
+
+struct OptimResult {
+  Vector x;
+  double f = 0.0;
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimize `fn` starting from `x0`. Standard Nelder–Mead with
+/// reflection/expansion/contraction/shrink (1, 2, 0.5, 0.5).
+OptimResult nelder_mead(const ObjectiveFn& fn, const Vector& x0,
+                        const NelderMeadOptions& options = {});
+
+/// Multi-start wrapper: runs Nelder–Mead from `x0` plus `n_restarts`
+/// uniform perturbations within `radius`; returns the best result.
+OptimResult multistart_minimize(const ObjectiveFn& fn, const Vector& x0,
+                                std::size_t n_restarts, double radius,
+                                RngStream& rng,
+                                const NelderMeadOptions& options = {});
+
+}  // namespace osprey::num

@@ -1,0 +1,136 @@
+#include "num/sampling.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace osprey::num {
+
+Vector scale_to_box(const Vector& u, const std::vector<ParamRange>& ranges) {
+  OSPREY_REQUIRE(u.size() == ranges.size(), "scale_to_box size mismatch");
+  Vector x(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    x[i] = ranges[i].lo + (ranges[i].hi - ranges[i].lo) * u[i];
+  }
+  return x;
+}
+
+Vector scale_to_unit(const Vector& x, const std::vector<ParamRange>& ranges) {
+  OSPREY_REQUIRE(x.size() == ranges.size(), "scale_to_unit size mismatch");
+  Vector u(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double width = ranges[i].hi - ranges[i].lo;
+    OSPREY_REQUIRE(width > 0.0, "degenerate parameter range");
+    u[i] = (x[i] - ranges[i].lo) / width;
+  }
+  return u;
+}
+
+Matrix latin_hypercube(std::size_t n, std::size_t d, RngStream& rng) {
+  OSPREY_REQUIRE(n > 0 && d > 0, "latin_hypercube needs n, d > 0");
+  Matrix out(n, d);
+  for (std::size_t j = 0; j < d; ++j) {
+    std::vector<std::size_t> perm = rng.permutation(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double stratum = static_cast<double>(perm[i]);
+      out(i, j) = (stratum + rng.uniform()) / static_cast<double>(n);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Primitive polynomial degrees, coefficients and initial direction
+/// numbers for Sobol' dimensions 2..10 (dimension 1 is van der Corput).
+/// Values from the Joe–Kuo "new-joe-kuo-6" table.
+struct SobolDim {
+  unsigned s;                        // polynomial degree
+  unsigned a;                        // polynomial coefficient bits
+  std::vector<std::uint32_t> m;      // initial direction integers
+};
+
+const SobolDim kJoeKuo[] = {
+    {1, 0, {1}},            // dim 2
+    {2, 1, {1, 3}},         // dim 3
+    {3, 1, {1, 3, 1}},      // dim 4
+    {3, 2, {1, 1, 1}},      // dim 5
+    {4, 1, {1, 1, 3, 3}},   // dim 6
+    {4, 4, {1, 3, 5, 13}},  // dim 7
+    {5, 2, {1, 1, 5, 5, 17}},   // dim 8
+    {5, 4, {1, 1, 5, 5, 5}},    // dim 9
+    {5, 7, {1, 1, 7, 11, 19}},  // dim 10
+};
+
+constexpr unsigned kBits = 32;
+
+}  // namespace
+
+SobolSequence::SobolSequence(std::size_t dim) : dim_(dim) {
+  OSPREY_REQUIRE(dim >= 1 && dim <= kMaxDim,
+                 "SobolSequence supports 1..10 dimensions");
+  v_.resize(dim_);
+  x_.assign(dim_, 0);
+  // Dimension 1: van der Corput, v_k = 2^(31-k).
+  v_[0].resize(kBits);
+  for (unsigned k = 0; k < kBits; ++k) {
+    v_[0][k] = 1u << (31 - k);
+  }
+  for (std::size_t j = 1; j < dim_; ++j) {
+    const SobolDim& dj = kJoeKuo[j - 1];
+    std::vector<std::uint32_t>& v = v_[j];
+    v.resize(kBits);
+    for (unsigned k = 0; k < dj.s && k < kBits; ++k) {
+      v[k] = dj.m[k] << (31 - k);
+    }
+    for (unsigned k = dj.s; k < kBits; ++k) {
+      std::uint32_t val = v[k - dj.s] ^ (v[k - dj.s] >> dj.s);
+      for (unsigned i = 1; i < dj.s; ++i) {
+        if ((dj.a >> (dj.s - 1 - i)) & 1u) {
+          val ^= v[k - i];
+        }
+      }
+      v[k] = val;
+    }
+  }
+}
+
+Vector SobolSequence::next() {
+  // Gray-code update: flip the direction of the lowest zero bit of index.
+  std::uint64_t i = index_++;
+  unsigned c = 0;
+  while (i & 1u) {
+    i >>= 1;
+    ++c;
+  }
+  OSPREY_CHECK(c < kBits, "Sobol sequence exhausted");
+  Vector out(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    x_[j] ^= v_[j][c];
+    out[j] = static_cast<double>(x_[j]) * 0x1.0p-32;
+  }
+  return out;
+}
+
+Matrix SobolSequence::generate(std::size_t n) {
+  Matrix out(n, dim_);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector p = next();
+    out.set_row(i, p);
+  }
+  return out;
+}
+
+Matrix scale_design(const Matrix& unit,
+                    const std::vector<ParamRange>& ranges) {
+  OSPREY_REQUIRE(unit.cols() == ranges.size(), "scale_design size mismatch");
+  Matrix out(unit.rows(), unit.cols());
+  for (std::size_t i = 0; i < unit.rows(); ++i) {
+    for (std::size_t j = 0; j < unit.cols(); ++j) {
+      out(i, j) = ranges[j].lo + (ranges[j].hi - ranges[j].lo) * unit(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace osprey::num

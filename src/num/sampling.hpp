@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file sampling.hpp
+/// Experimental-design sampling: Latin hypercube samples (the MUSIC
+/// initial design), Sobol' low-discrepancy sequences (Saltelli reference
+/// estimates), and range scaling between the unit cube and parameter
+/// boxes (Table 1 ranges).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "num/rng.hpp"
+#include "num/vecmat.hpp"
+
+namespace osprey::num {
+
+/// A named parameter interval [lo, hi].
+struct ParamRange {
+  std::string name;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Map u in [0,1]^d to the box defined by `ranges` (row-wise).
+Vector scale_to_box(const Vector& u, const std::vector<ParamRange>& ranges);
+/// Inverse of scale_to_box.
+Vector scale_to_unit(const Vector& x, const std::vector<ParamRange>& ranges);
+
+/// Latin hypercube sample: n points in [0,1]^d, one per stratum per
+/// dimension, with uniform jitter inside strata.
+Matrix latin_hypercube(std::size_t n, std::size_t d, RngStream& rng);
+
+/// Gray-code Sobol' sequence generator for up to 10 dimensions
+/// (Joe–Kuo direction numbers). Skips the all-zeros first point.
+class SobolSequence {
+ public:
+  explicit SobolSequence(std::size_t dim);
+
+  static constexpr std::size_t kMaxDim = 10;
+
+  std::size_t dim() const { return dim_; }
+
+  /// Next point in [0,1)^d.
+  Vector next();
+
+  /// Generate n points as an n×d matrix.
+  Matrix generate(std::size_t n);
+
+ private:
+  std::size_t dim_;
+  std::uint64_t index_ = 0;
+  std::vector<std::vector<std::uint32_t>> v_;  // direction numbers per dim
+  std::vector<std::uint32_t> x_;               // current integer state
+};
+
+/// Scale every row of a unit-cube design into the parameter box.
+Matrix scale_design(const Matrix& unit, const std::vector<ParamRange>& ranges);
+
+}  // namespace osprey::num

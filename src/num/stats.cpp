@@ -1,0 +1,115 @@
+#include "num/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace osprey::num {
+
+double mean(const std::vector<double>& xs) {
+  OSPREY_REQUIRE(!xs.empty(), "mean of empty vector");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double weighted_mean(const std::vector<double>& xs,
+                     const std::vector<double>& ws) {
+  OSPREY_REQUIRE(xs.size() == ws.size(), "weighted_mean size mismatch");
+  OSPREY_REQUIRE(!xs.empty(), "weighted_mean of empty vector");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    num += ws[i] * xs[i];
+    den += ws[i];
+  }
+  OSPREY_REQUIRE(den > 0.0, "weights sum to zero");
+  return num / den;
+}
+
+double quantile(std::vector<double> xs, double q) {
+  OSPREY_REQUIRE(!xs.empty(), "quantile of empty vector");
+  OSPREY_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
+  std::sort(xs.begin(), xs.end());
+  double h = (static_cast<double>(xs.size()) - 1.0) * q;
+  std::size_t lo = static_cast<std::size_t>(std::floor(h));
+  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = h - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double median(const std::vector<double>& xs) { return quantile(xs, 0.5); }
+
+double rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  OSPREY_REQUIRE(a.size() == b.size() && !a.empty(), "rmse size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double mae(const std::vector<double>& a, const std::vector<double>& b) {
+  OSPREY_REQUIRE(a.size() == b.size() && !a.empty(), "mae size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
+  return s / static_cast<double>(a.size());
+}
+
+double correlation(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  OSPREY_REQUIRE(a.size() == b.size() && !a.empty(),
+                 "correlation size mismatch");
+  double ma = mean(a);
+  double mb = mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sab += (a[i] - ma) * (b[i] - mb);
+    saa += (a[i] - ma) * (a[i] - ma);
+    sbb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (saa == 0.0 || sbb == 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  OSPREY_REQUIRE(!xs.empty(), "summarize of empty vector");
+  Summary s;
+  s.n = xs.size();
+  s.mean = mean(xs);
+  s.sd = stddev(xs);
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.q025 = quantile(xs, 0.025);
+  s.median = quantile(xs, 0.5);
+  s.q975 = quantile(xs, 0.975);
+  return s;
+}
+
+void RunningStat::add(double x) {
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace osprey::num

@@ -1,0 +1,82 @@
+#include "num/vecmat.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace osprey::num {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Vector Matrix::row(std::size_t i) const {
+  OSPREY_REQUIRE(i < rows_, "row index out of range");
+  return Vector(data_.begin() + static_cast<std::ptrdiff_t>(i * cols_),
+                data_.begin() + static_cast<std::ptrdiff_t>((i + 1) * cols_));
+}
+
+void Matrix::set_row(std::size_t i, const Vector& v) {
+  OSPREY_REQUIRE(i < rows_, "row index out of range");
+  OSPREY_REQUIRE(v.size() == cols_, "row width mismatch");
+  for (std::size_t j = 0; j < cols_; ++j) (*this)(i, j) = v[j];
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  OSPREY_REQUIRE(a.cols() == b.rows(), "matmul dimension mismatch");
+  Matrix out(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out(j, i) = a(i, j);
+    }
+  }
+  return out;
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  OSPREY_REQUIRE(a.cols() == x.size(), "matvec dimension mismatch");
+  Vector out(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  OSPREY_REQUIRE(a.size() == b.size(), "dot dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+Vector axpy(const Vector& a, double s, const Vector& b) {
+  OSPREY_REQUIRE(a.size() == b.size(), "axpy dimension mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+}  // namespace osprey::num

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file vecmat.hpp
+/// Dense row-major matrix and vector helpers sized for surrogate-model
+/// work (hundreds of rows). No BLAS dependency by design.
+
+#include <cstddef>
+#include <vector>
+
+namespace osprey::num {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  /// Raw storage (row-major).
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Copy of row i as a Vector.
+  Vector row(std::size_t i) const;
+  void set_row(std::size_t i, const Vector& v);
+
+  /// Identity matrix.
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a * b.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// out = a^T.
+Matrix transpose(const Matrix& a);
+/// out = a * x.
+Vector matvec(const Matrix& a, const Vector& x);
+/// Dot product.
+double dot(const Vector& a, const Vector& b);
+/// Euclidean norm.
+double norm2(const Vector& a);
+/// a + s*b (element-wise).
+Vector axpy(const Vector& a, double s, const Vector& b);
+
+}  // namespace osprey::num

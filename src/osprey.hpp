@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file osprey.hpp
+/// Umbrella header: the whole OSPREY reproduction behind one include.
+/// Fine for applications and examples; library code should include the
+/// specific module headers instead.
+
+// Utility substrate
+#include "util/channel.hpp"     // IWYU pragma: export
+#include "util/csv.hpp"         // IWYU pragma: export
+#include "util/error.hpp"       // IWYU pragma: export
+#include "util/file_io.hpp"     // IWYU pragma: export
+#include "util/log.hpp"         // IWYU pragma: export
+#include "util/sim_time.hpp"    // IWYU pragma: export
+#include "util/string_util.hpp" // IWYU pragma: export
+#include "util/table.hpp"       // IWYU pragma: export
+#include "util/thread_pool.hpp" // IWYU pragma: export
+#include "util/uuid.hpp"        // IWYU pragma: export
+#include "util/value.hpp"       // IWYU pragma: export
+
+// Crypto + numerics
+#include "crypto/sha256.hpp"    // IWYU pragma: export
+#include "num/cholesky.hpp"     // IWYU pragma: export
+#include "num/legendre.hpp"     // IWYU pragma: export
+#include "num/optim.hpp"        // IWYU pragma: export
+#include "num/rng.hpp"          // IWYU pragma: export
+#include "num/sampling.hpp"     // IWYU pragma: export
+#include "num/special.hpp"      // IWYU pragma: export
+#include "num/stats.hpp"        // IWYU pragma: export
+#include "num/vecmat.hpp"       // IWYU pragma: export
+
+// Simulated research fabric (Globus-like services + PBS)
+#include "fabric/auth.hpp"       // IWYU pragma: export
+#include "fabric/compute.hpp"    // IWYU pragma: export
+#include "fabric/event_loop.hpp" // IWYU pragma: export
+#include "fabric/flows.hpp"      // IWYU pragma: export
+#include "fabric/scheduler.hpp"  // IWYU pragma: export
+#include "fabric/storage.hpp"    // IWYU pragma: export
+#include "fabric/timer.hpp"      // IWYU pragma: export
+#include "fabric/transfer.hpp"   // IWYU pragma: export
+
+// Orchestration layers
+#include "aero/metadata_db.hpp"   // IWYU pragma: export
+#include "aero/server.hpp"        // IWYU pragma: export
+#include "aero/source.hpp"        // IWYU pragma: export
+#include "emews/interleave.hpp"   // IWYU pragma: export
+#include "emews/pool_launcher.hpp"// IWYU pragma: export
+#include "emews/task_api.hpp"     // IWYU pragma: export
+#include "emews/task_db.hpp"      // IWYU pragma: export
+#include "emews/worker_pool.hpp"  // IWYU pragma: export
+
+// Science payloads
+#include "epi/kernels.hpp"        // IWYU pragma: export
+#include "epi/metarvm.hpp"        // IWYU pragma: export
+#include "epi/seir.hpp"           // IWYU pragma: export
+#include "epi/wastewater.hpp"     // IWYU pragma: export
+#include "gp/gp.hpp"              // IWYU pragma: export
+#include "gp/kernel.hpp"          // IWYU pragma: export
+#include "gsa/calibrate.hpp"      // IWYU pragma: export
+#include "gsa/music.hpp"          // IWYU pragma: export
+#include "gsa/music_coop.hpp"     // IWYU pragma: export
+#include "gsa/pce.hpp"            // IWYU pragma: export
+#include "gsa/sobol.hpp"          // IWYU pragma: export
+#include "rt/cori.hpp"            // IWYU pragma: export
+#include "rt/deconvolution.hpp"   // IWYU pragma: export
+#include "rt/ensemble.hpp"        // IWYU pragma: export
+#include "rt/forecast.hpp"        // IWYU pragma: export
+#include "rt/goldstein.hpp"       // IWYU pragma: export
+#include "rt/posterior.hpp"       // IWYU pragma: export
+
+// Platform + use cases
+#include "core/artifact_catalog.hpp" // IWYU pragma: export
+#include "core/harness.hpp"          // IWYU pragma: export
+#include "core/metarvm_gsa.hpp"      // IWYU pragma: export
+#include "core/platform.hpp"         // IWYU pragma: export
+#include "core/usecase_gsa.hpp"      // IWYU pragma: export
+#include "core/usecase_ww.hpp"       // IWYU pragma: export
+#include "core/wastewater_source.hpp"// IWYU pragma: export

@@ -1,0 +1,99 @@
+#include "rt/cori.hpp"
+
+#include <cmath>
+
+#include "epi/kernels.hpp"
+#include "num/special.hpp"
+#include "util/error.hpp"
+
+namespace osprey::rt {
+
+CoriResult estimate_cori_from_concentration(
+    const std::vector<epi::WwSample>& samples, int days,
+    double pseudo_count_scale, const CoriConfig& config) {
+  OSPREY_REQUIRE(samples.size() >= 2, "need at least 2 samples");
+  OSPREY_REQUIRE(days > samples.back().day, "horizon before last sample");
+  OSPREY_REQUIRE(pseudo_count_scale > 0, "scale must be positive");
+
+  // Linear interpolation of the sparse samples onto a daily grid
+  // (constant extrapolation before the first / after the last sample).
+  std::vector<double> daily(static_cast<std::size_t>(days), 0.0);
+  std::size_t k = 0;
+  for (int t = 0; t < days; ++t) {
+    while (k + 1 < samples.size() && samples[k + 1].day <= t) ++k;
+    double value;
+    if (t <= samples.front().day) {
+      value = samples.front().concentration;
+    } else if (k + 1 >= samples.size()) {
+      value = samples.back().concentration;
+    } else {
+      const epi::WwSample& a = samples[k];
+      const epi::WwSample& b = samples[k + 1];
+      double frac = static_cast<double>(t - a.day) /
+                    static_cast<double>(b.day - a.day);
+      value = a.concentration + frac * (b.concentration - a.concentration);
+    }
+    daily[static_cast<std::size_t>(t)] = value;
+  }
+
+  // Rescale to pseudo-counts: mean concentration -> pseudo_count_scale
+  // cases/day, so the gamma posterior width is in a plausible regime.
+  double mean_c = 0.0;
+  for (double v : daily) mean_c += v;
+  mean_c /= static_cast<double>(days);
+  OSPREY_REQUIRE(mean_c > 0, "degenerate concentration series");
+  for (double& v : daily) v = v / mean_c * pseudo_count_scale;
+
+  return estimate_cori(daily, config);
+}
+
+CoriResult estimate_cori(const std::vector<double>& daily_cases,
+                         const CoriConfig& config) {
+  OSPREY_REQUIRE(!daily_cases.empty(), "no case data");
+  OSPREY_REQUIRE(config.window_days >= 1, "bad window");
+  std::vector<double> w = config.generation_interval.empty()
+                              ? epi::default_generation_interval()
+                              : config.generation_interval;
+
+  const std::size_t days = daily_cases.size();
+  // Infection pressure Lambda(t).
+  std::vector<double> lambda(days, 0.0);
+  for (std::size_t t = 0; t < days; ++t) {
+    lambda[t] = epi::renewal_pressure(daily_cases, t, w);
+  }
+
+  CoriResult out;
+  out.series.median.assign(days, 1.0);
+  out.series.lo95.assign(days, 0.0);
+  out.series.hi95.assign(days, 0.0);
+  out.mean.assign(days, 1.0);
+  out.reliable.assign(days, false);
+
+  for (std::size_t t = 0; t < days; ++t) {
+    // Window [t - window + 1, t], clipped at the start.
+    std::size_t begin =
+        t + 1 >= static_cast<std::size_t>(config.window_days)
+            ? t + 1 - static_cast<std::size_t>(config.window_days)
+            : 0;
+    double sum_cases = 0.0;
+    double sum_lambda = 0.0;
+    for (std::size_t s = begin; s <= t; ++s) {
+      sum_cases += daily_cases[s];
+      sum_lambda += lambda[s];
+    }
+    double shape = config.prior_shape + sum_cases;
+    double rate = 1.0 / config.prior_scale + sum_lambda;
+    if (rate <= 0.0) continue;  // no pressure yet: leave the prior default
+    double scale = 1.0 / rate;
+    out.mean[t] = shape * scale;
+    out.series.median[t] = osprey::num::gamma_quantile(0.5, shape, scale);
+    out.series.lo95[t] = osprey::num::gamma_quantile(0.025, shape, scale);
+    out.series.hi95[t] = osprey::num::gamma_quantile(0.975, shape, scale);
+    // EpiEstim's usual reliability rule of thumb: enough incidence in
+    // the window.
+    out.reliable[t] = sum_cases >= 10.0 && sum_lambda > 0.0;
+  }
+  return out;
+}
+
+}  // namespace osprey::rt

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file cori.hpp
+/// The Cori et al. (2013) / EpiEstim method — the paper's example of a
+/// "more standard R(t) estimation method" that the Goldstein approach is
+/// significantly more expensive than. Estimates R(t) from reported case
+/// counts with a sliding-window conjugate gamma posterior:
+///
+///   R_t | data ~ Gamma(a + sum_{s in window} I_s,
+///                      scale = 1 / (1/b + sum_{s in window} Lambda_s))
+///
+/// where Lambda_s is the renewal infection pressure.
+
+#include <vector>
+
+#include "epi/wastewater.hpp"
+#include "rt/posterior.hpp"
+
+namespace osprey::rt {
+
+struct CoriConfig {
+  int window_days = 7;
+  double prior_shape = 1.0;   // a
+  double prior_scale = 5.0;   // b
+  /// Generation-interval override (defaults to the shared COVID-like one).
+  std::vector<double> generation_interval;
+};
+
+/// Point + interval estimates per day (analytic, no sampling).
+struct CoriResult {
+  RtSeries series;               // median and 95% CI per day
+  std::vector<double> mean;      // posterior mean per day
+  /// Days with too little infection pressure are flagged unreliable.
+  std::vector<bool> reliable;
+};
+
+/// Run the Cori method on daily case counts.
+CoriResult estimate_cori(const std::vector<double>& daily_cases,
+                         const CoriConfig& config = {});
+
+/// The "what if we just ran the standard method on the wastewater
+/// signal" baseline: linearly interpolate the sparse concentration
+/// samples to a daily series, rescale it into pseudo-case counts, and
+/// run the Cori method on that. This ignores the shedding-delay
+/// convolution entirely — it is the cheap shortcut the Goldstein method
+/// exists to improve on, included for the Figure-2 comparison.
+CoriResult estimate_cori_from_concentration(
+    const std::vector<epi::WwSample>& samples, int days,
+    double pseudo_count_scale = 100.0, const CoriConfig& config = {});
+
+}  // namespace osprey::rt

@@ -1,0 +1,137 @@
+#include "rt/deconvolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "epi/kernels.hpp"
+#include "util/error.hpp"
+
+namespace osprey::rt {
+
+namespace {
+
+/// Causal convolution: out[t] = sum_s kernel[s] * source[t - s].
+std::vector<double> convolve_causal(const std::vector<double>& source,
+                                    const std::vector<double>& kernel) {
+  std::vector<double> out(source.size(), 0.0);
+  for (std::size_t t = 0; t < source.size(); ++t) {
+    double acc = 0.0;
+    for (std::size_t s = 0; s < kernel.size() && s <= t; ++s) {
+      acc += kernel[s] * source[t - s];
+    }
+    out[t] = acc;
+  }
+  return out;
+}
+
+std::vector<double> moving_average(const std::vector<double>& xs,
+                                   int window) {
+  if (window <= 1) return xs;
+  std::vector<double> out(xs.size(), 0.0);
+  int half = window / 2;
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    double acc = 0.0;
+    int n = 0;
+    for (int k = -half; k <= half; ++k) {
+      std::ptrdiff_t i = static_cast<std::ptrdiff_t>(t) + k;
+      if (i < 0 || i >= static_cast<std::ptrdiff_t>(xs.size())) continue;
+      acc += xs[static_cast<std::size_t>(i)];
+      ++n;
+    }
+    out[t] = n > 0 ? acc / n : xs[t];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> richardson_lucy(const std::vector<double>& observed,
+                                    const std::vector<double>& kernel,
+                                    int iterations) {
+  OSPREY_REQUIRE(!observed.empty() && !kernel.empty(), "empty inputs");
+  OSPREY_REQUIRE(iterations >= 1, "iterations must be >= 1");
+  double ksum = 0.0;
+  for (double k : kernel) {
+    OSPREY_REQUIRE(k >= 0.0, "kernel must be non-negative");
+    ksum += k;
+  }
+  OSPREY_REQUIRE(ksum > 0.0, "kernel must have positive mass");
+
+  // Initialize with the observation itself (a standard choice).
+  std::vector<double> estimate = observed;
+  for (double& v : estimate) v = std::max(v, 1e-12);
+
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> predicted = convolve_causal(estimate, kernel);
+    // Ratio of observed to predicted (guarding empty early days).
+    std::vector<double> ratio(observed.size(), 1.0);
+    for (std::size_t t = 0; t < observed.size(); ++t) {
+      ratio[t] = predicted[t] > 1e-12 ? observed[t] / predicted[t] : 1.0;
+    }
+    // Correlate the ratio with the flipped kernel:
+    // correction[t] = sum_s kernel[s] * ratio[t + s] / ksum.
+    for (std::size_t t = 0; t < estimate.size(); ++t) {
+      double acc = 0.0;
+      double used = 0.0;
+      for (std::size_t s = 0; s < kernel.size(); ++s) {
+        std::size_t idx = t + s;
+        if (idx >= ratio.size()) break;
+        acc += kernel[s] * ratio[idx];
+        used += kernel[s];
+      }
+      double correction = used > 1e-12 ? acc / used : 1.0;
+      estimate[t] = std::max(estimate[t] * correction, 0.0);
+    }
+  }
+  return estimate;
+}
+
+DeconvolutionResult estimate_rt_deconvolution(
+    const std::vector<epi::WwSample>& samples, int days,
+    const DeconvolutionConfig& config) {
+  OSPREY_REQUIRE(samples.size() >= 2, "need at least 2 samples");
+  OSPREY_REQUIRE(days > samples.back().day, "horizon before last sample");
+
+  // Daily grid by linear interpolation (constant extrapolation at ends).
+  std::vector<double> daily(static_cast<std::size_t>(days), 0.0);
+  std::size_t k = 0;
+  for (int t = 0; t < days; ++t) {
+    while (k + 1 < samples.size() && samples[k + 1].day <= t) ++k;
+    double value;
+    if (t <= samples.front().day) {
+      value = samples.front().concentration;
+    } else if (k + 1 >= samples.size()) {
+      value = samples.back().concentration;
+    } else {
+      const epi::WwSample& a = samples[k];
+      const epi::WwSample& b = samples[k + 1];
+      double frac = static_cast<double>(t - a.day) /
+                    static_cast<double>(b.day - a.day);
+      value = a.concentration + frac * (b.concentration - a.concentration);
+    }
+    daily[static_cast<std::size_t>(t)] = std::max(value, 0.0);
+  }
+
+  DeconvolutionResult result;
+  result.daily_concentration = moving_average(daily, config.smoothing_window);
+
+  std::vector<double> kernel = config.shedding_kernel.empty()
+                                   ? epi::default_shedding_kernel()
+                                   : config.shedding_kernel;
+  result.incidence_proxy = richardson_lucy(result.daily_concentration,
+                                           kernel, config.iterations);
+
+  // Rescale the proxy into a case-count-like magnitude for the gamma
+  // posterior (R(t) is scale-invariant; the interval width is not).
+  double mean_proxy = 0.0;
+  for (double v : result.incidence_proxy) mean_proxy += v;
+  mean_proxy /= static_cast<double>(result.incidence_proxy.size());
+  std::vector<double> scaled = result.incidence_proxy;
+  if (mean_proxy > 0.0) {
+    for (double& v : scaled) v = v / mean_proxy * 100.0;
+  }
+  result.rt = estimate_cori(scaled, config.cori);
+  return result;
+}
+
+}  // namespace osprey::rt

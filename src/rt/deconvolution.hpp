@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file deconvolution.hpp
+/// A middle-ground wastewater R(t) estimator between the naive shortcut
+/// and the full Bayesian machinery: Richardson–Lucy deconvolution of the
+/// (interpolated, smoothed) concentration series by the shedding kernel
+/// recovers a daily incidence proxy, which then feeds the standard Cori
+/// estimator. This is the classic two-stage approach from the
+/// wastewater-epidemiology literature (e.g. Huisman et al.), included as
+/// a second baseline tier for the Figure-2 comparison.
+
+#include <vector>
+
+#include "epi/wastewater.hpp"
+#include "rt/cori.hpp"
+
+namespace osprey::rt {
+
+/// Defaults tuned on the synthetic plants: RL iterations kept low and
+/// smoothing generous, because Richardson–Lucy amplifies measurement
+/// noise with every iteration (the classic bias–variance dial of
+/// deconvolution-based R(t) estimators).
+struct DeconvolutionConfig {
+  int iterations = 8;           // Richardson–Lucy iterations
+  int smoothing_window = 11;    // centered moving-average prefilter (days)
+  /// Shedding kernel override (defaults to the shared one).
+  std::vector<double> shedding_kernel;
+  CoriConfig cori{/*window_days=*/10, /*prior_shape=*/1.0,
+                  /*prior_scale=*/5.0, /*generation_interval=*/{}};
+};
+
+struct DeconvolutionResult {
+  std::vector<double> daily_concentration;  // interpolated + smoothed
+  std::vector<double> incidence_proxy;      // deconvolved series
+  CoriResult rt;                            // Cori on the proxy
+};
+
+/// Interpolate samples to a daily grid (linear), smooth, deconvolve by
+/// the shedding kernel (Richardson–Lucy with non-negativity), and
+/// estimate R(t) from the recovered incidence proxy.
+DeconvolutionResult estimate_rt_deconvolution(
+    const std::vector<epi::WwSample>& samples, int days,
+    const DeconvolutionConfig& config = {});
+
+/// Exposed for testing: Richardson–Lucy deconvolution of `observed` =
+/// conv(kernel, source) for a causal kernel; returns the source estimate
+/// (same length, non-negative).
+std::vector<double> richardson_lucy(const std::vector<double>& observed,
+                                    const std::vector<double>& kernel,
+                                    int iterations);
+
+}  // namespace osprey::rt

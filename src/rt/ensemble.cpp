@@ -1,0 +1,61 @@
+#include "rt/ensemble.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace osprey::rt {
+
+RtPosterior aggregate_population_weighted(
+    const std::vector<EnsembleMember>& members) {
+  OSPREY_REQUIRE(!members.empty(), "empty ensemble");
+  std::size_t days = members.front().posterior.days();
+  double total_weight = 0.0;
+  std::size_t max_draws = 0;
+  for (const EnsembleMember& m : members) {
+    OSPREY_REQUIRE(m.posterior.days() == days,
+                   "ensemble members disagree on horizon");
+    OSPREY_REQUIRE(m.posterior.n_draws() > 0, "member has no draws");
+    OSPREY_REQUIRE(m.population_weight > 0, "non-positive weight");
+    total_weight += m.population_weight;
+    max_draws = std::max(max_draws, m.posterior.n_draws());
+  }
+
+  RtPosterior out;
+  out.draws = osprey::num::Matrix(max_draws, days, 0.0);
+  for (std::size_t d = 0; d < max_draws; ++d) {
+    for (std::size_t t = 0; t < days; ++t) {
+      double acc = 0.0;
+      for (const EnsembleMember& m : members) {
+        std::size_t dd = d % m.posterior.n_draws();
+        acc += m.population_weight * m.posterior.draws(dd, t);
+      }
+      out.draws(d, t) = acc / total_weight;
+    }
+  }
+  return out;
+}
+
+std::vector<double> weighted_series_average(
+    const std::vector<std::vector<double>>& series,
+    const std::vector<double>& weights) {
+  OSPREY_REQUIRE(!series.empty(), "no series");
+  OSPREY_REQUIRE(series.size() == weights.size(), "weights size mismatch");
+  std::size_t days = series.front().size();
+  double total = 0.0;
+  for (double w : weights) {
+    OSPREY_REQUIRE(w > 0, "non-positive weight");
+    total += w;
+  }
+  std::vector<double> out(days, 0.0);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    OSPREY_REQUIRE(series[i].size() == days, "series length mismatch");
+    for (std::size_t t = 0; t < days; ++t) {
+      out[t] += weights[i] * series[i][t];
+    }
+  }
+  for (double& x : out) x /= total;
+  return out;
+}
+
+}  // namespace osprey::rt

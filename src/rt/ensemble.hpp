@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file ensemble.hpp
+/// Population-weighted ensemble aggregation of per-plant R(t)
+/// posteriors — the paper's third workflow step: "we pool estimates
+/// across multiple wastewater sources and use a population-weighted
+/// ensemble average to improve the R(t) signal to noise" (Figure 2,
+/// bottom panel).
+
+#include <string>
+#include <vector>
+
+#include "rt/posterior.hpp"
+
+namespace osprey::rt {
+
+/// One member of the ensemble.
+struct EnsembleMember {
+  std::string name;
+  double population_weight = 1.0;  // e.g. population served by the plant
+  RtPosterior posterior;
+};
+
+/// Combine posteriors draw-wise: aggregate draw d, day t is the
+/// weight-normalized average of the members' draw d, day t. Members must
+/// agree on days; draw counts may differ (draws are index-cycled).
+RtPosterior aggregate_population_weighted(
+    const std::vector<EnsembleMember>& members);
+
+/// Convenience: weighted average of daily series (medians); used for
+/// quick diagnostics without full posteriors.
+std::vector<double> weighted_series_average(
+    const std::vector<std::vector<double>>& series,
+    const std::vector<double>& weights);
+
+}  // namespace osprey::rt

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file forecast.hpp
+/// Short-term epidemic forecasting from an R(t) posterior — the
+/// decision-support product public-health stakeholders actually consume
+/// ("timely responses to urgent questions", paper conclusion). Each
+/// posterior draw of R(t) is extended `horizon` days (mean-reverting
+/// toward 1) and pushed through the renewal equation to project
+/// incidence; quantiles of the projected draws give forecast bands.
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/posterior.hpp"
+
+namespace osprey::rt {
+
+struct ForecastConfig {
+  int horizon_days = 28;
+  /// Daily mean-reversion of log R toward 0 (R toward 1); 0 = hold flat.
+  double reversion_rate = 0.03;
+  /// Random-walk innovation of log R per projected day (forecast
+  /// uncertainty widens with lead time).
+  double log_rt_daily_sd = 0.02;
+  std::uint64_t seed = 99;
+};
+
+struct Forecast {
+  /// Projected daily incidence: median and 95% band, horizon_days long.
+  std::vector<double> median;
+  std::vector<double> lo95;
+  std::vector<double> hi95;
+  /// Projected R(t) median over the horizon.
+  std::vector<double> rt_median;
+};
+
+/// Project incidence forward from an R(t) posterior and the recent
+/// incidence history (most recent day last; must cover at least the
+/// generation interval).
+Forecast forecast_incidence(const RtPosterior& posterior,
+                            const std::vector<double>& recent_incidence,
+                            const ForecastConfig& config = {});
+
+}  // namespace osprey::rt

@@ -1,0 +1,205 @@
+#include "rt/goldstein.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "epi/kernels.hpp"
+#include "num/rng.hpp"
+#include "num/stats.hpp"
+#include "util/error.hpp"
+
+namespace osprey::rt {
+
+using osprey::num::RngStream;
+
+GoldsteinEstimator::GoldsteinEstimator(GoldsteinConfig config)
+    : config_(std::move(config)),
+      gen_interval_(epi::default_generation_interval()),
+      shedding_(epi::default_shedding_kernel()) {
+  OSPREY_REQUIRE(config_.knot_spacing_days >= 1, "bad knot spacing");
+  OSPREY_REQUIRE(config_.iterations > config_.burnin, "burnin >= iterations");
+  OSPREY_REQUIRE(config_.thin >= 1, "thin must be >= 1");
+  OSPREY_REQUIRE(config_.flow_liters_per_day > 0, "bad flow");
+  OSPREY_REQUIRE(config_.shedding_scale > 0, "bad shedding scale");
+}
+
+int GoldsteinEstimator::num_knots(int days) const {
+  OSPREY_REQUIRE(days >= 2, "need at least 2 days");
+  // Knots at 0, spacing, 2*spacing, ... plus one at/after the last day.
+  int k = (days - 1) / config_.knot_spacing_days + 1;
+  if ((k - 1) * config_.knot_spacing_days < days - 1) ++k;
+  return k;
+}
+
+std::vector<double> GoldsteinEstimator::knots_to_daily(
+    const std::vector<double>& log_knots, int days) const {
+  std::vector<double> rt(static_cast<std::size_t>(days));
+  int spacing = config_.knot_spacing_days;
+  for (int t = 0; t < days; ++t) {
+    int k = t / spacing;
+    int k1 = std::min<int>(k + 1, static_cast<int>(log_knots.size()) - 1);
+    double frac = static_cast<double>(t - k * spacing) / spacing;
+    double log_rt = log_knots[static_cast<std::size_t>(k)] * (1.0 - frac) +
+                    log_knots[static_cast<std::size_t>(k1)] * frac;
+    rt[static_cast<std::size_t>(t)] = std::exp(log_rt);
+  }
+  return rt;
+}
+
+std::vector<double> GoldsteinEstimator::incidence_from_rt(
+    const std::vector<double>& rt, double i0) const {
+  const int burnin = static_cast<int>(gen_interval_.size());
+  std::vector<double> inc(static_cast<std::size_t>(burnin) + rt.size(), i0);
+  for (std::size_t t = 0; t < rt.size(); ++t) {
+    std::size_t idx = static_cast<std::size_t>(burnin) + t;
+    inc[idx] = rt[t] * epi::renewal_pressure(inc, idx, gen_interval_);
+  }
+  return inc;
+}
+
+std::vector<double> GoldsteinEstimator::expected_concentration(
+    const std::vector<double>& inc, int days) const {
+  const int burnin = static_cast<int>(gen_interval_.size());
+  std::vector<double> mu(static_cast<std::size_t>(days), 0.0);
+  for (int t = 0; t < days; ++t) {
+    double load = 0.0;
+    for (std::size_t s = 0; s < shedding_.size(); ++s) {
+      int src = burnin + t - static_cast<int>(s);
+      if (src < 0) break;
+      load += shedding_[s] * inc[static_cast<std::size_t>(src)];
+    }
+    mu[static_cast<std::size_t>(t)] =
+        config_.shedding_scale * load / config_.flow_liters_per_day;
+  }
+  return mu;
+}
+
+double GoldsteinEstimator::neg_log_posterior(
+    const std::vector<double>& theta,
+    const std::vector<epi::WwSample>& samples, int days) const {
+  const int k = num_knots(days);
+  OSPREY_REQUIRE(theta.size() == static_cast<std::size_t>(k) + 2,
+                 "theta size mismatch");
+  const double log_i0 = theta[static_cast<std::size_t>(k)];
+  const double log_sigma = theta[static_cast<std::size_t>(k) + 1];
+  if (log_i0 > 25.0 || log_sigma > 5.0 || log_sigma < -7.0) return 1e12;
+  const double sigma = std::exp(log_sigma);
+
+  double nlp = 0.0;
+  // Random-walk prior over log R knots.
+  double s0 = config_.logr0_prior_sd;
+  nlp += 0.5 * theta[0] * theta[0] / (s0 * s0);
+  double srw = config_.rw_prior_sd;
+  for (int j = 1; j < k; ++j) {
+    double d = theta[static_cast<std::size_t>(j)] -
+               theta[static_cast<std::size_t>(j - 1)];
+    nlp += 0.5 * d * d / (srw * srw);
+  }
+  // Weak prior on the initial incidence level.
+  double dli = log_i0 - std::log(100.0);
+  nlp += 0.5 * dli * dli / (3.0 * 3.0);
+  // Half-normal prior on sigma (including the log-scale Jacobian).
+  double shn = config_.sigma_halfnormal_sd;
+  nlp += 0.5 * sigma * sigma / (shn * shn) - log_sigma;
+
+  // Likelihood.
+  std::vector<double> log_knots(theta.begin(),
+                                theta.begin() + static_cast<std::ptrdiff_t>(k));
+  std::vector<double> rt = knots_to_daily(log_knots, days);
+  std::vector<double> inc = incidence_from_rt(rt, std::exp(log_i0));
+  std::vector<double> mu = expected_concentration(inc, days);
+  for (const epi::WwSample& s : samples) {
+    OSPREY_REQUIRE(s.day >= 0 && s.day < days, "sample outside horizon");
+    double m = mu[static_cast<std::size_t>(s.day)];
+    if (!(m > 0.0) || !(s.concentration > 0.0)) return 1e12;
+    double z = (std::log(s.concentration) - std::log(m)) / sigma;
+    nlp += 0.5 * z * z + log_sigma;
+  }
+  return nlp;
+}
+
+RtPosterior GoldsteinEstimator::estimate(
+    const std::vector<epi::WwSample>& samples, int days) const {
+  OSPREY_REQUIRE(samples.size() >= 4, "need at least 4 samples");
+  const int k = num_knots(days);
+  const std::size_t dim = static_cast<std::size_t>(k) + 2;
+
+  // Initialize: flat R(t)=1, incidence level backed out of the mean
+  // observed concentration, moderate noise.
+  std::vector<double> conc;
+  conc.reserve(samples.size());
+  for (const auto& s : samples) conc.push_back(s.concentration);
+  double mean_c = std::max(osprey::num::mean(conc), 1e-12);
+  double i0_guess =
+      std::max(mean_c * config_.flow_liters_per_day / config_.shedding_scale,
+               1.0);
+
+  std::vector<double> theta(dim, 0.0);
+  theta[static_cast<std::size_t>(k)] = std::log(i0_guess);
+  theta[static_cast<std::size_t>(k) + 1] = std::log(0.5);
+
+  RngStream rng(config_.seed);
+  double current = neg_log_posterior(theta, samples, days);
+
+  std::vector<double> step(dim, 0.08);
+  std::vector<std::size_t> accepts(dim, 0);
+  std::vector<std::size_t> proposals(dim, 0);
+  const int adapt_window = 50;
+
+  const int n_draws = (config_.iterations - config_.burnin) / config_.thin;
+  RtPosterior posterior;
+  posterior.draws =
+      osprey::num::Matrix(static_cast<std::size_t>(n_draws),
+                          static_cast<std::size_t>(days));
+
+  std::size_t stored = 0;
+  std::uint64_t total_acc = 0;
+  std::uint64_t total_prop = 0;
+  for (int iter = 0; iter < config_.iterations; ++iter) {
+    // Component-wise Metropolis sweep.
+    for (std::size_t j = 0; j < dim; ++j) {
+      double old = theta[j];
+      theta[j] = old + step[j] * rng.normal();
+      double cand = neg_log_posterior(theta, samples, days);
+      ++proposals[j];
+      ++total_prop;
+      if (std::log(rng.uniform() + 1e-300) < current - cand) {
+        current = cand;
+        ++accepts[j];
+        ++total_acc;
+      } else {
+        theta[j] = old;
+      }
+    }
+    // Adapt step sizes toward ~44% acceptance during burn-in.
+    if (iter < config_.burnin && (iter + 1) % adapt_window == 0) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        double rate = static_cast<double>(accepts[j]) /
+                      static_cast<double>(proposals[j]);
+        step[j] *= std::exp(rate - 0.44);
+        step[j] = std::clamp(step[j], 1e-4, 2.0);
+        accepts[j] = 0;
+        proposals[j] = 0;
+      }
+    }
+    if (iter >= config_.burnin &&
+        (iter - config_.burnin) % config_.thin == 0 &&
+        stored < static_cast<std::size_t>(n_draws)) {
+      std::vector<double> log_knots(
+          theta.begin(), theta.begin() + static_cast<std::ptrdiff_t>(k));
+      std::vector<double> rt = knots_to_daily(log_knots, days);
+      for (int t = 0; t < days; ++t) {
+        posterior.draws(stored, static_cast<std::size_t>(t)) =
+            rt[static_cast<std::size_t>(t)];
+      }
+      ++stored;
+    }
+  }
+  posterior.acceptance_rate =
+      total_prop == 0 ? 0.0
+                      : static_cast<double>(total_acc) /
+                            static_cast<double>(total_prop);
+  return posterior;
+}
+
+}  // namespace osprey::rt

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file posterior.hpp
+/// Posterior containers for R(t) estimates: draw matrices and their
+/// (median, 95% CI) summaries — the bands of the paper's Figure 2.
+
+#include <cstddef>
+#include <vector>
+
+#include "num/vecmat.hpp"
+
+namespace osprey::rt {
+
+/// Daily summary series of an R(t) posterior.
+struct RtSeries {
+  std::vector<double> median;
+  std::vector<double> lo95;  // 2.5% quantile
+  std::vector<double> hi95;  // 97.5% quantile
+
+  std::size_t days() const { return median.size(); }
+
+  /// Fraction of days where truth lies inside [lo95, hi95].
+  double coverage(const std::vector<double>& truth) const;
+};
+
+/// Posterior draws of R(t): draws x days.
+struct RtPosterior {
+  osprey::num::Matrix draws;  // (n_draws, days)
+  double acceptance_rate = 0.0;
+
+  std::size_t n_draws() const { return draws.rows(); }
+  std::size_t days() const { return draws.cols(); }
+
+  RtSeries summarize() const;
+};
+
+}  // namespace osprey::rt

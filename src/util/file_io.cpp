@@ -1,0 +1,36 @@
+#include "util/file_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace osprey::util {
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) {
+      throw Error("cannot create directory " + p.parent_path().string() +
+                  ": " + ec.message());
+    }
+  }
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open for writing: " + path);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  if (!out) throw Error("write failed: " + path);
+}
+
+std::optional<std::string> read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace osprey::util

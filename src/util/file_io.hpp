@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file file_io.hpp
+/// Minimal file helpers for the benchmark harnesses: each figure bench
+/// writes the series it prints as CSV artifacts under results/ so the
+/// plots can be regenerated outside this repository.
+
+#include <optional>
+#include <string>
+
+namespace osprey::util {
+
+/// Write `content` to `path`, creating parent directories. Throws Error
+/// on IO failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+/// Read a whole file; nullopt when it does not exist.
+std::optional<std::string> read_text_file(const std::string& path);
+
+}  // namespace osprey::util

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal thread-safe leveled logger. Components tag their lines so the
+/// interleaved output of the simulated platform remains readable.
+
+#include <sstream>
+#include <string>
+
+namespace osprey::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (thread-safe). Prefer the OSPREY_LOG_* macros below.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+const char* level_name(LogLevel level);
+
+}  // namespace osprey::util
+
+#define OSPREY_LOG_IMPL(lvl, component, expr)                           \
+  do {                                                                  \
+    if (static_cast<int>(lvl) >=                                        \
+        static_cast<int>(::osprey::util::log_level())) {                \
+      std::ostringstream osprey_log_oss;                                \
+      osprey_log_oss << expr;                                           \
+      ::osprey::util::log_line(lvl, component, osprey_log_oss.str());   \
+    }                                                                   \
+  } while (0)
+
+#define OSPREY_LOG_DEBUG(component, expr) \
+  OSPREY_LOG_IMPL(::osprey::util::LogLevel::kDebug, component, expr)
+#define OSPREY_LOG_INFO(component, expr) \
+  OSPREY_LOG_IMPL(::osprey::util::LogLevel::kInfo, component, expr)
+#define OSPREY_LOG_WARN(component, expr) \
+  OSPREY_LOG_IMPL(::osprey::util::LogLevel::kWarn, component, expr)
+#define OSPREY_LOG_ERROR(component, expr) \
+  OSPREY_LOG_IMPL(::osprey::util::LogLevel::kError, component, expr)

@@ -1,0 +1,41 @@
+#include "util/sim_time.hpp"
+
+#include <cstdio>
+
+namespace osprey::util {
+
+std::string format_sim_time(SimTime t) {
+  std::int64_t day = t / kDay;
+  std::int64_t rem = t % kDay;
+  if (rem < 0) {  // render negative times sanely
+    rem += kDay;
+    day -= 1;
+  }
+  int h = static_cast<int>(rem / kHour);
+  int m = static_cast<int>((rem % kHour) / kMinute);
+  int s = static_cast<int>((rem % kMinute) / kSecond);
+  int ms = static_cast<int>(rem % kSecond);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "d%03lld %02d:%02d:%02d.%03d",
+                static_cast<long long>(day), h, m, s, ms);
+  return buf;
+}
+
+std::string format_duration(SimTime dt) {
+  char buf[32];
+  double d = static_cast<double>(dt);
+  if (dt < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(dt));
+  } else if (dt < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", d / kSecond);
+  } else if (dt < kHour) {
+    std::snprintf(buf, sizeof(buf), "%.1fm", d / kMinute);
+  } else if (dt < kDay) {
+    std::snprintf(buf, sizeof(buf), "%.1fh", d / kHour);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fd", d / kDay);
+  }
+  return buf;
+}
+
+}  // namespace osprey::util

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file sim_time.hpp
+/// Virtual time used by the discrete-event fabric. Time is integral
+/// milliseconds since the simulation epoch so event ordering is exact.
+
+#include <cstdint>
+#include <string>
+
+namespace osprey::util {
+
+/// Milliseconds since the simulation epoch (day 0, 00:00).
+using SimTime = std::int64_t;
+
+constexpr SimTime kMillisecond = 1;
+constexpr SimTime kSecond = 1000;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+
+/// Whole days elapsed (floor).
+inline std::int64_t sim_day(SimTime t) { return t / kDay; }
+
+/// Human-readable "d003 07:30:00.250" rendering for traces.
+std::string format_sim_time(SimTime t);
+
+/// Compact duration rendering, e.g. "45s", "2.5m", "3h", "1.2d".
+std::string format_duration(SimTime dt);
+
+}  // namespace osprey::util

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file string_util.hpp
+/// Small string helpers shared across modules.
+
+#include <string>
+#include <vector>
+
+namespace osprey::util {
+
+/// Split `s` on `delim`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Join pieces with `delim`.
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string trim(const std::string& s);
+
+/// True when `s` begins with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace osprey::util

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file table.hpp
+/// Fixed-width text table printer used by the benchmark harnesses to emit
+/// the rows/series the paper's tables and figures report.
+
+#include <string>
+#include <vector>
+
+namespace osprey::util {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+
+  /// Render with a rule under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner (used to delimit figure/table reproductions).
+std::string banner(const std::string& title);
+
+}  // namespace osprey::util

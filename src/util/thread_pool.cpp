@@ -1,0 +1,47 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace osprey::util {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  n_threads = std::max<std::size_t>(1, n_threads);
+  threads_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    threads_.emplace_back([this] {
+      while (auto task = queue_.pop()) {
+        (*task)();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Chunk by worker count; an atomic cursor balances uneven chunks.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  std::size_t n_workers = std::min(n, threads_.size());
+  std::vector<std::future<void>> futs;
+  futs.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    futs.push_back(submit([cursor, n, &fn] {
+      while (true) {
+        std::size_t i = cursor->fetch_add(1);
+        if (i >= n) break;
+        fn(i);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+}  // namespace osprey::util

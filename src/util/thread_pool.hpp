@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A plain fixed-size thread pool with future-returning submission.
+/// Used for genuinely parallel work (GP Monte-Carlo prediction, model
+/// replicate evaluation); the simulated fabric does NOT run on this pool.
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/channel.hpp"
+
+namespace osprey::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t n_threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Submit a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    bool ok = queue_.push([task] { (*task)(); });
+    if (!ok) {
+      throw std::runtime_error("ThreadPool::submit after shutdown");
+    }
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  Channel<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace osprey::util

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file uuid.hpp
+/// Deterministic UUID generation. AERO identifies every data object and
+/// flow by UUID; we generate RFC-4122-shaped version-4 identifiers from a
+/// seeded 64-bit mix so that whole-platform runs are reproducible.
+
+#include <cstdint>
+#include <string>
+
+namespace osprey::util {
+
+/// Produces a reproducible sequence of v4-format UUID strings.
+/// Not cryptographically random — determinism is the point here.
+class UuidFactory {
+ public:
+  explicit UuidFactory(std::uint64_t seed = 0x05919e5);
+
+  /// Next UUID in canonical 8-4-4-4-12 hex form, e.g.
+  /// "3f2a9c1e-7b4d-4e8a-9c3f-1a2b3c4d5e6f".
+  std::string next();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t next_u64();
+};
+
+/// True when `s` has canonical UUID shape (lengths, dashes, hex digits).
+bool looks_like_uuid(const std::string& s);
+
+}  // namespace osprey::util

@@ -1,0 +1,379 @@
+#include "util/value.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace osprey::util {
+
+Value Value::from_doubles(const std::vector<double>& xs) {
+  ValueArray arr;
+  arr.reserve(xs.size());
+  for (double x : xs) arr.emplace_back(x);
+  return Value(std::move(arr));
+}
+
+std::vector<double> Value::to_doubles() const {
+  const ValueArray& arr = as_array();
+  std::vector<double> out;
+  out.reserve(arr.size());
+  for (const Value& v : arr) out.push_back(v.as_double());
+  return out;
+}
+
+bool Value::as_bool() const {
+  OSPREY_REQUIRE(is_bool(), "value is not a bool");
+  return std::get<bool>(data_);
+}
+
+std::int64_t Value::as_int() const {
+  if (is_int()) return std::get<std::int64_t>(data_);
+  if (is_double()) {
+    double d = std::get<double>(data_);
+    OSPREY_REQUIRE(d == std::floor(d), "double is not integral");
+    return static_cast<std::int64_t>(d);
+  }
+  throw InvalidArgument("value is not an integer");
+}
+
+double Value::as_double() const {
+  if (is_double()) return std::get<double>(data_);
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(data_));
+  throw InvalidArgument("value is not a number");
+}
+
+const std::string& Value::as_string() const {
+  OSPREY_REQUIRE(is_string(), "value is not a string");
+  return std::get<std::string>(data_);
+}
+
+const ValueArray& Value::as_array() const {
+  OSPREY_REQUIRE(is_array(), "value is not an array");
+  return std::get<ValueArray>(data_);
+}
+
+ValueArray& Value::as_array() {
+  OSPREY_REQUIRE(is_array(), "value is not an array");
+  return std::get<ValueArray>(data_);
+}
+
+const ValueObject& Value::as_object() const {
+  OSPREY_REQUIRE(is_object(), "value is not an object");
+  return std::get<ValueObject>(data_);
+}
+
+ValueObject& Value::as_object() {
+  OSPREY_REQUIRE(is_object(), "value is not an object");
+  return std::get<ValueObject>(data_);
+}
+
+const Value& Value::at(const std::string& key) const {
+  const ValueObject& obj = as_object();
+  auto it = obj.find(key);
+  if (it == obj.end()) throw NotFound("missing key: " + key);
+  return it->second;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (is_null()) data_ = ValueObject{};
+  return as_object()[key];
+}
+
+bool Value::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+const Value& Value::at(std::size_t index) const {
+  const ValueArray& arr = as_array();
+  OSPREY_REQUIRE(index < arr.size(), "array index out of range");
+  return arr[index];
+}
+
+std::size_t Value::size() const {
+  if (is_array()) return std::get<ValueArray>(data_).size();
+  if (is_object()) return std::get<ValueObject>(data_).size();
+  throw InvalidArgument("size() on non-container value");
+}
+
+double Value::get_or(const std::string& key, double fallback) const {
+  return contains(key) ? at(key).as_double() : fallback;
+}
+
+std::int64_t Value::get_or(const std::string& key,
+                           std::int64_t fallback) const {
+  return contains(key) ? at(key).as_int() : fallback;
+}
+
+std::string Value::get_or(const std::string& key,
+                          const std::string& fallback) const {
+  return contains(key) ? at(key).as_string() : fallback;
+}
+
+namespace {
+
+void escape_string(const std::string& s, std::ostringstream& out) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_json(const Value& v, std::ostringstream& out) {
+  if (v.is_null()) {
+    out << "null";
+  } else if (v.is_bool()) {
+    out << (v.as_bool() ? "true" : "false");
+  } else if (v.is_int()) {
+    out << v.as_int();
+  } else if (v.is_double()) {
+    double d = v.as_double();
+    if (std::isnan(d)) {
+      out << "null";  // JSON has no NaN; match common serializers
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      out << buf;
+      // Keep a trailing ".0" marker so doubles round-trip as doubles.
+      std::string s(buf);
+      if (s.find_first_of(".eE") == std::string::npos) out << ".0";
+    }
+  } else if (v.is_string()) {
+    escape_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    out << '[';
+    bool first = true;
+    for (const Value& e : v.as_array()) {
+      if (!first) out << ',';
+      first = false;
+      write_json(e, out);
+    }
+    out << ']';
+  } else {
+    out << '{';
+    bool first = true;
+    for (const auto& [k, e] : v.as_object()) {
+      if (!first) out << ',';
+      first = false;
+      escape_string(k, out);
+      out << ':';
+      write_json(e, out);
+    }
+    out << '}';
+  }
+}
+
+/// Recursive-descent JSON parser over a string view with an index cursor.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    OSPREY_REQUIRE(pos_ == text_.size(), "trailing characters after JSON");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    OSPREY_REQUIRE(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  char next() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    OSPREY_REQUIRE(next() == c, std::string("expected '") + c + "'");
+  }
+
+  bool consume_literal(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) == 0) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Value(parse_string());
+    if (consume_literal("true")) return Value(true);
+    if (consume_literal("false")) return Value(false);
+    if (consume_literal("null")) return Value(nullptr);
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      OSPREY_REQUIRE(pos_ < text_.size(), "unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        OSPREY_REQUIRE(pos_ < text_.size(), "unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            OSPREY_REQUIRE(pos_ + 4 <= text_.size(), "bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else throw InvalidArgument("bad hex digit in \\u escape");
+            }
+            // Encode as UTF-8 (basic multilingual plane only).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            throw InvalidArgument("bad escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    OSPREY_REQUIRE(pos_ > start, "expected a number");
+    std::string tok = text_.substr(start, pos_ - start);
+    try {
+      std::size_t used = 0;
+      if (is_double) {
+        double d = std::stod(tok, &used);
+        OSPREY_REQUIRE(used == tok.size(), "malformed number: " + tok);
+        return Value(d);
+      }
+      std::int64_t i = std::stoll(tok, &used);
+      OSPREY_REQUIRE(used == tok.size(), "malformed number: " + tok);
+      return Value(i);
+    } catch (const InvalidArgument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw InvalidArgument("malformed number: " + tok);
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    ValueArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      char c = next();
+      if (c == ']') break;
+      OSPREY_REQUIRE(c == ',', "expected ',' or ']' in array");
+    }
+    return Value(std::move(arr));
+  }
+
+  Value parse_object() {
+    expect('{');
+    ValueObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      char c = next();
+      if (c == '}') break;
+      OSPREY_REQUIRE(c == ',', "expected ',' or '}' in object");
+    }
+    return Value(std::move(obj));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Value::to_json() const {
+  std::ostringstream out;
+  write_json(*this, out);
+  return out.str();
+}
+
+Value Value::parse_json(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+}  // namespace osprey::util

@@ -1,0 +1,287 @@
+#include "aero/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+
+namespace oa = osprey::aero;
+namespace of = osprey::fabric;
+namespace ou = osprey::util;
+using ou::kDay;
+using ou::kHour;
+using ou::kMinute;
+using ou::kSecond;
+using ou::Value;
+using ou::ValueObject;
+
+namespace {
+
+/// Transformation: upper-cases the payload.
+Value upper_transform(const Value& args) {
+  std::string s = args.at("input").as_string();
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  ValueObject out;
+  out["output"] = Value(s);
+  return Value(std::move(out));
+}
+
+/// Analysis: concatenates all input payloads in lexicographic payload
+/// order (UUIDs are run-dependent, payload order is not).
+Value concat_analysis(const Value& args) {
+  std::vector<std::string> pieces;
+  for (const auto& [uuid, bytes] : args.at("inputs").as_object()) {
+    (void)uuid;
+    pieces.push_back(bytes.as_string());
+  }
+  std::sort(pieces.begin(), pieces.end());
+  std::string acc;
+  for (const std::string& p : pieces) {
+    acc += p;
+    acc += "|";
+  }
+  ValueObject outputs;
+  outputs["combined.txt"] = Value(acc);
+  ValueObject out;
+  out["outputs"] = Value(std::move(outputs));
+  return Value(std::move(out));
+}
+
+}  // namespace
+
+class AeroServerTest : public ::testing::Test {
+ protected:
+  of::EventLoop loop;
+  of::AuthService auth;
+  of::TimerService timers{loop, auth};
+  of::TransferService transfers{loop, auth, kSecond, 100.0e6};
+  of::FlowsService flows{loop, auth};
+  oa::AeroServer server{loop, auth, timers, transfers, flows};
+  of::StorageEndpoint eagle{"eagle", loop, auth};
+  of::StorageEndpoint scratch{"scratch", loop, auth};
+  of::ComputeEndpoint login{"login", loop, auth, 2};
+  std::string transform_fn;
+  std::string analysis_fn;
+
+  void SetUp() override {
+    eagle.create_collection("data", server.token());
+    scratch.create_collection("staging", server.token());
+    transform_fn =
+        login.register_function("upper", upper_transform, 30 * kSecond);
+    analysis_fn =
+        login.register_function("concat", concat_analysis, kMinute);
+  }
+
+  oa::IngestionFlowSpec ingestion_spec(
+      const std::string& name, std::shared_ptr<oa::DataSource> source) {
+    oa::IngestionFlowSpec spec;
+    spec.name = name;
+    spec.source = std::move(source);
+    spec.poll_period = kDay;
+    spec.first_poll = 0;
+    spec.compute = &login;
+    spec.function_id = transform_fn;
+    spec.staging = &scratch;
+    spec.staging_collection = "staging";
+    spec.storage = &eagle;
+    spec.collection = "data";
+    spec.base_path = name;
+    return spec;
+  }
+
+  oa::AnalysisFlowSpec analysis_spec(const std::string& name,
+                                     std::vector<std::string> inputs,
+                                     oa::TriggerPolicy policy) {
+    oa::AnalysisFlowSpec spec;
+    spec.name = name;
+    spec.input_uuids = std::move(inputs);
+    spec.policy = policy;
+    spec.compute = &login;
+    spec.function_id = analysis_fn;
+    spec.staging = &scratch;
+    spec.staging_collection = "staging";
+    spec.storage = &eagle;
+    spec.collection = "data";
+    spec.base_path = name;
+    spec.output_names = {"combined.txt"};
+    return spec;
+  }
+};
+
+TEST_F(AeroServerTest, IngestionDetectsUpdateAndStoresBothVersions) {
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://feed/a", std::vector<std::pair<of::SimTime, std::string>>{
+                            {0, "hello"}});
+  oa::IngestionHandles handles =
+      server.register_ingestion(ingestion_spec("flow-a", source));
+  loop.run_until(kHour);
+
+  EXPECT_EQ(server.updates_detected(), 1u);
+  EXPECT_EQ(server.ingestion_runs(), 1u);
+  // Raw and transformed objects versioned once each.
+  EXPECT_EQ(server.db().latest_version_number(handles.raw_uuid), 1);
+  EXPECT_EQ(server.db().latest_version_number(handles.output_uuid), 1);
+  // Payloads live on the durable endpoint, transformed correctly.
+  EXPECT_EQ(eagle.get("data", "flow-a/raw", server.token()).bytes, "hello");
+  EXPECT_EQ(eagle.get("data", "flow-a/transformed", server.token()).bytes,
+            "HELLO");
+  // Metadata checksum matches the stored payload.
+  auto ver = server.db().latest_version(handles.output_uuid);
+  EXPECT_EQ(ver->checksum, osprey::crypto::Sha256::hash_hex("HELLO"));
+}
+
+TEST_F(AeroServerTest, NoReingestWithoutUpstreamChange) {
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://feed/a", std::vector<std::pair<of::SimTime, std::string>>{
+                            {0, "same"}});
+  oa::IngestionHandles handles =
+      server.register_ingestion(ingestion_spec("flow-a", source));
+  loop.run_until(5 * kDay);
+  EXPECT_EQ(server.polls(), 6u);  // day 0..5
+  EXPECT_EQ(server.updates_detected(), 1u);
+  EXPECT_EQ(server.db().latest_version_number(handles.output_uuid), 1);
+}
+
+TEST_F(AeroServerTest, NewUpstreamContentCreatesNewVersion) {
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://feed/a",
+      std::vector<std::pair<of::SimTime, std::string>>{
+          {0, "week1"}, {7 * kDay, "week2"}});
+  oa::IngestionHandles handles =
+      server.register_ingestion(ingestion_spec("flow-a", source));
+  loop.run_until(10 * kDay);
+  EXPECT_EQ(server.updates_detected(), 2u);
+  EXPECT_EQ(server.db().latest_version_number(handles.output_uuid), 2);
+  EXPECT_EQ(eagle.get("data", "flow-a/transformed", server.token()).bytes,
+            "WEEK2");
+}
+
+TEST_F(AeroServerTest, AnalysisTriggeredByIngestionOutput) {
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://feed/a", std::vector<std::pair<of::SimTime, std::string>>{
+                            {0, "payload"}});
+  oa::IngestionHandles handles =
+      server.register_ingestion(ingestion_spec("ing", source));
+  std::vector<std::string> outputs = server.register_analysis(
+      analysis_spec("ana", {handles.output_uuid}, oa::TriggerPolicy::kAny));
+  ASSERT_EQ(outputs.size(), 1u);
+
+  loop.run_until(kHour);
+  EXPECT_EQ(server.analysis_runs(), 1u);
+  EXPECT_EQ(server.db().latest_version_number(outputs[0]), 1);
+  EXPECT_EQ(eagle.get("data", "ana/combined.txt", server.token()).bytes,
+            "PAYLOAD|");
+}
+
+TEST_F(AeroServerTest, AllPolicyWaitsForEveryInput) {
+  auto src_a = std::make_shared<oa::ScriptedSource>(
+      "https://feed/a", std::vector<std::pair<of::SimTime, std::string>>{
+                            {0, "aa"}});
+  auto src_b = std::make_shared<oa::ScriptedSource>(
+      "https://feed/b", std::vector<std::pair<of::SimTime, std::string>>{
+                            {2 * kDay, "bb"}});
+  auto ha = server.register_ingestion(ingestion_spec("ia", src_a));
+  auto hb = server.register_ingestion(ingestion_spec("ib", src_b));
+  std::vector<std::string> outputs = server.register_analysis(analysis_spec(
+      "agg", {ha.output_uuid, hb.output_uuid}, oa::TriggerPolicy::kAll));
+
+  loop.run_until(kDay);  // only A has data
+  EXPECT_EQ(server.analysis_runs(), 0u);
+  loop.run_until(3 * kDay);  // B arrived on day 2
+  EXPECT_EQ(server.analysis_runs(), 1u);
+  EXPECT_EQ(eagle.get("data", "agg/combined.txt", server.token()).bytes,
+            "AA|BB|");
+  EXPECT_EQ(server.db().latest_version_number(outputs[0]), 1);
+}
+
+TEST_F(AeroServerTest, AnyPolicyFiresPerInputUpdate) {
+  auto src_a = std::make_shared<oa::ScriptedSource>(
+      "https://feed/a", std::vector<std::pair<of::SimTime, std::string>>{
+                            {0, "a1"}});
+  auto src_b = std::make_shared<oa::ScriptedSource>(
+      "https://feed/b", std::vector<std::pair<of::SimTime, std::string>>{
+                            {kDay, "b1"}});
+  auto ha = server.register_ingestion(ingestion_spec("ia", src_a));
+  auto hb = server.register_ingestion(ingestion_spec("ib", src_b));
+  server.register_analysis(analysis_spec(
+      "any", {ha.output_uuid, hb.output_uuid}, oa::TriggerPolicy::kAny));
+  loop.run_until(2 * kDay);
+  EXPECT_EQ(server.analysis_runs(), 2u);  // once per input update
+}
+
+TEST_F(AeroServerTest, ProvenanceRecordsInputsAndOutputs) {
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://feed/a", std::vector<std::pair<of::SimTime, std::string>>{
+                            {0, "x"}});
+  auto handles = server.register_ingestion(ingestion_spec("ing", source));
+  auto outputs = server.register_analysis(
+      analysis_spec("ana", {handles.output_uuid}, oa::TriggerPolicy::kAny));
+  loop.run_until(kHour);
+
+  const auto& runs = server.db().runs();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].kind, oa::FlowKind::kIngestion);
+  EXPECT_EQ(runs[0].status, oa::RunStatus::kSucceeded);
+  EXPECT_EQ(runs[0].outputs.size(), 2u);  // raw + transformed
+  EXPECT_EQ(runs[1].kind, oa::FlowKind::kAnalysis);
+  ASSERT_EQ(runs[1].inputs.size(), 1u);
+  EXPECT_EQ(runs[1].inputs[0].uuid, handles.output_uuid);
+  EXPECT_EQ(runs[1].outputs[0].uuid, outputs[0]);
+  // The flow takes nonzero virtual time (transfers + compute).
+  EXPECT_GT(runs[1].ended, runs[1].started);
+}
+
+TEST_F(AeroServerTest, FailingAnalysisRecordedAsFailedRun) {
+  std::string bad_fn = login.register_function(
+      "bad", [](const Value&) -> Value { throw std::runtime_error("no"); },
+      kSecond);
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://feed/a", std::vector<std::pair<of::SimTime, std::string>>{
+                            {0, "x"}});
+  auto handles = server.register_ingestion(ingestion_spec("ing", source));
+  oa::AnalysisFlowSpec spec =
+      analysis_spec("bad-ana", {handles.output_uuid}, oa::TriggerPolicy::kAny);
+  spec.function_id = bad_fn;
+  auto outputs = server.register_analysis(std::move(spec));
+  loop.run_until(kHour);
+  EXPECT_EQ(server.failed_runs(), 1u);
+  EXPECT_EQ(server.db().latest_version_number(outputs[0]), 0);
+}
+
+TEST_F(AeroServerTest, RegistrationValidation) {
+  oa::IngestionFlowSpec bad;
+  bad.name = "bad";
+  EXPECT_THROW(server.register_ingestion(std::move(bad)),
+               ou::InvalidArgument);
+
+  oa::AnalysisFlowSpec ana;
+  ana.name = "ana";
+  ana.input_uuids = {"not-a-registered-uuid"};
+  ana.compute = &login;
+  ana.function_id = analysis_fn;
+  ana.staging = &scratch;
+  ana.staging_collection = "staging";
+  ana.storage = &eagle;
+  ana.collection = "data";
+  ana.output_names = {"x"};
+  EXPECT_THROW(server.register_analysis(std::move(ana)),
+               ou::InvalidArgument);
+}
+
+TEST_F(AeroServerTest, MetadataNeverStoresPayloads) {
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://feed/a", std::vector<std::pair<of::SimTime, std::string>>{
+                            {0, "SECRET-PAYLOAD"}});
+  auto handles = server.register_ingestion(ingestion_spec("ing", source));
+  loop.run_until(kHour);
+  // The metadata DB holds checksums/paths, never bytes.
+  auto ver = server.db().latest_version(handles.raw_uuid);
+  ASSERT_TRUE(ver.has_value());
+  EXPECT_EQ(ver->checksum.size(), 64u);
+  EXPECT_EQ(ver->checksum.find("SECRET"), std::string::npos);
+  EXPECT_EQ(ver->path.find("SECRET"), std::string::npos);
+  EXPECT_EQ(ver->size_bytes, 14u);
+}

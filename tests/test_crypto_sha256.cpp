@@ -1,0 +1,73 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace oc = osprey::crypto;
+
+// NIST / well-known SHA-256 test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(oc::Sha256::hash_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(oc::Sha256::hash_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      oc::Sha256::hash_hex(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  oc::Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.hex_digest(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string payload = "day,conc\n0,10.5\n1,20.25\n";
+  oc::Sha256 h;
+  for (char c : payload) h.update(&c, 1);
+  EXPECT_EQ(h.hex_digest(), oc::Sha256::hash_hex(payload));
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Lengths around the 55/56/64-byte padding boundaries must all work
+  // and be distinct.
+  std::set<std::string> digests;
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    digests.insert(oc::Sha256::hash_hex(std::string(len, 'x')));
+  }
+  EXPECT_EQ(digests.size(), 9u);
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  oc::Sha256 h;
+  h.update("abc");
+  std::string first = h.hex_digest();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(h.hex_digest(), first);
+}
+
+TEST(Sha256, UpdateAfterDigestThrows) {
+  oc::Sha256 h;
+  h.update("abc");
+  h.digest();
+  EXPECT_THROW(h.update("more"), osprey::util::Error);
+}
+
+TEST(Sha256, SensitiveToSingleBitChange) {
+  std::string a = "versioned-data";
+  std::string b = a;
+  b[0] ^= 1;
+  EXPECT_NE(oc::Sha256::hash_hex(a), oc::Sha256::hash_hex(b));
+}

@@ -1,0 +1,138 @@
+/// Heterogeneous resources and multi-facility execution — OSPREY goal 1
+/// context ("allocating heterogeneous resources (CPU, GPU, and
+/// accelerators) based on task needs" and the prior paper's
+/// "multi-facility HPC workflows"). In EMEWS terms: task types route
+/// work to matching worker pools, and pools on different (simulated)
+/// facilities drain a shared task database.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "emews/pool_launcher.hpp"
+#include "emews/task_api.hpp"
+#include "emews/worker_pool.hpp"
+#include "fabric/scheduler.hpp"
+
+namespace oe = osprey::emews;
+namespace of = osprey::fabric;
+namespace ou = osprey::util;
+using ou::Value;
+using ou::ValueObject;
+
+TEST(Heterogeneous, TaskTypesRouteToMatchingPools) {
+  oe::TaskDb db;
+  std::atomic<int> cpu_done{0}, gpu_done{0};
+  oe::WorkerPool cpu_pool(db, "model:cpu",
+                          [&cpu_done](const Value& v) {
+                            ++cpu_done;
+                            return v;
+                          },
+                          2, "cpu-pool");
+  oe::WorkerPool gpu_pool(db, "model:gpu",
+                          [&gpu_done](const Value& v) {
+                            ++gpu_done;
+                            return v;
+                          },
+                          1, "gpu-pool");
+
+  oe::TaskQueue cpu_queue(db, "model:cpu");
+  oe::TaskQueue gpu_queue(db, "model:gpu");
+  std::vector<oe::TaskFuture> futures;
+  for (int i = 0; i < 12; ++i) {
+    // Route by task "size": big jobs to the accelerator.
+    bool big = i % 3 == 0;
+    ValueObject payload;
+    payload["i"] = Value(i);
+    futures.push_back((big ? gpu_queue : cpu_queue)
+                          .submit(Value(std::move(payload))));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(gpu_done.load(), 4);
+  EXPECT_EQ(cpu_done.load(), 8);
+  cpu_pool.shutdown();
+  gpu_pool.shutdown();
+}
+
+TEST(Heterogeneous, TwoFacilitiesDrainOneQueue) {
+  // Two simulated facilities (separate PBS schedulers) each launch a
+  // pool against the SAME task database — the multi-facility pattern of
+  // the original OSPREY prototype.
+  of::EventLoop loop;
+  oe::TaskDb db;
+  of::BatchScheduler bebop(loop, 2, "bebop-pbs");
+  of::BatchScheduler improv(loop, 2, "improv-pbs");
+
+  std::atomic<int> evaluated{0};
+  // Each evaluation takes ~2 ms so that (even on one core) both pools'
+  // workers get scheduled and participate.
+  oe::ModelFn model = [&evaluated](const Value& v) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ++evaluated;
+    return v;
+  };
+  oe::PoolLaunchSpec spec_a;
+  spec_a.name = "bebop-pool";
+  spec_a.n_workers = 2;
+  oe::PoolLaunchSpec spec_b;
+  spec_b.name = "improv-pool";
+  spec_b.n_workers = 2;
+  oe::LaunchedPool pool_a(bebop, db, "shared", model, spec_a);
+  oe::LaunchedPool pool_b(improv, db, "shared", model, spec_b);
+  loop.run_until(ou::kMinute);  // both facility jobs start
+  ASSERT_TRUE(pool_a.started());
+  ASSERT_TRUE(pool_b.started());
+
+  oe::TaskQueue queue(db, "shared");
+  std::vector<oe::TaskFuture> futures;
+  for (int i = 0; i < 40; ++i) {
+    futures.push_back(queue.submit(Value(ValueObject{})));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(evaluated.load(), 40);
+
+  pool_a.stop();
+  pool_b.stop();
+  // Both facilities did real work (the queue is shared, so exact split
+  // varies; each pool must have evaluated at least one task).
+  EXPECT_GE(pool_a.pool().tasks_evaluated(), 1u);
+  EXPECT_GE(pool_b.pool().tasks_evaluated(), 1u);
+  EXPECT_EQ(pool_a.pool().tasks_evaluated() +
+                pool_b.pool().tasks_evaluated(),
+            40u);
+}
+
+TEST(Heterogeneous, PriorityExpressesResourceUrgency) {
+  // Urgent analyses (the paper's rapid-response framing) preempt queued
+  // routine work via task priority.
+  oe::TaskDb db;
+  std::vector<int> order;
+  std::mutex order_mutex;
+  // Submit before the pool starts so the queue ordering is decisive.
+  oe::TaskQueue queue(db, "work");
+  std::vector<oe::TaskFuture> futures;
+  for (int i = 0; i < 5; ++i) {
+    ValueObject payload;
+    payload["id"] = Value(i);
+    futures.push_back(queue.submit(Value(std::move(payload)),
+                                   /*priority=*/0));
+  }
+  ValueObject urgent;
+  urgent["id"] = Value(99);
+  futures.push_back(queue.submit(Value(std::move(urgent)), /*priority=*/10));
+
+  oe::WorkerPool pool(db, "work",
+                      [&](const Value& v) {
+                        std::lock_guard<std::mutex> lock(order_mutex);
+                        order.push_back(
+                            static_cast<int>(v.at("id").as_int()));
+                        return Value(ValueObject{});
+                      },
+                      1);
+  for (auto& f : futures) f.wait();
+  pool.shutdown();
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order.front(), 99);  // urgent work ran first
+}

@@ -1,0 +1,161 @@
+#include "emews/interleave.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "emews/task_api.hpp"
+#include "emews/worker_pool.hpp"
+#include "util/error.hpp"
+
+namespace oe = osprey::emews;
+namespace ou = osprey::util;
+using ou::Value;
+using ou::ValueObject;
+
+namespace {
+
+/// A miniature MUSIC-shaped cooperative algorithm: submits a batch,
+/// waits for all futures (one poll check at a time), then submits single
+/// tasks for `n_iterations` refinement rounds.
+class BatchThenSingles final : public oe::CoopAlgorithm {
+ public:
+  BatchThenSingles(std::string name, oe::TaskQueue queue,
+                   std::size_t batch_size, std::size_t n_iterations)
+      : name_(std::move(name)),
+        queue_(std::move(queue)),
+        batch_size_(batch_size),
+        remaining_iterations_(n_iterations) {}
+
+  std::string name() const override { return name_; }
+
+  void start() override {
+    for (std::size_t i = 0; i < batch_size_; ++i) {
+      pending_.push_back(queue_.submit(Value(ValueObject{})));
+    }
+  }
+
+  oe::PollResult poll() override {
+    ++polls_;
+    if (pending_.empty()) return oe::PollResult::kFinished;
+    // Check exactly one future.
+    if (!pending_[cursor_ % pending_.size()].is_done()) {
+      ++cursor_;
+      return oe::PollResult::kBlocked;
+    }
+    pending_.erase(pending_.begin() +
+                   static_cast<std::ptrdiff_t>(cursor_ % pending_.size()));
+    results_collected_++;
+    if (pending_.empty()) {
+      if (remaining_iterations_ > 0) {
+        --remaining_iterations_;
+        pending_.push_back(queue_.submit(Value(ValueObject{})));
+      } else {
+        return oe::PollResult::kFinished;
+      }
+    }
+    return oe::PollResult::kProgress;
+  }
+
+  std::size_t results_collected() const { return results_collected_; }
+  std::size_t polls() const { return polls_; }
+
+ private:
+  std::string name_;
+  oe::TaskQueue queue_;
+  std::size_t batch_size_;
+  std::size_t remaining_iterations_;
+  std::vector<oe::TaskFuture> pending_;
+  std::size_t cursor_ = 0;
+  std::size_t results_collected_ = 0;
+  std::size_t polls_ = 0;
+};
+
+Value slow_model(const Value&) {
+  std::this_thread::sleep_for(std::chrono::microseconds(300));
+  return Value(ValueObject{});
+}
+
+}  // namespace
+
+TEST(Interleave, SingleInstanceCompletes) {
+  oe::TaskDb db;
+  oe::WorkerPool pool(db, "t", slow_model, 2);
+  oe::InterleavedDriver driver(db);
+  auto algo = std::make_shared<BatchThenSingles>("a", oe::TaskQueue(db, "t"),
+                                                 4, 3);
+  driver.add(algo);
+  driver.run();
+  EXPECT_EQ(algo->results_collected(), 4u + 3u);
+  pool.shutdown();
+}
+
+TEST(Interleave, ManyInstancesAllComplete) {
+  oe::TaskDb db;
+  oe::WorkerPool pool(db, "t", slow_model, 3);
+  oe::InterleavedDriver driver(db);
+  std::vector<std::shared_ptr<BatchThenSingles>> algos;
+  for (int i = 0; i < 10; ++i) {
+    algos.push_back(std::make_shared<BatchThenSingles>(
+        "inst" + std::to_string(i), oe::TaskQueue(db, "t"), 5, 4));
+    driver.add(algos.back());
+  }
+  driver.run();
+  for (const auto& a : algos) {
+    EXPECT_EQ(a->results_collected(), 9u);
+  }
+  pool.shutdown();
+  EXPECT_EQ(pool.tasks_evaluated(), 10u * 9u);
+  EXPECT_GT(driver.total_polls(), 0u);
+}
+
+TEST(Interleave, DriverSleepsInsteadOfSpinning) {
+  oe::TaskDb db;
+  // Slow model: each evaluation takes ~20 ms, so a spinning driver would
+  // rack up enormous poll counts; the condition-variable sleep bounds it.
+  oe::WorkerPool pool(db, "t",
+                      [](const Value&) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(20));
+                        return Value(ValueObject{});
+                      },
+                      1);
+  oe::InterleavedDriver driver(db);
+  auto algo = std::make_shared<BatchThenSingles>("a", oe::TaskQueue(db, "t"),
+                                                 2, 2);
+  driver.add(algo);
+  driver.run();
+  pool.shutdown();
+  EXPECT_GT(driver.blocked_waits(), 0u);
+  EXPECT_LT(driver.total_polls(), 1000u);
+}
+
+TEST(Interleave, SequentialDriverAlsoCompletes) {
+  oe::TaskDb db;
+  oe::WorkerPool pool(db, "t", slow_model, 2);
+  oe::SequentialDriver driver(db);
+  std::vector<std::shared_ptr<BatchThenSingles>> algos;
+  for (int i = 0; i < 4; ++i) {
+    algos.push_back(std::make_shared<BatchThenSingles>(
+        "seq" + std::to_string(i), oe::TaskQueue(db, "t"), 3, 2));
+    driver.add(algos.back());
+  }
+  driver.run();
+  for (const auto& a : algos) EXPECT_EQ(a->results_collected(), 5u);
+  pool.shutdown();
+}
+
+TEST(Interleave, EmptyDriverThrows) {
+  oe::TaskDb db;
+  oe::InterleavedDriver driver(db);
+  EXPECT_THROW(driver.run(), ou::InvalidArgument);
+  oe::SequentialDriver seq(db);
+  EXPECT_THROW(seq.run(), ou::InvalidArgument);
+}
+
+TEST(Interleave, NullAlgorithmRejected) {
+  oe::TaskDb db;
+  oe::InterleavedDriver driver(db);
+  EXPECT_THROW(driver.add(nullptr), ou::InvalidArgument);
+}

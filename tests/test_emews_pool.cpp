@@ -1,0 +1,146 @@
+#include "emews/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "emews/interleave.hpp"
+#include "emews/pool_launcher.hpp"
+#include "emews/task_api.hpp"
+
+namespace oe = osprey::emews;
+namespace of = osprey::fabric;
+namespace ou = osprey::util;
+using ou::Value;
+using ou::ValueObject;
+
+namespace {
+
+Value square_model(const Value& payload) {
+  double x = payload.at("x").as_double();
+  ValueObject out;
+  out["y"] = Value(x * x);
+  return Value(std::move(out));
+}
+
+Value make_x(double x) {
+  ValueObject payload;
+  payload["x"] = Value(x);
+  return Value(std::move(payload));
+}
+
+}  // namespace
+
+TEST(WorkerPool, EvaluatesSubmittedTasks) {
+  oe::TaskDb db;
+  oe::TaskQueue queue(db, "sq");
+  oe::WorkerPool pool(db, "sq", square_model, 2, "test-pool");
+  std::vector<oe::TaskFuture> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(queue.submit(make_x(i)));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(futures[static_cast<std::size_t>(i)].get()
+                         .at("y").as_double(),
+                     static_cast<double>(i) * i);
+  }
+  pool.shutdown();
+  EXPECT_EQ(pool.tasks_evaluated(), 20u);
+}
+
+TEST(WorkerPool, ShutdownDrainsQueueFirst) {
+  oe::TaskDb db;
+  oe::TaskQueue queue(db, "sq");
+  std::vector<oe::TaskFuture> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(queue.submit(make_x(i)));
+  oe::WorkerPool pool(db, "sq", square_model, 1);
+  pool.shutdown();  // poison has lower priority than the real work
+  for (auto& f : futures) EXPECT_TRUE(f.is_done());
+  EXPECT_EQ(pool.tasks_evaluated(), 10u);
+}
+
+TEST(WorkerPool, ModelExceptionFailsTask) {
+  oe::TaskDb db;
+  oe::TaskQueue queue(db, "sq");
+  oe::WorkerPool pool(db, "sq",
+                      [](const Value&) -> Value {
+                        throw std::runtime_error("sim crashed");
+                      },
+                      1);
+  oe::TaskFuture f = queue.submit(make_x(1.0));
+  oe::TaskRecord rec = f.wait();
+  EXPECT_EQ(rec.status, oe::TaskStatus::kFailed);
+  EXPECT_NE(rec.error.find("sim crashed"), std::string::npos);
+  pool.shutdown();
+}
+
+TEST(WorkerPool, WorkerStatsAccount) {
+  oe::TaskDb db;
+  oe::TaskQueue queue(db, "sq");
+  oe::WorkerPool pool(db, "sq",
+                      [](const Value& p) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(2));
+                        return square_model(p);
+                      },
+                      2, "stats-pool");
+  for (int i = 0; i < 8; ++i) queue.submit(make_x(i));
+  pool.shutdown();
+  auto stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  std::uint64_t total = 0;
+  for (const auto& s : stats) {
+    total += s.tasks_evaluated;
+    EXPECT_NE(s.name.find("stats-pool/w"), std::string::npos);
+  }
+  EXPECT_EQ(total, 8u);
+  EXPECT_GT(pool.utilization(), 0.0);
+  EXPECT_LE(pool.utilization(), 1.0);
+}
+
+TEST(WorkerPool, DbCloseStopsWorkers) {
+  oe::TaskDb db;
+  oe::WorkerPool pool(db, "sq", square_model, 2);
+  db.close();
+  pool.shutdown();  // must not hang or throw
+  EXPECT_EQ(pool.tasks_evaluated(), 0u);
+}
+
+TEST(LaunchedPool, StartsWhenSchedulerRunsJob) {
+  of::EventLoop loop;
+  oe::TaskDb db;
+  oe::TaskQueue queue(db, "sq");
+  of::BatchScheduler pbs(loop, 2);
+  oe::PoolLaunchSpec spec;
+  spec.name = "launched";
+  spec.n_workers = 2;
+  oe::LaunchedPool launched(pbs, db, "sq", square_model, spec);
+  EXPECT_FALSE(launched.started());
+  EXPECT_THROW(launched.pool(), ou::InvalidArgument);
+
+  loop.run_until(ou::kMinute);  // scheduler starts the job
+  ASSERT_TRUE(launched.started());
+
+  oe::TaskFuture f = queue.submit(make_x(3.0));
+  EXPECT_DOUBLE_EQ(f.get().at("y").as_double(), 9.0);
+  launched.stop();
+  EXPECT_EQ(launched.pool().tasks_evaluated(), 1u);
+  EXPECT_EQ(pbs.job(launched.job_id()).state, of::JobState::kRunning);
+}
+
+TEST(LaunchedPool, QueueWaitDelaysStart) {
+  of::EventLoop loop;
+  oe::TaskDb db;
+  of::BatchScheduler pbs(loop, 1);
+  // Occupy the single node for 2 hours.
+  pbs.submit({"blocker", 1, 4 * ou::kHour, [] { return 2 * ou::kHour; }});
+  oe::PoolLaunchSpec spec;
+  spec.n_workers = 1;
+  oe::LaunchedPool launched(pbs, db, "sq", square_model, spec);
+  loop.run_until(ou::kHour);
+  EXPECT_FALSE(launched.started());  // still queued behind the blocker
+  loop.run_until(3 * ou::kHour);
+  EXPECT_TRUE(launched.started());
+  launched.stop();
+}

@@ -1,0 +1,147 @@
+#include "epi/abm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "num/stats.hpp"
+#include "util/error.hpp"
+
+namespace oe = osprey::epi;
+namespace on = osprey::num;
+
+namespace {
+
+oe::MetaRvmTrajectory run_abm(const oe::AbmConfig& cfg,
+                              const oe::MetaRvmParams& params,
+                              std::uint64_t seed) {
+  oe::AgentBasedModel model(cfg);
+  on::RngStream rng(seed);
+  return model.run(params, rng);
+}
+
+}  // namespace
+
+TEST(Abm, ConservesAgentsAndProducesEpidemic) {
+  oe::AbmConfig cfg;
+  cfg.n_agents = 10'000;
+  cfg.initial_infections = 20;
+  cfg.days = 90;
+  oe::MetaRvmParams params;
+  params.ts = 0.4;
+  oe::MetaRvmTrajectory traj = run_abm(cfg, params, 1);
+  for (const auto& day : traj.groups[0].daily) {
+    EXPECT_EQ(day.total(), cfg.n_agents);
+  }
+  EXPECT_GT(traj.total_infections(), 500);
+  EXPECT_GT(traj.total_hospitalizations(), 0);
+}
+
+TEST(Abm, DeterministicPerSeed) {
+  oe::AbmConfig cfg;
+  cfg.n_agents = 5'000;
+  cfg.initial_infections = 10;
+  cfg.days = 60;
+  oe::MetaRvmParams params;
+  auto a = run_abm(cfg, params, 42);
+  auto b = run_abm(cfg, params, 42);
+  auto c = run_abm(cfg, params, 43);
+  EXPECT_EQ(a.groups[0].new_infections, b.groups[0].new_infections);
+  EXPECT_EQ(a.total_hospitalizations(), b.total_hospitalizations());
+  // Different seeds: the daily series virtually surely differ (totals
+  // alone can coincide).
+  EXPECT_NE(a.groups[0].new_infections, c.groups[0].new_infections);
+}
+
+TEST(Abm, NoTransmissionAtZeroRate) {
+  oe::AbmConfig cfg;
+  cfg.n_agents = 2'000;
+  cfg.initial_infections = 10;
+  cfg.days = 60;
+  oe::MetaRvmParams params;
+  params.ts = 0.0;
+  params.tv = 0.0;
+  auto traj = run_abm(cfg, params, 2);
+  EXPECT_EQ(traj.total_infections(), 0);
+}
+
+TEST(Abm, VaccinationProtects) {
+  oe::AbmConfig no_vax;
+  no_vax.n_agents = 20'000;
+  no_vax.initial_infections = 20;
+  no_vax.days = 120;
+  oe::AbmConfig vax = no_vax;
+  vax.vax_rate_per_day = 0.03;
+  oe::MetaRvmParams params;
+  params.ts = 0.35;
+  params.tv = 0.05;
+  params.ve = 0.8;
+  double base = 0.0, protected_total = 0.0;
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    base += static_cast<double>(
+        oe::AgentBasedModel(no_vax)
+            .run(params, *std::make_unique<on::RngStream>(
+                             on::RngStream(9).substream(r)))
+            .total_infections());
+    protected_total += static_cast<double>(
+        oe::AgentBasedModel(vax)
+            .run(params, *std::make_unique<on::RngStream>(
+                             on::RngStream(9).substream(r)))
+            .total_infections());
+  }
+  EXPECT_LT(protected_total, 0.8 * base);
+}
+
+TEST(Abm, AgreesWithMetaRvmMeanField) {
+  // Same parameters, same population size: the ABM's attack rate should
+  // track the chain-binomial metapopulation model's (both approximate
+  // the same mean field).
+  const std::int64_t pop = 50'000;
+  oe::MetaRvmParams params;
+  params.ts = 0.4;
+  oe::AbmConfig acfg;
+  acfg.n_agents = pop;
+  acfg.initial_infections = 50;
+  acfg.days = 120;
+  oe::MetaRvm meta(oe::MetaRvmConfig::single_group(pop, 50, 120));
+
+  double abm_attack = 0.0, meta_attack = 0.0;
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    on::RngStream rng_a = on::RngStream(5).substream(r);
+    abm_attack += static_cast<double>(
+                      oe::AgentBasedModel(acfg).run(params, rng_a)
+                          .total_infections()) /
+                  static_cast<double>(pop);
+    on::RngStream rng_m = on::RngStream(6).substream(r);
+    meta_attack += static_cast<double>(
+                       meta.run(params, rng_m).total_infections()) /
+                   static_cast<double>(pop);
+  }
+  abm_attack /= 3.0;
+  meta_attack /= 3.0;
+  EXPECT_NEAR(abm_attack, meta_attack, 0.10);
+  EXPECT_GT(abm_attack, 0.3);  // a real epidemic happened in both
+}
+
+TEST(Abm, QoiUsesReplicateSubstreams) {
+  oe::AbmConfig cfg;
+  cfg.n_agents = 5'000;
+  cfg.initial_infections = 10;
+  cfg.days = 45;
+  oe::AgentBasedModel model(cfg);
+  oe::MetaRvmParams params;
+  EXPECT_DOUBLE_EQ(model.hospitalization_qoi(params, 3, 0),
+                   model.hospitalization_qoi(params, 3, 0));
+  EXPECT_NE(model.hospitalization_qoi(params, 3, 0),
+            model.hospitalization_qoi(params, 3, 1));
+}
+
+TEST(Abm, ConfigValidation) {
+  oe::AbmConfig cfg;
+  cfg.n_agents = 0;
+  EXPECT_THROW(oe::AgentBasedModel{cfg}, osprey::util::InvalidArgument);
+  cfg = oe::AbmConfig{};
+  cfg.initial_infections = cfg.n_agents + 1;
+  EXPECT_THROW(oe::AgentBasedModel{cfg}, osprey::util::InvalidArgument);
+  cfg = oe::AbmConfig{};
+  cfg.contacts_per_day = 0.0;
+  EXPECT_THROW(oe::AgentBasedModel{cfg}, osprey::util::InvalidArgument);
+}

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "epi/kernels.hpp"
+#include "epi/seir.hpp"
+#include "util/error.hpp"
+
+namespace oe = osprey::epi;
+
+TEST(Seir, ConservesPopulation) {
+  oe::SeirParams p;
+  oe::SeirState init{99000.0, 0.0, 1000.0, 0.0};
+  oe::SeirTrajectory traj = oe::run_seir(p, init, 200);
+  for (const oe::SeirState& s : traj.states) {
+    EXPECT_NEAR(s.n(), 100000.0, 1e-6);
+    EXPECT_GE(s.s, -1e-9);
+    EXPECT_GE(s.e, -1e-9);
+    EXPECT_GE(s.i, -1e-9);
+    EXPECT_GE(s.r, -1e-9);
+  }
+}
+
+TEST(Seir, EpidemicGrowsWhenR0AboveOne) {
+  oe::SeirParams p;
+  p.beta = 0.5;
+  p.di = 5.0;  // R0 = 2.5
+  ASSERT_GT(p.r0(), 1.0);
+  oe::SeirState init{999900.0, 0.0, 100.0, 0.0};
+  oe::SeirTrajectory traj = oe::run_seir(p, init, 300);
+  // Most of the population ends up recovered (final size of R0=2.5
+  // epidemic is ~89%).
+  double attack_rate = traj.states.back().r / init.n();
+  EXPECT_GT(attack_rate, 0.85);
+  EXPECT_LT(attack_rate, 0.95);
+}
+
+TEST(Seir, EpidemicDiesWhenR0BelowOne) {
+  oe::SeirParams p;
+  p.beta = 0.1;
+  p.di = 5.0;  // R0 = 0.5
+  oe::SeirState init{99000.0, 0.0, 1000.0, 0.0};
+  oe::SeirTrajectory traj = oe::run_seir(p, init, 365);
+  EXPECT_LT(traj.states.back().r / init.n(), 0.05);
+  EXPECT_LT(traj.states.back().i, 1.0);
+}
+
+TEST(Seir, IncidenceSumsToSusceptibleDepletion) {
+  oe::SeirParams p;
+  oe::SeirState init{50000.0, 0.0, 50.0, 0.0};
+  oe::SeirTrajectory traj = oe::run_seir(p, init, 100);
+  double total_inc =
+      std::accumulate(traj.incidence.begin(), traj.incidence.end(), 0.0);
+  EXPECT_NEAR(total_inc, init.s - traj.states.back().s, 1e-6);
+}
+
+TEST(Seir, InvalidArgumentsThrow) {
+  oe::SeirParams p;
+  p.de = 0.0;
+  EXPECT_THROW(oe::run_seir(p, {}, 10), osprey::util::InvalidArgument);
+  EXPECT_THROW(oe::run_seir(oe::SeirParams{}, {}, -1),
+               osprey::util::InvalidArgument);
+  EXPECT_THROW(oe::run_seir(oe::SeirParams{}, {}, 10, 0),
+               osprey::util::InvalidArgument);
+}
+
+TEST(Kernels, DiscretizedGammaSumsToOne) {
+  for (double mean : {3.0, 5.2, 8.0}) {
+    std::vector<double> w = oe::discretized_gamma(mean, 1.9, 14);
+    EXPECT_EQ(w.size(), 14u);
+    double sum = std::accumulate(w.begin(), w.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    for (double x : w) EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(Kernels, DiscretizedGammaMeanApproximatelyCorrect) {
+  std::vector<double> w = oe::discretized_gamma(5.2, 1.9, 20);
+  double mean = 0.0;
+  for (std::size_t s = 0; s < w.size(); ++s) {
+    mean += w[s] * (static_cast<double>(s) + 1.0);
+  }
+  // Discretization to [s-1, s) bins shifts the mean by ~+0.5 day.
+  EXPECT_NEAR(mean, 5.7, 0.25);
+}
+
+TEST(Kernels, GenerationIntervalPeaksNearMean) {
+  std::vector<double> w = oe::default_generation_interval();
+  std::size_t peak = 0;
+  for (std::size_t s = 1; s < w.size(); ++s) {
+    if (w[s] > w[peak]) peak = s;
+  }
+  EXPECT_GE(peak + 1, 4u);
+  EXPECT_LE(peak + 1, 6u);
+}
+
+TEST(Kernels, SheddingKernelLongerThanGenerationInterval) {
+  EXPECT_GT(oe::default_shedding_kernel().size(),
+            oe::default_generation_interval().size());
+}
+
+TEST(Kernels, RenewalPressureHandlesShortHistory) {
+  std::vector<double> inc{10.0, 20.0};
+  std::vector<double> w{0.5, 0.3, 0.2};
+  // t=0: no history at all.
+  EXPECT_DOUBLE_EQ(oe::renewal_pressure(inc, 0, w), 0.0);
+  // t=1: only lag-1 available.
+  EXPECT_DOUBLE_EQ(oe::renewal_pressure(inc, 1, w), 0.5 * 10.0);
+}
+
+TEST(Kernels, RenewalPressureFullWindow) {
+  std::vector<double> inc{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> w{0.6, 0.4};
+  // t=3: 0.6*inc[2] + 0.4*inc[1].
+  EXPECT_DOUBLE_EQ(oe::renewal_pressure(inc, 3, w), 0.6 * 3.0 + 0.4 * 2.0);
+}
+
+TEST(Kernels, InvalidGammaThrows) {
+  EXPECT_THROW(oe::discretized_gamma(-1.0, 1.0, 10),
+               osprey::util::InvalidArgument);
+  EXPECT_THROW(oe::discretized_gamma(5.0, 1.0, 0),
+               osprey::util::InvalidArgument);
+}

@@ -1,0 +1,190 @@
+/// Tests for the extension features: provenance lineage queries, the
+/// naive Cori-on-concentration baseline, MUSIC total-order trajectories
+/// and alternative acquisition functions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aero/metadata_db.hpp"
+#include "epi/wastewater.hpp"
+#include "gsa/music.hpp"
+#include "num/stats.hpp"
+#include "rt/cori.hpp"
+#include "util/error.hpp"
+
+namespace oa = osprey::aero;
+namespace oe = osprey::epi;
+namespace og = osprey::gsa;
+namespace on = osprey::num;
+namespace ort = osprey::rt;
+
+namespace {
+
+/// Build the Figure-1-shaped provenance graph:
+///   raw_a -> run0 -> out_a ─┐
+///   raw_b -> run1 -> out_b ─┴-> run2 -> agg
+struct Graph {
+  oa::MetadataDb db;
+  std::string raw_a, out_a, raw_b, out_b, agg;
+};
+
+Graph make_graph() {
+  Graph g;
+  g.raw_a = g.db.register_object("raw-a", "");
+  g.out_a = g.db.register_object("out-a", "ing-a");
+  g.raw_b = g.db.register_object("raw-b", "");
+  g.out_b = g.db.register_object("out-b", "ing-b");
+  g.agg = g.db.register_object("agg", "aggregate");
+  for (const std::string* u : {&g.raw_a, &g.out_a, &g.raw_b, &g.out_b, &g.agg}) {
+    g.db.add_version(*u, "c", 1, 0, "e", "c", "p");
+  }
+  std::uint64_t r0 = g.db.start_run("ing-a", oa::FlowKind::kIngestion, "t",
+                                    {{g.raw_a, 1}}, "ep", 0);
+  g.db.finish_run(r0, oa::RunStatus::kSucceeded, {{g.out_a, 1}}, 1);
+  std::uint64_t r1 = g.db.start_run("ing-b", oa::FlowKind::kIngestion, "t",
+                                    {{g.raw_b, 1}}, "ep", 0);
+  g.db.finish_run(r1, oa::RunStatus::kSucceeded, {{g.out_b, 1}}, 1);
+  std::uint64_t r2 = g.db.start_run("aggregate", oa::FlowKind::kAnalysis, "t",
+                                    {{g.out_a, 1}, {g.out_b, 1}}, "ep", 2);
+  g.db.finish_run(r2, oa::RunStatus::kSucceeded, {{g.agg, 1}}, 3);
+  return g;
+}
+
+bool contains(const std::vector<std::string>& xs, const std::string& x) {
+  for (const auto& v : xs) {
+    if (v == x) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(Lineage, UpstreamWalksToTheRoots) {
+  Graph g = make_graph();
+  auto lineage = g.db.upstream_lineage(g.agg);
+  EXPECT_EQ(lineage.object_uuids.size(), 5u);  // everything feeds agg
+  EXPECT_TRUE(contains(lineage.object_uuids, g.raw_a));
+  EXPECT_TRUE(contains(lineage.object_uuids, g.raw_b));
+  EXPECT_EQ(lineage.run_ids.size(), 3u);
+}
+
+TEST(Lineage, UpstreamOfIntermediateStopsThere) {
+  Graph g = make_graph();
+  auto lineage = g.db.upstream_lineage(g.out_a);
+  EXPECT_EQ(lineage.object_uuids.size(), 2u);  // out_a + raw_a
+  EXPECT_TRUE(contains(lineage.object_uuids, g.raw_a));
+  EXPECT_FALSE(contains(lineage.object_uuids, g.raw_b));
+  EXPECT_EQ(lineage.run_ids.size(), 1u);
+}
+
+TEST(Lineage, DownstreamAnswersImpactQuestion) {
+  Graph g = make_graph();
+  // If raw_a was bad, out_a and agg must be recomputed — but not out_b.
+  auto impact = g.db.downstream_lineage(g.raw_a);
+  EXPECT_TRUE(contains(impact.object_uuids, g.out_a));
+  EXPECT_TRUE(contains(impact.object_uuids, g.agg));
+  EXPECT_FALSE(contains(impact.object_uuids, g.out_b));
+  EXPECT_EQ(impact.run_ids.size(), 2u);
+}
+
+TEST(Lineage, LeafHasTrivialDownstream) {
+  Graph g = make_graph();
+  auto impact = g.db.downstream_lineage(g.agg);
+  EXPECT_EQ(impact.object_uuids.size(), 1u);
+  EXPECT_TRUE(impact.run_ids.empty());
+}
+
+TEST(Lineage, UnknownObjectThrows) {
+  Graph g = make_graph();
+  EXPECT_THROW(g.db.upstream_lineage("nope"), osprey::util::NotFound);
+  EXPECT_THROW(g.db.downstream_lineage("nope"), osprey::util::NotFound);
+}
+
+TEST(NaiveCori, RunsOnSparseSamplesAndIsWorseThanNothingSpecial) {
+  oe::Plant plant = oe::chicago_plants()[0];
+  oe::WastewaterConfig cfg;
+  cfg.days = 100;
+  oe::WastewaterGenerator gen(plant, oe::chicago_truths()[0], cfg, 9);
+  ort::CoriResult naive =
+      ort::estimate_cori_from_concentration(gen.samples(), 100);
+  EXPECT_EQ(naive.series.days(), 100u);
+  // Still produces a bounded, positive R(t) series.
+  for (std::size_t t = 20; t < 100; ++t) {
+    EXPECT_GT(naive.series.median[t], 0.0);
+    EXPECT_LT(naive.series.median[t], 5.0);
+  }
+  // It correlates with the truth (the signal is there) ...
+  std::vector<double> truth = gen.true_rt();
+  truth.resize(100);
+  std::vector<double> est_mid(naive.series.median.begin() + 20,
+                              naive.series.median.end() - 10);
+  std::vector<double> truth_mid(truth.begin() + 20, truth.end() - 10);
+  EXPECT_GT(on::correlation(est_mid, truth_mid), 0.3);
+}
+
+TEST(NaiveCori, InputValidation) {
+  std::vector<oe::WwSample> one{{0, 1.0}};
+  EXPECT_THROW(ort::estimate_cori_from_concentration(one, 10),
+               osprey::util::InvalidArgument);
+  std::vector<oe::WwSample> two{{0, 1.0}, {50, 1.0}};
+  EXPECT_THROW(ort::estimate_cori_from_concentration(two, 40),
+               osprey::util::InvalidArgument);  // horizon before last sample
+}
+
+TEST(MusicTotalOrder, RecordedAlongsideFirstOrder) {
+  og::MusicConfig cfg;
+  cfg.ranges = {{"a", 0.0, 1.0}, {"b", 0.0, 1.0}};
+  cfg.n_init = 8;
+  cfg.n_total = 14;
+  cfg.n_candidates = 40;
+  cfg.surrogate_mc_n = 512;
+  cfg.gp.mle_restarts = 0;
+  // Interaction model: ST should exceed S1.
+  og::MusicResult result = og::run_music(cfg, [](const on::Vector& x) {
+    return (x[0] - 0.5) * (x[1] - 0.5) + 0.3 * x[0];
+  });
+  for (const auto& step : result.trajectory) {
+    ASSERT_EQ(step.st.size(), 2u);
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_GE(step.st[j], step.s1[j] - 0.1);
+    }
+  }
+  // Dimension 1 is interaction-only: S1 ~ 0 but ST clearly positive.
+  const auto& last = result.trajectory.back();
+  EXPECT_GT(last.st[1], last.s1[1] + 0.1);
+}
+
+TEST(Acquisitions, AllVariantsCompleteAndRecover) {
+  // Exact S1 = (0.8, 0.2) for y = 2 x0 + x1.
+  for (og::Acquisition acq :
+       {og::Acquisition::kEigf, og::Acquisition::kVariance,
+        og::Acquisition::kEi, og::Acquisition::kUcb,
+        og::Acquisition::kRandom}) {
+    og::MusicConfig cfg;
+    cfg.ranges = {{"a", 0.0, 1.0}, {"b", 0.0, 1.0}};
+    cfg.n_init = 8;
+    cfg.n_total = 20;
+    cfg.n_candidates = 40;
+    cfg.surrogate_mc_n = 512;
+    cfg.gp.mle_restarts = 0;
+    cfg.acquisition = acq;
+    og::MusicResult result = og::run_music(cfg, [](const on::Vector& x) {
+      return 2.0 * x[0] + x[1];
+    });
+    EXPECT_EQ(result.evaluations, 20u) << og::acquisition_name(acq);
+    EXPECT_NEAR(result.final_s1[0], 0.8, 0.1) << og::acquisition_name(acq);
+    EXPECT_NEAR(result.final_s1[1], 0.2, 0.1) << og::acquisition_name(acq);
+  }
+}
+
+TEST(Acquisitions, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (og::Acquisition acq :
+       {og::Acquisition::kEigf, og::Acquisition::kVariance,
+        og::Acquisition::kEi, og::Acquisition::kUcb,
+        og::Acquisition::kRandom}) {
+    names.insert(og::acquisition_name(acq));
+  }
+  EXPECT_EQ(names.size(), 5u);
+}

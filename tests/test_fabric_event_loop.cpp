@@ -1,0 +1,108 @@
+#include "fabric/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace of = osprey::fabric;
+using osprey::util::kDay;
+using osprey::util::kHour;
+using osprey::util::kSecond;
+
+TEST(EventLoop, StartsAtZero) {
+  of::EventLoop loop;
+  EXPECT_EQ(loop.now(), 0);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, FiresInTimeOrder) {
+  of::EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(3 * kSecond, [&] { order.push_back(3); });
+  loop.schedule_at(1 * kSecond, [&] { order.push_back(1); });
+  loop.schedule_at(2 * kSecond, [&] { order.push_back(2); });
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 3 * kSecond);
+}
+
+TEST(EventLoop, StableOrderAtEqualTimes) {
+  of::EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(kSecond, [&order, i] { order.push_back(i); });
+  }
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, RunUntilAdvancesClockEvenWithoutEvents) {
+  of::EventLoop loop;
+  EXPECT_EQ(loop.run_until(5 * kDay), 0u);
+  EXPECT_EQ(loop.now(), 5 * kDay);
+}
+
+TEST(EventLoop, RunUntilLeavesLaterEventsPending) {
+  of::EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(1 * kHour, [&] { ++fired; });
+  loop.schedule_at(3 * kHour, [&] { ++fired; });
+  EXPECT_EQ(loop.run_until(2 * kHour), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, EventsMayScheduleEvents) {
+  of::EventLoop loop;
+  std::vector<of::SimTime> times;
+  loop.schedule_at(kSecond, [&] {
+    times.push_back(loop.now());
+    loop.schedule_after(kSecond, [&] { times.push_back(loop.now()); });
+  });
+  loop.run_all();
+  EXPECT_EQ(times, (std::vector<of::SimTime>{kSecond, 2 * kSecond}));
+}
+
+TEST(EventLoop, CancelPreventsFiring) {
+  of::EventLoop loop;
+  bool fired = false;
+  of::EventId id = loop.schedule_at(kSecond, [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // already cancelled
+  loop.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, CancelledTombstonesDoNotBlockRunUntil) {
+  of::EventLoop loop;
+  of::EventId id = loop.schedule_at(kSecond, [] {});
+  loop.schedule_at(2 * kSecond, [] {});
+  loop.cancel(id);
+  EXPECT_EQ(loop.run_until(3 * kSecond), 1u);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, SchedulingInPastThrows) {
+  of::EventLoop loop;
+  loop.schedule_at(kSecond, [] {});
+  loop.run_all();
+  EXPECT_THROW(loop.schedule_at(0, [] {}), osprey::util::InvalidArgument);
+  EXPECT_THROW(loop.schedule_after(-1, [] {}),
+               osprey::util::InvalidArgument);
+}
+
+TEST(EventLoop, RunawayLoopIsCapped) {
+  of::EventLoop loop;
+  std::function<void()> rearm = [&] { loop.schedule_after(1, rearm); };
+  loop.schedule_after(1, rearm);
+  EXPECT_THROW(loop.run_all(1000), osprey::util::Error);
+}
+
+TEST(EventLoop, ProcessedCounter) {
+  of::EventLoop loop;
+  for (int i = 0; i < 7; ++i) loop.schedule_at(i * kSecond, [] {});
+  loop.run_all();
+  EXPECT_EQ(loop.events_processed(), 7u);
+}

@@ -1,0 +1,112 @@
+#include "fabric/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace of = osprey::fabric;
+using osprey::util::kHour;
+using osprey::util::kMinute;
+
+TEST(Scheduler, RunsJobImmediatelyWhenNodesFree) {
+  of::EventLoop loop;
+  of::BatchScheduler pbs(loop, 4);
+  bool ran = false;
+  of::JobId id = pbs.submit({"job", 2, kHour, [&] {
+                               ran = true;
+                               return 30 * kMinute;
+                             }});
+  loop.run_all();
+  EXPECT_TRUE(ran);
+  const of::JobRecord& rec = pbs.job(id);
+  EXPECT_EQ(rec.state, of::JobState::kComplete);
+  EXPECT_EQ(rec.queue_wait(), 0);
+  EXPECT_EQ(rec.ended - rec.started, 30 * kMinute);
+  EXPECT_EQ(pbs.free_nodes(), 4);
+}
+
+TEST(Scheduler, QueuesWhenMachineFull) {
+  of::EventLoop loop;
+  of::BatchScheduler pbs(loop, 1);
+  of::JobId first = pbs.submit({"first", 1, kHour, [] { return kHour / 2; }});
+  of::JobId second =
+      pbs.submit({"second", 1, kHour, [] { return 10 * kMinute; }});
+  loop.run_all();
+  EXPECT_EQ(pbs.job(first).queue_wait(), 0);
+  // Second starts only when the first releases its node.
+  EXPECT_EQ(pbs.job(second).started, pbs.job(first).ended);
+}
+
+TEST(Scheduler, BackfillSkipsTooLargeJob) {
+  of::EventLoop loop;
+  of::BatchScheduler pbs(loop, 4);
+  // Hold 3 nodes.
+  pbs.submit({"wide", 3, kHour, [] { return kHour; }});
+  // Next in FIFO wants 4 nodes (cannot fit now); a later 1-node job can
+  // backfill the free node.
+  of::JobId big = pbs.submit({"big", 4, kHour, [] { return kMinute; }});
+  of::JobId small = pbs.submit({"small", 1, kHour, [] { return kMinute; }});
+  loop.run_until(10 * kMinute);
+  EXPECT_EQ(pbs.job(small).state, of::JobState::kComplete);
+  EXPECT_EQ(pbs.job(big).state, of::JobState::kQueued);
+  loop.run_all();
+  EXPECT_EQ(pbs.job(big).state, of::JobState::kComplete);
+}
+
+TEST(Scheduler, WalltimeKill) {
+  of::EventLoop loop;
+  of::BatchScheduler pbs(loop, 1);
+  of::JobId id =
+      pbs.submit({"runaway", 1, 10 * kMinute, [] { return 5 * kHour; }});
+  loop.run_all();
+  const of::JobRecord& rec = pbs.job(id);
+  EXPECT_EQ(rec.state, of::JobState::kTimeout);
+  EXPECT_EQ(rec.ended - rec.started, 10 * kMinute);  // killed at walltime
+}
+
+TEST(Scheduler, CancelQueuedJob) {
+  of::EventLoop loop;
+  of::BatchScheduler pbs(loop, 1);
+  pbs.submit({"holder", 1, kHour, [] { return kHour; }});
+  of::JobId queued = pbs.submit({"victim", 1, kHour, [] { return kMinute; }});
+  loop.run_until(osprey::util::kSecond);  // holder started, victim queued
+  EXPECT_TRUE(pbs.cancel(queued));
+  loop.run_all();
+  EXPECT_EQ(pbs.job(queued).state, of::JobState::kCancelled);
+  EXPECT_FALSE(pbs.cancel(queued));
+}
+
+TEST(Scheduler, RejectsOversizedAndInvalidJobs) {
+  of::EventLoop loop;
+  of::BatchScheduler pbs(loop, 2);
+  EXPECT_THROW(pbs.submit({"too-big", 3, kHour, [] { return kMinute; }}),
+               osprey::util::InvalidArgument);
+  EXPECT_THROW(pbs.submit({"no-work", 1, kHour, nullptr}),
+               osprey::util::InvalidArgument);
+}
+
+TEST(Scheduler, UtilizationReflectsLoad) {
+  of::EventLoop loop;
+  of::BatchScheduler pbs(loop, 2);
+  // Two 1-node jobs of 1h run in parallel on a 2-node machine: 100%.
+  pbs.submit({"a", 1, 2 * kHour, [] { return kHour; }});
+  pbs.submit({"b", 1, 2 * kHour, [] { return kHour; }});
+  loop.run_all();
+  EXPECT_NEAR(pbs.utilization(), 1.0, 1e-9);
+}
+
+TEST(Scheduler, JobRunsAtVirtualStartTime) {
+  of::EventLoop loop;
+  of::BatchScheduler pbs(loop, 1);
+  of::SimTime observed = -1;
+  pbs.submit({"first", 1, kHour, [&loop] {
+                (void)loop;
+                return 20 * kMinute;
+              }});
+  pbs.submit({"second", 1, kHour, [&] {
+                observed = loop.now();
+                return kMinute;
+              }});
+  loop.run_all();
+  EXPECT_EQ(observed, 20 * kMinute);  // body ran when the job started
+}

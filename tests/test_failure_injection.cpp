@@ -1,0 +1,309 @@
+/// Failure injection: flaky upstream feeds, injected transfer failures,
+/// walltime kills — and the orchestration layer's recovery behaviour
+/// (counted fetch errors, failed-run provenance, AERO retries).
+
+#include <gtest/gtest.h>
+
+#include "aero/server.hpp"
+#include "util/log.hpp"
+#include "util/error.hpp"
+
+namespace oa = osprey::aero;
+namespace of = osprey::fabric;
+namespace ou = osprey::util;
+using ou::kDay;
+using ou::kHour;
+using ou::kMinute;
+using ou::kSecond;
+using ou::Value;
+using ou::ValueObject;
+
+namespace {
+
+/// A source whose fetch() throws on scripted virtual days.
+class FlakySource final : public oa::DataSource {
+ public:
+  FlakySource(std::string payload, std::vector<int> bad_days)
+      : payload_(std::move(payload)), bad_days_(std::move(bad_days)) {}
+
+  std::string url() const override { return "https://flaky/feed"; }
+
+  std::optional<std::string> fetch(oa::SimTime now) override {
+    int day = static_cast<int>(ou::sim_day(now));
+    for (int bad : bad_days_) {
+      if (day == bad) throw std::runtime_error("upstream 503");
+    }
+    return payload_;
+  }
+
+ private:
+  std::string payload_;
+  std::vector<int> bad_days_;
+};
+
+Value identity_transform(const Value& args) {
+  ValueObject out;
+  out["output"] = args.at("input");
+  return Value(std::move(out));
+}
+
+Value trivial_analysis(const Value& args) {
+  ValueObject outputs;
+  outputs["out.txt"] =
+      Value("n=" + std::to_string(args.at("inputs").size()));
+  ValueObject out;
+  out["outputs"] = Value(std::move(outputs));
+  return Value(std::move(out));
+}
+
+}  // namespace
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  of::EventLoop loop;
+  of::AuthService auth;
+  of::TimerService timers{loop, auth};
+  of::TransferService transfers{loop, auth, kSecond, 100.0e6};
+  of::FlowsService flows{loop, auth};
+  oa::AeroServer server{loop, auth, timers, transfers, flows};
+  of::StorageEndpoint eagle{"eagle", loop, auth};
+  of::StorageEndpoint scratch{"scratch", loop, auth};
+  of::ComputeEndpoint login{"login", loop, auth, 2};
+  std::string transform_fn, analysis_fn;
+
+  void SetUp() override {
+    osprey::util::set_log_level(osprey::util::LogLevel::kOff);
+    eagle.create_collection("data", server.token());
+    scratch.create_collection("staging", server.token());
+    transform_fn =
+        login.register_function("id", identity_transform, 10 * kSecond);
+    analysis_fn =
+        login.register_function("triv", trivial_analysis, 10 * kSecond);
+  }
+
+  void TearDown() override {
+    osprey::util::set_log_level(osprey::util::LogLevel::kWarn);
+  }
+
+  oa::IngestionFlowSpec spec_with(std::shared_ptr<oa::DataSource> source,
+                                  int max_retries = 0) {
+    oa::IngestionFlowSpec spec;
+    spec.name = "ing";
+    spec.source = std::move(source);
+    spec.poll_period = kDay;
+    spec.compute = &login;
+    spec.function_id = transform_fn;
+    spec.staging = &scratch;
+    spec.staging_collection = "staging";
+    spec.storage = &eagle;
+    spec.collection = "data";
+    spec.base_path = "ing";
+    spec.max_retries = max_retries;
+    spec.retry_backoff = 10 * kMinute;
+    return spec;
+  }
+};
+
+TEST_F(FailureInjectionTest, FlakySourceDoesNotKillTheServer) {
+  auto source = std::make_shared<FlakySource>(
+      "payload", std::vector<int>{0, 1, 2});  // first three days down
+  auto handles = server.register_ingestion(spec_with(source));
+  loop.run_until(5 * kDay);
+  EXPECT_EQ(server.fetch_errors(), 3u);
+  // Day 3's poll succeeded and ingested.
+  EXPECT_EQ(server.updates_detected(), 1u);
+  EXPECT_EQ(server.db().latest_version_number(handles.output_uuid), 1);
+}
+
+TEST_F(FailureInjectionTest, InjectedTransferFailureFailsTheRun) {
+  transfers.inject_failures(1.0, 99);  // every transfer fails
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://ok/feed", std::vector<std::pair<of::SimTime, std::string>>{
+                             {0, "data"}});
+  auto handles = server.register_ingestion(spec_with(source));
+  loop.run_until(kDay);
+  EXPECT_GE(server.failed_runs(), 1u);
+  EXPECT_EQ(server.db().latest_version_number(handles.output_uuid), 0);
+  EXPECT_GE(transfers.injected_failures(), 1u);
+  // Provenance records the failure.
+  bool saw_failed = false;
+  for (const auto& run : server.db().runs()) {
+    if (run.status == oa::RunStatus::kFailed) saw_failed = true;
+  }
+  EXPECT_TRUE(saw_failed);
+}
+
+TEST_F(FailureInjectionTest, RetrySucceedsAfterTransientFailures) {
+  // ~40% of transfers fail; with retries the ingestion eventually lands.
+  transfers.inject_failures(0.4, 7);
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://ok/feed", std::vector<std::pair<of::SimTime, std::string>>{
+                             {0, "data"}});
+  auto handles = server.register_ingestion(spec_with(source, /*retries=*/10));
+  loop.run_until(2 * kDay);
+  EXPECT_EQ(server.db().latest_version_number(handles.output_uuid), 1)
+      << "retries: " << server.retries()
+      << " failed: " << server.failed_runs();
+  EXPECT_EQ(eagle.get("data", "ing/transformed", server.token()).bytes,
+            "data");
+}
+
+TEST_F(FailureInjectionTest, AnalysisRetriesAfterComputeFailure) {
+  // Analysis function fails the first two invocations, then succeeds.
+  int calls = 0;
+  std::string flaky_fn = login.register_function(
+      "flaky",
+      [&calls](const Value& args) -> Value {
+        if (++calls <= 2) throw std::runtime_error("transient OOM");
+        return trivial_analysis(args);
+      },
+      10 * kSecond);
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://ok/feed", std::vector<std::pair<of::SimTime, std::string>>{
+                             {0, "data"}});
+  auto handles = server.register_ingestion(spec_with(source));
+
+  oa::AnalysisFlowSpec ana;
+  ana.name = "ana";
+  ana.input_uuids = {handles.output_uuid};
+  ana.policy = oa::TriggerPolicy::kAny;
+  ana.compute = &login;
+  ana.function_id = flaky_fn;
+  ana.staging = &scratch;
+  ana.staging_collection = "staging";
+  ana.storage = &eagle;
+  ana.collection = "data";
+  ana.base_path = "ana";
+  ana.output_names = {"out.txt"};
+  ana.max_retries = 3;
+  ana.retry_backoff = 10 * kMinute;
+  auto outputs = server.register_analysis(std::move(ana));
+
+  loop.run_until(kDay);
+  EXPECT_EQ(calls, 3);  // two failures + the successful retry
+  EXPECT_EQ(server.db().latest_version_number(outputs[0]), 1);
+  EXPECT_EQ(server.failed_runs(), 2u);
+  EXPECT_EQ(server.retries(), 2u);
+}
+
+TEST_F(FailureInjectionTest, NoRetryBudgetMeansPermanentFailure) {
+  std::string always_bad = login.register_function(
+      "bad", [](const Value&) -> Value { throw std::runtime_error("no"); },
+      kSecond);
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://ok/feed", std::vector<std::pair<of::SimTime, std::string>>{
+                             {0, "data"}});
+  oa::IngestionFlowSpec spec = spec_with(source, /*retries=*/0);
+  spec.function_id = always_bad;
+  auto handles = server.register_ingestion(std::move(spec));
+  loop.run_until(kDay);
+  EXPECT_EQ(server.db().latest_version_number(handles.output_uuid), 0);
+  EXPECT_EQ(server.retries(), 0u);
+  EXPECT_EQ(server.failed_runs(), 1u);
+}
+
+TEST(WalltimeKill, BatchTaskFailsAndJobTimesOut) {
+  of::EventLoop loop;
+  of::AuthService auth;
+  of::BatchScheduler pbs(loop, 1);
+  of::ComputeEndpoint compute("compute", loop, auth, pbs);
+  compute.set_batch_walltime(kHour);
+  std::string token = auth.issue_full_token("u");
+
+  bool fn_ran = false;
+  std::string fn = compute.register_function(
+      "long-job",
+      [&fn_ran](const Value&) {
+        fn_ran = true;
+        return Value(1);
+      },
+      3 * kHour);  // cost exceeds the 1h walltime
+
+  osprey::util::set_log_level(osprey::util::LogLevel::kOff);
+  bool saw_failure = false;
+  of::SimTime completed_at = -1;
+  compute.execute(fn, Value(ValueObject{}), token,
+                  [&](const Value& result, const of::ComputeTaskRecord& rec) {
+                    saw_failure = rec.status == of::ComputeTaskStatus::kFailed;
+                    EXPECT_NE(rec.error.find("walltime"), std::string::npos);
+                    EXPECT_TRUE(result.is_null());
+                    completed_at = rec.completed;
+                  });
+  loop.run_all();
+  osprey::util::set_log_level(osprey::util::LogLevel::kWarn);
+
+  EXPECT_TRUE(saw_failure);
+  EXPECT_FALSE(fn_ran);  // outputs never materialize
+  EXPECT_EQ(completed_at, kHour);  // killed at the walltime
+  // The scheduler's view agrees.
+  ASSERT_EQ(pbs.jobs().size(), 1u);
+  EXPECT_EQ(pbs.jobs()[0].state, of::JobState::kTimeout);
+  EXPECT_EQ(pbs.jobs()[0].ended - pbs.jobs()[0].started, kHour);
+}
+
+TEST(WalltimeKill, WithinWalltimeSucceeds) {
+  of::EventLoop loop;
+  of::AuthService auth;
+  of::BatchScheduler pbs(loop, 1);
+  of::ComputeEndpoint compute("compute", loop, auth, pbs);
+  compute.set_batch_walltime(kHour);
+  std::string token = auth.issue_full_token("u");
+  std::string fn = compute.register_function(
+      "ok-job", [](const Value&) { return Value(7); }, 30 * kMinute);
+  Value result;
+  compute.execute(fn, Value(ValueObject{}), token,
+                  [&](const Value& r, const of::ComputeTaskRecord& rec) {
+                    result = r;
+                    EXPECT_EQ(rec.status, of::ComputeTaskStatus::kSucceeded);
+                  });
+  loop.run_all();
+  EXPECT_EQ(result.as_int(), 7);
+  EXPECT_EQ(pbs.jobs()[0].state, of::JobState::kComplete);
+}
+
+TEST(TransferInjection, RateZeroNeverFails) {
+  of::EventLoop loop;
+  of::AuthService auth;
+  of::StorageEndpoint a("a", loop, auth), b("b", loop, auth);
+  of::TransferService transfers(loop, auth);
+  std::string token = auth.issue_full_token("u");
+  a.create_collection("c", token);
+  b.create_collection("c", token);
+  a.put("c", "x", "data", token);
+  transfers.inject_failures(0.0, 1);
+  for (int i = 0; i < 20; ++i) {
+    transfers.transfer(a, "c", "x", b, "c", "x" + std::to_string(i), token);
+  }
+  loop.run_all();
+  EXPECT_EQ(transfers.completed_count(), 20u);
+  EXPECT_EQ(transfers.injected_failures(), 0u);
+}
+
+TEST(TransferInjection, RateIsApproximatelyHonored) {
+  of::EventLoop loop;
+  of::AuthService auth;
+  of::StorageEndpoint a("a", loop, auth), b("b", loop, auth);
+  of::TransferService transfers(loop, auth);
+  std::string token = auth.issue_full_token("u");
+  a.create_collection("c", token);
+  b.create_collection("c", token);
+  a.put("c", "x", "data", token);
+  transfers.inject_failures(0.3, 42);
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    transfers.transfer(a, "c", "x", b, "c", "y" + std::to_string(i), token);
+  }
+  loop.run_all();
+  double rate = static_cast<double>(transfers.injected_failures()) / n;
+  EXPECT_NEAR(rate, 0.3, 0.08);
+  EXPECT_EQ(transfers.completed_count() + transfers.injected_failures(),
+            static_cast<std::size_t>(n));
+}
+
+TEST(TransferInjection, InvalidRateRejected) {
+  of::EventLoop loop;
+  of::AuthService auth;
+  of::TransferService transfers(loop, auth);
+  EXPECT_THROW(transfers.inject_failures(1.5, 1), ou::InvalidArgument);
+  EXPECT_THROW(transfers.inject_failures(-0.1, 1), ou::InvalidArgument);
+}

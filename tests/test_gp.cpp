@@ -1,0 +1,196 @@
+#include "gp/gp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "num/sampling.hpp"
+#include "num/stats.hpp"
+#include "util/error.hpp"
+
+namespace og = osprey::gp;
+namespace on = osprey::num;
+
+namespace {
+
+double test_fn(const on::Vector& u) {
+  // Smooth 2-D function on the unit square.
+  return std::sin(3.0 * u[0]) + 0.5 * std::cos(5.0 * u[1]) + u[0] * u[1];
+}
+
+/// Fit a GP on an n-point LHS of test_fn.
+og::GaussianProcess fit_test_gp(std::size_t n, std::uint64_t seed = 1) {
+  on::RngStream rng(seed);
+  on::Matrix x = on::latin_hypercube(n, 2, rng);
+  on::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = test_fn(x.row(i));
+  og::GaussianProcess gp;
+  gp.fit(x, y);
+  return gp;
+}
+
+}  // namespace
+
+TEST(Kernel, SymmetricAndPsdShape) {
+  og::ArdSqExpKernel k;
+  k.lengthscales = {0.5, 0.2};
+  k.variance = 2.0;
+  on::Vector a{0.1, 0.2}, b{0.3, 0.9};
+  EXPECT_DOUBLE_EQ(k(a, b), k(b, a));
+  EXPECT_DOUBLE_EQ(k(a, a), 2.0);      // k(x,x) = variance
+  EXPECT_LT(k(a, b), k(a, a));         // correlation decays
+  EXPECT_GT(k(a, b), 0.0);
+}
+
+TEST(Kernel, AnisotropyMatters) {
+  og::ArdSqExpKernel k;
+  k.lengthscales = {10.0, 0.01};
+  k.variance = 1.0;
+  on::Vector base{0.5, 0.5};
+  on::Vector moved_x1{0.9, 0.5};
+  on::Vector moved_x2{0.5, 0.9};
+  // Long lengthscale in dim 1: moving there barely matters; dim 2 kills
+  // the correlation.
+  EXPECT_GT(k(base, moved_x1), 0.99);
+  EXPECT_LT(k(base, moved_x2), 1e-10);
+}
+
+TEST(Kernel, CovarianceMatrixMatchesPairwise) {
+  og::ArdSqExpKernel k;
+  k.lengthscales = {0.3, 0.3};
+  k.variance = 1.5;
+  on::RngStream rng(2);
+  on::Matrix x = on::latin_hypercube(6, 2, rng);
+  on::Matrix cov = k.covariance(x);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(cov(i, j), k(x.row(i), x.row(j)), 1e-12);
+    }
+  }
+  on::Vector cross = k.cross(x, x.row(3));
+  EXPECT_NEAR(cross[3], 1.5, 1e-12);
+}
+
+TEST(Gp, InterpolatesTrainingPoints) {
+  og::GaussianProcess gp = fit_test_gp(30);
+  // Re-predicting training points: tiny nugget -> near interpolation.
+  on::RngStream rng(1);
+  on::Matrix x = on::latin_hypercube(30, 2, rng);
+  for (std::size_t i = 0; i < 30; i += 7) {
+    og::GpPrediction pred = gp.predict(x.row(i));
+    EXPECT_NEAR(pred.mean, test_fn(x.row(i)), 0.05);
+  }
+}
+
+TEST(Gp, PredictsHeldOutPoints) {
+  og::GaussianProcess gp = fit_test_gp(60);
+  on::RngStream rng(99);
+  std::vector<double> errors;
+  for (int i = 0; i < 50; ++i) {
+    on::Vector u{rng.uniform(), rng.uniform()};
+    errors.push_back(std::fabs(gp.predict(u).mean - test_fn(u)));
+  }
+  EXPECT_LT(on::mean(errors), 0.05);
+}
+
+TEST(Gp, VarianceSmallAtDataLargeFarAway) {
+  // Train only in the lower-left quadrant.
+  on::RngStream rng(5);
+  on::Matrix x(20, 2);
+  on::Vector y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = 0.4 * rng.uniform();
+    x(i, 1) = 0.4 * rng.uniform();
+    y[i] = test_fn(x.row(i));
+  }
+  og::GaussianProcess gp;
+  gp.fit(x, y);
+  double var_near = gp.predict({0.2, 0.2}).variance;
+  double var_far = gp.predict({0.95, 0.95}).variance;
+  EXPECT_GT(var_far, 5.0 * var_near);
+}
+
+TEST(Gp, PredictMeanBatchMatchesSingle) {
+  og::GaussianProcess gp = fit_test_gp(25);
+  on::RngStream rng(7);
+  on::Matrix q = on::latin_hypercube(10, 2, rng);
+  on::Vector batch = gp.predict_mean(q);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(batch[i], gp.predict(q.row(i)).mean, 1e-9);
+  }
+}
+
+TEST(Gp, AddPointImprovesLocalFit) {
+  og::GaussianProcess gp = fit_test_gp(15);
+  on::Vector target{0.77, 0.33};
+  double before_var = gp.predict(target).variance;
+  gp.add_point(target, test_fn(target));
+  double after_var = gp.predict(target).variance;
+  EXPECT_LT(after_var, before_var * 0.5);
+  EXPECT_NEAR(gp.predict(target).mean, test_fn(target), 0.05);
+  EXPECT_EQ(gp.n(), 16u);
+}
+
+TEST(Gp, LogMarginalLikelihoodImprovesWithReoptimize) {
+  on::RngStream rng(11);
+  on::Matrix x = on::latin_hypercube(40, 2, rng);
+  on::Vector y(40);
+  for (std::size_t i = 0; i < 40; ++i) y[i] = test_fn(x.row(i));
+  og::GaussianProcess gp;
+  gp.update_data(x, y);  // default hyperparameters
+  double before = gp.log_marginal_likelihood();
+  gp.reoptimize();
+  double after = gp.log_marginal_likelihood();
+  EXPECT_GE(after, before - 1e-9);
+}
+
+TEST(Gp, NearestResponse) {
+  on::Matrix x(3, 1);
+  x(0, 0) = 0.1;
+  x(1, 0) = 0.5;
+  x(2, 0) = 0.9;
+  on::Vector y{10.0, 20.0, 30.0};
+  og::GaussianProcess gp;
+  gp.update_data(x, y);
+  EXPECT_DOUBLE_EQ(gp.nearest_response({0.45}), 20.0);
+  EXPECT_DOUBLE_EQ(gp.nearest_response({0.95}), 30.0);
+}
+
+TEST(Gp, HandlesNoisyReplicatesViaNugget) {
+  // y = f(x) + noise; the estimated nugget should absorb the noise, and
+  // predictions should sit near the noiseless function.
+  on::RngStream rng(13);
+  const std::size_t n = 80;
+  on::Matrix x = on::latin_hypercube(n, 2, rng);
+  on::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = test_fn(x.row(i)) + 0.2 * rng.normal();
+  }
+  og::GaussianProcess gp;
+  gp.fit(x, y);
+  EXPECT_GT(gp.nugget(), 1e-4);  // noise absorbed
+  std::vector<double> errors;
+  for (int i = 0; i < 40; ++i) {
+    on::Vector u{rng.uniform(), rng.uniform()};
+    errors.push_back(std::fabs(gp.predict(u).mean - test_fn(u)));
+  }
+  EXPECT_LT(on::mean(errors), 0.15);
+}
+
+TEST(Gp, ConstantResponsesDoNotCrash) {
+  on::Matrix x(5, 1);
+  for (std::size_t i = 0; i < 5; ++i) x(i, 0) = 0.2 * static_cast<double>(i);
+  on::Vector y(5, 3.0);
+  og::GaussianProcess gp;
+  gp.fit(x, y);
+  EXPECT_NEAR(gp.predict({0.5}).mean, 3.0, 0.2);
+}
+
+TEST(Gp, PreconditionsEnforced) {
+  og::GaussianProcess gp;
+  EXPECT_THROW(gp.predict({0.5}), osprey::util::InvalidArgument);
+  on::Matrix x(1, 1, 0.5);
+  EXPECT_THROW(gp.fit(x, {1.0}), osprey::util::InvalidArgument);
+  on::Matrix x2(3, 1, 0.5);
+  EXPECT_THROW(gp.fit(x2, {1.0, 2.0}), osprey::util::InvalidArgument);
+}

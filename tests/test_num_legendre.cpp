@@ -1,0 +1,81 @@
+#include "num/legendre.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace on = osprey::num;
+
+namespace {
+
+/// Trapezoid integral of f over [0,1] at high resolution.
+double integrate01(const std::function<double(double)>& f) {
+  const int n = 20000;
+  double acc = 0.5 * (f(0.0) + f(1.0));
+  for (int i = 1; i < n; ++i) {
+    acc += f(static_cast<double>(i) / n);
+  }
+  return acc / n;
+}
+
+}  // namespace
+
+TEST(Legendre, DegreeZeroIsOne) {
+  EXPECT_DOUBLE_EQ(on::legendre01(0, 0.3), 1.0);
+}
+
+TEST(Legendre, KnownLowDegrees) {
+  // Orthonormal shifted Legendre: P~1(u) = sqrt(3)(2u-1),
+  // P~2(u) = sqrt(5)(6u^2-6u+1).
+  for (double u : {0.0, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(on::legendre01(1, u), std::sqrt(3.0) * (2.0 * u - 1.0),
+                1e-12);
+    EXPECT_NEAR(on::legendre01(2, u),
+                std::sqrt(5.0) * (6.0 * u * u - 6.0 * u + 1.0), 1e-12);
+  }
+}
+
+TEST(Legendre, Orthonormality) {
+  for (unsigned j = 0; j <= 4; ++j) {
+    for (unsigned k = j; k <= 4; ++k) {
+      double ip = integrate01([j, k](double u) {
+        return on::legendre01(j, u) * on::legendre01(k, u);
+      });
+      EXPECT_NEAR(ip, j == k ? 1.0 : 0.0, 1e-6) << j << "," << k;
+    }
+  }
+}
+
+TEST(MultiIndices, CountMatchesBinomial) {
+  // |{alpha : |alpha| <= p}| = C(d+p, p).
+  auto indices = on::total_degree_multi_indices(5, 3);
+  EXPECT_EQ(indices.size(), 56u);  // C(8,3)
+  auto indices2 = on::total_degree_multi_indices(2, 4);
+  EXPECT_EQ(indices2.size(), 15u);  // C(6,4)? C(6,2)=15
+}
+
+TEST(MultiIndices, FirstIsZeroAndGraded) {
+  auto indices = on::total_degree_multi_indices(3, 2);
+  EXPECT_EQ(indices[0], (std::vector<unsigned>{0, 0, 0}));
+  unsigned last_grade = 0;
+  for (const auto& idx : indices) {
+    unsigned grade = 0;
+    for (unsigned k : idx) grade += k;
+    EXPECT_GE(grade, last_grade);
+    last_grade = grade;
+    EXPECT_LE(grade, 2u);
+  }
+}
+
+TEST(PceBasis, TensorProductEvaluation) {
+  auto indices = on::total_degree_multi_indices(2, 2);
+  on::Vector u{0.3, 0.7};
+  on::Vector basis = on::evaluate_pce_basis(indices, u);
+  ASSERT_EQ(basis.size(), indices.size());
+  EXPECT_DOUBLE_EQ(basis[0], 1.0);  // constant term
+  for (std::size_t a = 0; a < indices.size(); ++a) {
+    double expected = on::legendre01(indices[a][0], u[0]) *
+                      on::legendre01(indices[a][1], u[1]);
+    EXPECT_NEAR(basis[a], expected, 1e-12);
+  }
+}

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "num/cholesky.hpp"
+#include "num/rng.hpp"
+#include "num/vecmat.hpp"
+#include "util/error.hpp"
+
+namespace on = osprey::num;
+
+TEST(Matrix, ConstructionAndIndexing) {
+  on::Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, RowAccess) {
+  on::Matrix m(2, 2);
+  m.set_row(0, {1.0, 2.0});
+  m.set_row(1, {3.0, 4.0});
+  EXPECT_EQ(m.row(1), (on::Vector{3.0, 4.0}));
+  EXPECT_THROW(m.row(2), osprey::util::InvalidArgument);
+  EXPECT_THROW(m.set_row(0, {1.0}), osprey::util::InvalidArgument);
+}
+
+TEST(Matrix, MatmulIdentity) {
+  on::Matrix a(2, 2);
+  a.set_row(0, {1.0, 2.0});
+  a.set_row(1, {3.0, 4.0});
+  on::Matrix prod = on::matmul(a, on::Matrix::identity(2));
+  EXPECT_DOUBLE_EQ(prod(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(prod(1, 0), 3.0);
+}
+
+TEST(Matrix, MatmulKnownProduct) {
+  on::Matrix a(2, 3);
+  a.set_row(0, {1.0, 2.0, 3.0});
+  a.set_row(1, {4.0, 5.0, 6.0});
+  on::Matrix b(3, 2);
+  b.set_row(0, {7.0, 8.0});
+  b.set_row(1, {9.0, 10.0});
+  b.set_row(2, {11.0, 12.0});
+  on::Matrix c = on::matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+  on::Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(on::matmul(a, b), osprey::util::InvalidArgument);
+  EXPECT_THROW(on::matvec(a, {1.0, 2.0}), osprey::util::InvalidArgument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  on::Matrix a(2, 3);
+  a.set_row(0, {1.0, 2.0, 3.0});
+  a.set_row(1, {4.0, 5.0, 6.0});
+  on::Matrix att = on::transpose(on::transpose(a));
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(att(i, j), a(i, j));
+    }
+  }
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  on::Vector a{1.0, 2.0, 2.0};
+  on::Vector b{2.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(on::dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(on::norm2(a), 3.0);
+  EXPECT_EQ(on::axpy(a, 2.0, b), (on::Vector{5.0, 2.0, 4.0}));
+}
+
+namespace {
+
+/// Random SPD matrix A = B B^T + n I.
+on::Matrix random_spd(std::size_t n, on::RngStream& rng) {
+  on::Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  }
+  on::Matrix a = on::matmul(b, on::transpose(b));
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+}  // namespace
+
+TEST(Cholesky, ReconstructsMatrix) {
+  on::RngStream rng(1);
+  on::Matrix a = random_spd(8, rng);
+  on::Cholesky chol(a);
+  on::Matrix l = chol.lower();
+  on::Matrix llt = on::matmul(l, on::transpose(l));
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(llt(i, j), a(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(Cholesky, SolveResidualSmall) {
+  on::RngStream rng(2);
+  for (std::size_t n : {2u, 5u, 20u, 60u}) {
+    on::Matrix a = random_spd(n, rng);
+    on::Vector x_true(n);
+    for (double& v : x_true) v = rng.normal();
+    on::Vector b = on::matvec(a, x_true);
+    on::Cholesky chol(a);
+    on::Vector x = chol.solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-8) << "n=" << n;
+    }
+  }
+}
+
+TEST(Cholesky, LogDetMatchesKnown) {
+  // diag(4, 9): |A| = 36, log = log(36).
+  on::Matrix a(2, 2, 0.0);
+  a(0, 0) = 4.0;
+  a(1, 1) = 9.0;
+  on::Cholesky chol(a);
+  EXPECT_NEAR(chol.log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+  on::Matrix a(2, 2, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_THROW(on::Cholesky{a}, osprey::util::NumericalError);
+}
+
+TEST(Cholesky, JitterRecoversNearSingular) {
+  // Rank-deficient: ones matrix.
+  on::Matrix a(3, 3, 1.0);
+  double used = -1.0;
+  on::Cholesky chol = on::cholesky_with_jitter(a, 0.0, 12, &used);
+  EXPECT_GT(used, 0.0);
+  on::Vector x = chol.solve(on::Vector{1.0, 1.0, 1.0});
+  EXPECT_EQ(x.size(), 3u);
+}
+
+TEST(Cholesky, MatrixSolve) {
+  on::RngStream rng(3);
+  on::Matrix a = random_spd(4, rng);
+  on::Cholesky chol(a);
+  on::Matrix x = chol.solve(on::Matrix::identity(4));  // X = A^{-1}
+  on::Matrix should_be_identity = on::matmul(a, x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(should_be_identity(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(RidgeSolve, RecoversExactCoefficientsWhenOverdetermined) {
+  on::RngStream rng(4);
+  const std::size_t n = 50, p = 3;
+  on::Matrix x(n, p);
+  on::Vector beta{2.0, -1.0, 0.5};
+  on::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < p; ++j) {
+      x(i, j) = rng.normal();
+      acc += x(i, j) * beta[j];
+    }
+    y[i] = acc;
+  }
+  on::Vector est = on::ridge_solve(x, y, 1e-10);
+  for (std::size_t j = 0; j < p; ++j) {
+    EXPECT_NEAR(est[j], beta[j], 1e-6);
+  }
+}
+
+TEST(RidgeSolve, UnderdeterminedIsStabilized) {
+  // n < p: pure least squares would be singular; ridge must not throw.
+  on::RngStream rng(5);
+  on::Matrix x(3, 6);
+  on::Vector y(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    y[i] = rng.normal();
+    for (std::size_t j = 0; j < 6; ++j) x(i, j) = rng.normal();
+  }
+  on::Vector b = on::ridge_solve(x, y, 1e-4);
+  EXPECT_EQ(b.size(), 6u);
+  for (double v : b) EXPECT_TRUE(std::isfinite(v));
+}

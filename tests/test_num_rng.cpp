@@ -1,0 +1,172 @@
+#include "num/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "num/stats.hpp"
+
+namespace on = osprey::num;
+
+TEST(Rng, DeterministicPerSeed) {
+  on::RngStream a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  EXPECT_NE(on::RngStream(42).next_u64(), c.next_u64());
+}
+
+TEST(Rng, SubstreamsIndependentOfParentDraws) {
+  on::RngStream a(7);
+  on::RngStream b(7);
+  a.next_u64();  // consume from one parent only
+  a.next_u64();
+  EXPECT_EQ(a.substream(3).next_u64(), b.substream(3).next_u64());
+}
+
+TEST(Rng, SubstreamsDiffer) {
+  on::RngStream root(7);
+  EXPECT_NE(root.substream(0).next_u64(), root.substream(1).next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  on::RngStream rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMoments) {
+  on::RngStream rng(2);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.uniform();
+  EXPECT_NEAR(on::mean(xs), 0.5, 0.01);
+  EXPECT_NEAR(on::variance(xs), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntUnbiasedish) {
+  on::RngStream rng(3);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.uniform_int(10)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, 500);  // ~5 sigma
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  on::RngStream rng(4);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.normal(2.0, 3.0);
+  EXPECT_NEAR(on::mean(xs), 2.0, 0.07);
+  EXPECT_NEAR(on::stddev(xs), 3.0, 0.07);
+}
+
+TEST(Rng, ExponentialMean) {
+  on::RngStream rng(5);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.exponential(0.5);
+  EXPECT_NEAR(on::mean(xs), 2.0, 0.05);
+}
+
+TEST(Rng, GammaMomentsAcrossShapes) {
+  on::RngStream rng(6);
+  for (double shape : {0.5, 1.0, 2.5, 10.0}) {
+    std::vector<double> xs(30000);
+    for (double& x : xs) x = rng.gamma(shape, 2.0);
+    EXPECT_NEAR(on::mean(xs), shape * 2.0, 0.12 * shape * 2.0) << shape;
+    EXPECT_NEAR(on::variance(xs), shape * 4.0, 0.15 * shape * 4.0) << shape;
+  }
+}
+
+TEST(Rng, BetaMean) {
+  on::RngStream rng(7);
+  std::vector<double> xs(30000);
+  for (double& x : xs) x = rng.beta(2.0, 5.0);
+  EXPECT_NEAR(on::mean(xs), 2.0 / 7.0, 0.01);
+  for (double x : xs) {
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, PoissonMomentsSmallAndLargeMean) {
+  on::RngStream rng(8);
+  for (double mean : {0.5, 5.0, 40.0, 500.0}) {
+    std::vector<double> xs(30000);
+    for (double& x : xs) x = static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(on::mean(xs), mean, 4.0 * std::sqrt(mean / 30000.0) + 0.01)
+        << mean;
+    EXPECT_NEAR(on::variance(xs), mean, 0.1 * mean + 0.05) << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  on::RngStream rng(9);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  on::RngStream rng(10);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100);
+}
+
+struct BinomialCase {
+  std::int64_t n;
+  double p;
+};
+
+class BinomialMoments : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialMoments, MatchesTheory) {
+  // Covers all three sampler regimes: Bernoulli sum (n<=64), CDF
+  // inversion (np<30) and BTRS rejection (np>=30), plus the p>0.5 flip.
+  const BinomialCase c = GetParam();
+  on::RngStream rng(11);
+  const int reps = 30000;
+  std::vector<double> xs(reps);
+  for (double& x : xs) {
+    std::int64_t k = rng.binomial(c.n, c.p);
+    ASSERT_GE(k, 0);
+    ASSERT_LE(k, c.n);
+    x = static_cast<double>(k);
+  }
+  double mean = static_cast<double>(c.n) * c.p;
+  double var = mean * (1.0 - c.p);
+  EXPECT_NEAR(on::mean(xs), mean, 5.0 * std::sqrt(var / reps) + 1e-9);
+  EXPECT_NEAR(on::variance(xs), var, 0.08 * var + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BinomialMoments,
+    ::testing::Values(BinomialCase{20, 0.3}, BinomialCase{64, 0.5},
+                      BinomialCase{1000, 0.01}, BinomialCase{1000, 0.2},
+                      BinomialCase{1000, 0.85}, BinomialCase{100000, 0.4},
+                      BinomialCase{5000000, 0.001}));
+
+TEST(Rng, PermutationIsPermutation) {
+  on::RngStream rng(12);
+  auto perm = rng.permutation(100);
+  std::vector<bool> seen(100, false);
+  for (std::size_t i : perm) {
+    ASSERT_LT(i, 100u);
+    ASSERT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Rng, LognormalMedian) {
+  on::RngStream rng(13);
+  std::vector<double> xs(40000);
+  for (double& x : xs) x = rng.lognormal(1.0, 0.5);
+  EXPECT_NEAR(on::median(xs), std::exp(1.0), 0.05);
+}

@@ -1,0 +1,126 @@
+#include "num/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "num/stats.hpp"
+#include "util/error.hpp"
+
+namespace on = osprey::num;
+
+TEST(Scaling, BoxRoundTrip) {
+  std::vector<on::ParamRange> ranges{{"a", -1.0, 1.0}, {"b", 10.0, 20.0}};
+  on::Vector u{0.25, 0.5};
+  on::Vector x = on::scale_to_box(u, ranges);
+  EXPECT_DOUBLE_EQ(x[0], -0.5);
+  EXPECT_DOUBLE_EQ(x[1], 15.0);
+  on::Vector back = on::scale_to_unit(x, ranges);
+  EXPECT_NEAR(back[0], 0.25, 1e-14);
+  EXPECT_NEAR(back[1], 0.5, 1e-14);
+}
+
+TEST(Scaling, DegenerateRangeThrows) {
+  std::vector<on::ParamRange> ranges{{"a", 1.0, 1.0}};
+  EXPECT_THROW(on::scale_to_unit({1.0}, ranges),
+               osprey::util::InvalidArgument);
+}
+
+TEST(LatinHypercube, OnePointPerStratum) {
+  on::RngStream rng(1);
+  const std::size_t n = 32, d = 4;
+  on::Matrix design = on::latin_hypercube(n, d, rng);
+  for (std::size_t j = 0; j < d; ++j) {
+    std::set<std::size_t> strata;
+    for (std::size_t i = 0; i < n; ++i) {
+      double v = design(i, j);
+      ASSERT_GE(v, 0.0);
+      ASSERT_LT(v, 1.0);
+      strata.insert(static_cast<std::size_t>(v * static_cast<double>(n)));
+    }
+    EXPECT_EQ(strata.size(), n) << "dimension " << j;
+  }
+}
+
+TEST(LatinHypercube, DeterministicPerStream) {
+  on::RngStream a(5), b(5);
+  on::Matrix d1 = on::latin_hypercube(10, 3, a);
+  on::Matrix d2 = on::latin_hypercube(10, 3, b);
+  EXPECT_EQ(d1.data(), d2.data());
+}
+
+TEST(SobolSequence, RangeAndDeterminism) {
+  on::SobolSequence s1(5), s2(5);
+  for (int i = 0; i < 100; ++i) {
+    on::Vector p1 = s1.next();
+    on::Vector p2 = s2.next();
+    EXPECT_EQ(p1, p2);
+    for (double v : p1) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(SobolSequence, FirstPointsOfDim1AreVanDerCorput) {
+  on::SobolSequence seq(1);
+  // Gray-code order still visits the standard dyadic points.
+  std::set<double> pts;
+  for (int i = 0; i < 8; ++i) pts.insert(seq.next()[0]);
+  // After 8 points the sequence covers multiples of 1/8 exactly once
+  // (the 0 point is skipped, 8 distinct values remain).
+  EXPECT_EQ(pts.size(), 8u);
+  for (double p : pts) {
+    EXPECT_NEAR(std::fmod(p * 16.0, 1.0), 0.0, 1e-12);
+  }
+}
+
+TEST(SobolSequence, LowDiscrepancyBeatsMcOnMeanEstimate) {
+  // Integrating f(u) = prod u_j over [0,1]^3: exact value 1/8.
+  on::SobolSequence seq(3);
+  const std::size_t n = 4096;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    on::Vector p = seq.next();
+    acc += p[0] * p[1] * p[2];
+  }
+  EXPECT_NEAR(acc / static_cast<double>(n), 0.125, 5e-4);
+}
+
+TEST(SobolSequence, EquidistributionPerDimension) {
+  on::SobolSequence seq(10);
+  const std::size_t n = 1024;
+  std::vector<std::vector<double>> cols(10);
+  for (std::size_t i = 0; i < n; ++i) {
+    on::Vector p = seq.next();
+    for (std::size_t j = 0; j < 10; ++j) cols[j].push_back(p[j]);
+  }
+  for (std::size_t j = 0; j < 10; ++j) {
+    EXPECT_NEAR(on::mean(cols[j]), 0.5, 0.01) << "dim " << j;
+  }
+}
+
+TEST(SobolSequence, DimensionLimits) {
+  EXPECT_THROW(on::SobolSequence(0), osprey::util::InvalidArgument);
+  EXPECT_THROW(on::SobolSequence(11), osprey::util::InvalidArgument);
+  EXPECT_NO_THROW(on::SobolSequence(10));
+}
+
+TEST(SobolSequence, GenerateMatrixMatchesNext) {
+  on::SobolSequence a(2), b(2);
+  on::Matrix m = a.generate(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    on::Vector p = b.next();
+    EXPECT_EQ(m.row(i), p);
+  }
+}
+
+TEST(ScaleDesign, AppliesRanges) {
+  std::vector<on::ParamRange> ranges{{"x", 0.0, 10.0}, {"y", -5.0, 5.0}};
+  on::Matrix unit(1, 2);
+  unit.set_row(0, {0.1, 0.9});
+  on::Matrix scaled = on::scale_design(unit, ranges);
+  EXPECT_DOUBLE_EQ(scaled(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(scaled(0, 1), 4.0);
+}

@@ -1,0 +1,104 @@
+#include "num/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "num/special.hpp"
+#include "util/error.hpp"
+
+namespace on = osprey::num;
+
+TEST(Stats, MeanVarianceKnown) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(on::mean(xs), 5.0);
+  EXPECT_NEAR(on::variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, EmptyMeanThrows) {
+  EXPECT_THROW(on::mean({}), osprey::util::InvalidArgument);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(on::variance({3.0}), 0.0);
+}
+
+TEST(Stats, WeightedMean) {
+  EXPECT_DOUBLE_EQ(on::weighted_mean({1.0, 3.0}, {1.0, 3.0}), 2.5);
+  EXPECT_THROW(on::weighted_mean({1.0}, {0.0}), osprey::util::InvalidArgument);
+}
+
+TEST(Stats, QuantileType7) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(on::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(on::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(on::quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(on::quantile(xs, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(on::median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(Stats, RmseMae) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{1.0, 4.0, 1.0};
+  EXPECT_NEAR(on::rmse(a, b), std::sqrt((0.0 + 4.0 + 4.0) / 3.0), 1e-12);
+  EXPECT_NEAR(on::mae(a, b), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, CorrelationPerfectAndConstant) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{2.0, 4.0, 6.0};
+  std::vector<double> c{-1.0, -2.0, -3.0};
+  std::vector<double> flat{5.0, 5.0, 5.0};
+  EXPECT_NEAR(on::correlation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(on::correlation(a, c), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(on::correlation(a, flat), 0.0);
+}
+
+TEST(Stats, SummaryFields) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  on::Summary s = on::summarize(xs);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_LT(s.q025, s.median);
+  EXPECT_GT(s.q975, s.median);
+}
+
+TEST(Stats, RunningStatMatchesBatch) {
+  std::vector<double> xs{1.5, -2.0, 3.25, 0.0, 10.0};
+  on::RunningStat rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), on::mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), on::variance(xs), 1e-12);
+}
+
+TEST(Special, GammaPKnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(on::gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(on::gamma_p(1.0, 0.0), 0.0, 1e-15);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(on::gamma_p(0.5, 2.0), std::erf(std::sqrt(2.0)), 1e-10);
+  // Large-x limit.
+  EXPECT_NEAR(on::gamma_p(3.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(Special, GammaQuantileInvertsCdf) {
+  for (double shape : {0.7, 2.0, 11.0}) {
+    for (double q : {0.025, 0.5, 0.975}) {
+      double x = on::gamma_quantile(q, shape, 2.0);
+      EXPECT_NEAR(on::gamma_p(shape, x / 2.0), q, 1e-8)
+          << "shape=" << shape << " q=" << q;
+    }
+  }
+}
+
+TEST(Special, NormalQuantileMatchesCdf) {
+  for (double q : {0.001, 0.025, 0.3, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(on::normal_cdf(on::normal_quantile(q)), q, 1e-8);
+  }
+  EXPECT_NEAR(on::normal_quantile(0.975), 1.959964, 1e-5);
+}

@@ -1,0 +1,263 @@
+/// Parameterized property sweeps (TEST_P): invariants that must hold
+/// across whole regions of configuration space, not just single points.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metarvm_gsa.hpp"
+#include "epi/metarvm.hpp"
+#include "fabric/storage.hpp"
+#include "gsa/music.hpp"
+#include "gsa/pce.hpp"
+#include "gsa/sobol.hpp"
+#include "num/sampling.hpp"
+
+namespace oc = osprey::core;
+namespace oe = osprey::epi;
+namespace of = osprey::fabric;
+namespace og = osprey::gsa;
+namespace on = osprey::num;
+
+// ---------------------------------------------------------------------
+// MetaRVM invariants across the Table-1 box (corners + center + seeds).
+// ---------------------------------------------------------------------
+
+struct MetaRvmCase {
+  double ts, tv, pea, psh, phd;
+  std::uint64_t seed;
+};
+
+class MetaRvmInvariants : public ::testing::TestWithParam<MetaRvmCase> {};
+
+TEST_P(MetaRvmInvariants, HoldEverywhereInTheBox) {
+  const MetaRvmCase c = GetParam();
+  on::Vector x{c.ts, c.tv, c.pea, c.psh, c.phd};
+  oe::MetaRvmParams params = oc::params_from_point(x);
+  oe::MetaRvmConfig cfg = oe::MetaRvmConfig::stratified_demo(60'000, 90);
+  oe::MetaRvm model(cfg);
+  on::RngStream rng(c.seed);
+  oe::MetaRvmTrajectory traj = model.run(params, rng);
+
+  std::int64_t total_pop = 0;
+  for (const auto& g : cfg.groups) total_pop += g.population;
+
+  std::int64_t infections = traj.total_infections();
+  std::int64_t hospitalizations = traj.total_hospitalizations();
+  std::int64_t deaths = traj.total_deaths();
+
+  // Counting identities.
+  EXPECT_GE(infections, 0);
+  EXPECT_GE(hospitalizations, 0);
+  EXPECT_LE(deaths, hospitalizations);  // all deaths pass through H
+  // Cumulative D matches the final compartment.
+  std::int64_t final_d = 0;
+  for (const auto& g : traj.groups) final_d += g.daily.back().d;
+  EXPECT_EQ(deaths, final_d);
+  // Compartments non-negative every day, every group (population
+  // conservation is asserted inside the model).
+  for (const auto& g : traj.groups) {
+    for (const auto& day : g.daily) {
+      EXPECT_GE(day.s, 0);
+      EXPECT_GE(day.v, 0);
+      EXPECT_GE(day.e, 0);
+      EXPECT_GE(day.ia, 0);
+      EXPECT_GE(day.ip, 0);
+      EXPECT_GE(day.is, 0);
+      EXPECT_GE(day.h, 0);
+      EXPECT_GE(day.r, 0);
+      EXPECT_GE(day.d, 0);
+    }
+  }
+  // Determinism.
+  on::RngStream rng2(c.seed);
+  EXPECT_EQ(model.run(params, rng2).total_hospitalizations(),
+            hospitalizations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1Box, MetaRvmInvariants,
+    ::testing::Values(
+        MetaRvmCase{0.1, 0.01, 0.4, 0.1, 0.0, 1},   // all-low corner
+        MetaRvmCase{0.9, 0.5, 0.9, 0.4, 0.3, 2},    // all-high corner
+        MetaRvmCase{0.5, 0.25, 0.65, 0.25, 0.15, 3},  // center
+        MetaRvmCase{0.9, 0.01, 0.4, 0.4, 0.3, 4},
+        MetaRvmCase{0.1, 0.5, 0.9, 0.1, 0.0, 5},
+        MetaRvmCase{0.7, 0.1, 0.5, 0.3, 0.05, 6},
+        MetaRvmCase{0.5, 0.25, 0.65, 0.25, 0.15, 99}));  // center, new seed
+
+// ---------------------------------------------------------------------
+// GSA estimator agreement on additive polynomial models with known
+// exact indices: Saltelli, PCE and MUSIC must all find them.
+// ---------------------------------------------------------------------
+
+struct AdditiveCase {
+  double a, b, c;  // y = a x0 + b x1 + c x2 on [0,1]^3
+};
+
+class GsaEstimatorAgreement : public ::testing::TestWithParam<AdditiveCase> {
+ protected:
+  static std::vector<on::ParamRange> ranges() {
+    return {{"x0", 0.0, 1.0}, {"x1", 0.0, 1.0}, {"x2", 0.0, 1.0}};
+  }
+  static std::vector<double> exact_s1(const AdditiveCase& c) {
+    double va = c.a * c.a, vb = c.b * c.b, vc = c.c * c.c;
+    double total = va + vb + vc;
+    if (total == 0.0) return {0.0, 0.0, 0.0};
+    return {va / total, vb / total, vc / total};
+  }
+};
+
+TEST_P(GsaEstimatorAgreement, AllThreeEstimatorsAgreeWithTheory) {
+  const AdditiveCase c = GetParam();
+  og::ModelFn fn = [c](const on::Vector& x) {
+    return c.a * x[0] + c.b * x[1] + c.c * x[2];
+  };
+  std::vector<double> exact = exact_s1(c);
+
+  og::SobolIndices saltelli = og::saltelli_indices(fn, ranges(), 2048);
+  og::SobolIndices pce = og::pce_gsa(fn, ranges(), 120, 5);
+
+  og::MusicConfig mcfg;
+  mcfg.ranges = ranges();
+  mcfg.n_init = 12;
+  mcfg.n_total = 30;
+  mcfg.n_candidates = 60;
+  mcfg.surrogate_mc_n = 512;
+  mcfg.gp.mle_restarts = 0;
+  mcfg.seed = 3;
+  og::MusicResult music = og::run_music(mcfg, fn);
+
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(saltelli.first_order[j], exact[j], 0.03) << "saltelli " << j;
+    EXPECT_NEAR(pce.first_order[j], exact[j], 0.03) << "pce " << j;
+    EXPECT_NEAR(music.final_s1[j], exact[j], 0.08) << "music " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoefficientFamilies, GsaEstimatorAgreement,
+    ::testing::Values(AdditiveCase{1.0, 1.0, 1.0},
+                      AdditiveCase{3.0, 1.0, 0.0},
+                      AdditiveCase{0.0, 2.0, 1.0},
+                      AdditiveCase{5.0, 0.5, 0.1},
+                      AdditiveCase{1.0, 0.0, 0.0}));
+
+// ---------------------------------------------------------------------
+// Storage ACL matrix: every (permission, operation) combination.
+// ---------------------------------------------------------------------
+
+struct AclCase {
+  of::Permission granted;
+  bool can_read;
+  bool can_write;
+};
+
+class StorageAclMatrix : public ::testing::TestWithParam<AclCase> {};
+
+TEST_P(StorageAclMatrix, EnforcesExactly) {
+  const AclCase c = GetParam();
+  of::EventLoop loop;
+  of::AuthService auth;
+  of::StorageEndpoint ep("ep", loop, auth);
+  std::string owner = auth.issue_full_token("owner");
+  std::string other = auth.issue_full_token("other");
+  ep.create_collection("col", owner);
+  ep.put("col", "obj", "payload", owner);
+  if (c.granted != of::Permission::kNone) {
+    ep.grant("col", "other", c.granted, owner);
+  }
+  if (c.can_read) {
+    EXPECT_NO_THROW(ep.get("col", "obj", other));
+  } else {
+    EXPECT_THROW(ep.get("col", "obj", other), osprey::util::AuthError);
+  }
+  if (c.can_write) {
+    EXPECT_NO_THROW(ep.put("col", "new", "x", other));
+  } else {
+    EXPECT_THROW(ep.put("col", "new", "x", other), osprey::util::AuthError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Permissions, StorageAclMatrix,
+    ::testing::Values(AclCase{of::Permission::kNone, false, false},
+                      AclCase{of::Permission::kRead, true, false},
+                      AclCase{of::Permission::kReadWrite, true, true}));
+
+// ---------------------------------------------------------------------
+// Sampling property: LHS projections stay stratified for any (n, d).
+// ---------------------------------------------------------------------
+
+struct LhsCase {
+  std::size_t n, d;
+  std::uint64_t seed;
+};
+
+class LhsStratification : public ::testing::TestWithParam<LhsCase> {};
+
+TEST_P(LhsStratification, EveryDimensionOnePointPerStratum) {
+  const LhsCase c = GetParam();
+  on::RngStream rng(c.seed);
+  on::Matrix design = on::latin_hypercube(c.n, c.d, rng);
+  for (std::size_t j = 0; j < c.d; ++j) {
+    std::vector<bool> strata(c.n, false);
+    for (std::size_t i = 0; i < c.n; ++i) {
+      auto s = static_cast<std::size_t>(design(i, j) *
+                                        static_cast<double>(c.n));
+      ASSERT_LT(s, c.n);
+      EXPECT_FALSE(strata[s]) << "n=" << c.n << " d=" << j;
+      strata[s] = true;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LhsStratification,
+    ::testing::Values(LhsCase{2, 1, 1}, LhsCase{7, 3, 2}, LhsCase{25, 5, 3},
+                      LhsCase{64, 2, 4}, LhsCase{101, 8, 5},
+                      LhsCase{200, 10, 6}));
+
+// ---------------------------------------------------------------------
+// Sobol indices of any model are bounded and consistent: S1 <= ST (+mc
+// noise) and sum of S1 <= 1 (+noise) for additive-or-positive models.
+// ---------------------------------------------------------------------
+
+struct BoundCase {
+  int which;  // selects a model shape
+};
+
+class SobolBounds : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(SobolBounds, FirstOrderBelowTotalOrder) {
+  const int which = GetParam().which;
+  og::ModelFn fn;
+  switch (which) {
+    case 0:
+      fn = [](const on::Vector& x) { return x[0] * x[1] + x[2]; };
+      break;
+    case 1:
+      fn = [](const on::Vector& x) {
+        return std::sin(3.0 * x[0]) + std::exp(x[1]) * x[2];
+      };
+      break;
+    default:
+      fn = [](const on::Vector& x) {
+        return std::pow(x[0] - 0.5, 2.0) + x[1] * x[2] + 0.1 * x[0] * x[2];
+      };
+  }
+  std::vector<on::ParamRange> ranges{{"a", 0, 1}, {"b", 0, 1}, {"c", 0, 1}};
+  og::SobolIndices idx = og::saltelli_indices(fn, ranges, 4096);
+  double s1_sum = 0.0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_LE(idx.first_order[j], idx.total_order[j] + 0.05) << j;
+    EXPECT_GE(idx.first_order[j], -0.05) << j;
+    EXPECT_LE(idx.total_order[j], 1.05) << j;
+    s1_sum += idx.first_order[j];
+  }
+  EXPECT_LE(s1_sum, 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelShapes, SobolBounds,
+                         ::testing::Values(BoundCase{0}, BoundCase{1},
+                                           BoundCase{2}));

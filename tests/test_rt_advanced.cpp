@@ -1,0 +1,223 @@
+/// Tests for the second-tier R(t) estimator (deconvolution + Cori), the
+/// forecaster, and the GP leave-one-out diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "epi/kernels.hpp"
+#include "epi/wastewater.hpp"
+#include "gp/gp.hpp"
+#include "num/sampling.hpp"
+#include "num/stats.hpp"
+#include "rt/deconvolution.hpp"
+#include "rt/forecast.hpp"
+#include "rt/goldstein.hpp"
+#include "util/error.hpp"
+
+namespace oe = osprey::epi;
+namespace og = osprey::gp;
+namespace on = osprey::num;
+namespace ort = osprey::rt;
+
+TEST(RichardsonLucy, RecoversKnownSource) {
+  // source -> conv with shedding-like kernel -> deconvolve -> source.
+  std::vector<double> kernel = oe::discretized_gamma(4.0, 2.0, 10);
+  std::vector<double> source(60, 0.0);
+  for (int t = 0; t < 60; ++t) {
+    source[static_cast<std::size_t>(t)] =
+        100.0 + 80.0 * std::sin(2.0 * M_PI * t / 30.0);
+  }
+  std::vector<double> observed(60, 0.0);
+  for (std::size_t t = 0; t < 60; ++t) {
+    for (std::size_t s = 0; s < kernel.size() && s <= t; ++s) {
+      observed[t] += kernel[s] * source[t - s];
+    }
+  }
+  std::vector<double> recovered = ort::richardson_lucy(observed, kernel, 50);
+  // Interior recovery within ~15% (edges are ill-posed).
+  for (std::size_t t = 15; t < 50; ++t) {
+    EXPECT_NEAR(recovered[t], source[t], 0.15 * source[t]) << t;
+  }
+}
+
+TEST(RichardsonLucy, NonNegativeAndValidates) {
+  std::vector<double> observed{1.0, 0.0, 2.0, 0.5};
+  std::vector<double> kernel{0.5, 0.5};
+  auto rec = ort::richardson_lucy(observed, kernel, 10);
+  for (double v : rec) EXPECT_GE(v, 0.0);
+  EXPECT_THROW(ort::richardson_lucy({}, kernel, 5),
+               osprey::util::InvalidArgument);
+  EXPECT_THROW(ort::richardson_lucy(observed, {-1.0}, 5),
+               osprey::util::InvalidArgument);
+  EXPECT_THROW(ort::richardson_lucy(observed, kernel, 0),
+               osprey::util::InvalidArgument);
+}
+
+TEST(DeconvolutionRt, BetterThanNaiveOnSyntheticPlant) {
+  oe::Plant plant = oe::chicago_plants()[0];
+  oe::WastewaterConfig cfg;
+  cfg.days = 110;
+  oe::WastewaterGenerator gen(plant, oe::chicago_truths()[0], cfg, 31);
+  std::vector<double> truth = gen.true_rt();
+  truth.resize(110);
+
+  ort::DeconvolutionResult deconv =
+      ort::estimate_rt_deconvolution(gen.samples(), 110);
+  ort::CoriResult naive =
+      ort::estimate_cori_from_concentration(gen.samples(), 110);
+
+  auto mid = [](const std::vector<double>& v) {
+    return std::vector<double>(v.begin() + 25, v.end() - 10);
+  };
+  double deconv_rmse = on::rmse(mid(deconv.rt.series.median), mid(truth));
+  double naive_rmse = on::rmse(mid(naive.series.median), mid(truth));
+  // Correcting for the shedding delay must help.
+  EXPECT_LT(deconv_rmse, naive_rmse);
+  EXPECT_LT(deconv_rmse, 0.2);
+  // The incidence proxy correlates with the true incidence.
+  std::vector<double> inc = gen.incidence();
+  inc.resize(110);
+  EXPECT_GT(on::correlation(mid(deconv.incidence_proxy), mid(inc)), 0.7);
+}
+
+TEST(DeconvolutionRt, Validation) {
+  std::vector<oe::WwSample> one{{0, 1.0}};
+  EXPECT_THROW(ort::estimate_rt_deconvolution(one, 10),
+               osprey::util::InvalidArgument);
+}
+
+TEST(Forecast, FlatRHoldsIncidenceSteady) {
+  // Posterior concentrated at R = 1 and flat history: the projected
+  // incidence stays near the recent level.
+  ort::RtPosterior posterior;
+  posterior.draws = on::Matrix(50, 30, 1.0);
+  std::vector<double> history(20, 200.0);
+  ort::ForecastConfig cfg;
+  cfg.horizon_days = 21;
+  cfg.log_rt_daily_sd = 0.0;  // no innovation: deterministic hold
+  ort::Forecast fc = ort::forecast_incidence(posterior, history, cfg);
+  ASSERT_EQ(fc.median.size(), 21u);
+  for (double v : fc.median) {
+    EXPECT_NEAR(v, 200.0, 20.0);
+  }
+}
+
+TEST(Forecast, GrowthWhenRAboveOne) {
+  ort::RtPosterior posterior;
+  posterior.draws = on::Matrix(50, 30, 1.4);
+  std::vector<double> history(20, 100.0);
+  ort::ForecastConfig cfg;
+  cfg.horizon_days = 21;
+  cfg.reversion_rate = 0.0;
+  cfg.log_rt_daily_sd = 0.0;
+  ort::Forecast fc = ort::forecast_incidence(posterior, history, cfg);
+  EXPECT_GT(fc.median.back(), 2.0 * fc.median.front());
+  EXPECT_NEAR(fc.rt_median.back(), 1.4, 0.01);
+}
+
+TEST(Forecast, UncertaintyWidensWithLeadTime) {
+  ort::RtPosterior posterior;
+  posterior.draws = on::Matrix(200, 30, 1.0);
+  std::vector<double> history(20, 100.0);
+  ort::ForecastConfig cfg;
+  cfg.horizon_days = 28;
+  cfg.log_rt_daily_sd = 0.05;
+  ort::Forecast fc = ort::forecast_incidence(posterior, history, cfg);
+  double early_width = fc.hi95[2] - fc.lo95[2];
+  double late_width = fc.hi95[27] - fc.lo95[27];
+  EXPECT_GT(late_width, 2.0 * early_width);
+}
+
+TEST(Forecast, EndToEndFromGoldsteinPosterior) {
+  oe::Plant plant = oe::chicago_plants()[0];
+  oe::WastewaterConfig cfg;
+  cfg.days = 80;
+  oe::WastewaterGenerator gen(plant, oe::chicago_truths()[0], cfg, 3);
+  ort::GoldsteinConfig gconf;
+  gconf.iterations = 800;
+  gconf.burnin = 400;
+  gconf.flow_liters_per_day = plant.avg_flow_mgd * 3.785e6;
+  ort::GoldsteinEstimator estimator(gconf);
+  ort::RtPosterior posterior = estimator.estimate(gen.samples(), 80);
+  std::vector<double> history(gen.incidence().begin(),
+                              gen.incidence().begin() + 80);
+  ort::Forecast fc = ort::forecast_incidence(posterior, history);
+  ASSERT_EQ(fc.median.size(), 28u);
+  for (std::size_t t = 0; t < fc.median.size(); ++t) {
+    EXPECT_GE(fc.median[t], 0.0);
+    EXPECT_LE(fc.lo95[t], fc.median[t]);
+    EXPECT_GE(fc.hi95[t], fc.median[t]);
+  }
+}
+
+TEST(Forecast, Validation) {
+  ort::RtPosterior posterior;
+  posterior.draws = on::Matrix(10, 5, 1.0);
+  std::vector<double> short_history(3, 10.0);  // < generation interval
+  EXPECT_THROW(ort::forecast_incidence(posterior, short_history),
+               osprey::util::InvalidArgument);
+}
+
+TEST(GpLoo, SmallErrorOnSmoothFunction) {
+  on::RngStream rng(4);
+  const std::size_t n = 60;
+  on::Matrix x = on::latin_hypercube(n, 2, rng);
+  on::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = std::sin(3.0 * x(i, 0)) + x(i, 1);
+  }
+  og::GaussianProcess gp;
+  gp.fit(x, y);
+  og::GaussianProcess::LooDiagnostics loo = gp.leave_one_out();
+  EXPECT_EQ(loo.residuals.size(), n);
+  EXPECT_LT(loo.rmse, 0.05);
+  EXPECT_GT(loo.coverage95, 0.8);
+}
+
+TEST(GpLoo, DetectsMisfitOnNoise) {
+  // Pure noise: LOO RMSE should be about the noise scale, not tiny.
+  on::RngStream rng(5);
+  const std::size_t n = 60;
+  on::Matrix x = on::latin_hypercube(n, 2, rng);
+  on::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = rng.normal();
+  og::GaussianProcess gp;
+  gp.fit(x, y);
+  og::GaussianProcess::LooDiagnostics loo = gp.leave_one_out();
+  EXPECT_GT(loo.rmse, 0.5);
+}
+
+TEST(GpLoo, MatchesExplicitRefits) {
+  // Closed-form LOO must agree with the brute-force leave-one-out fit
+  // (same hyperparameters).
+  on::RngStream rng(6);
+  const std::size_t n = 20;
+  on::Matrix x = on::latin_hypercube(n, 1, rng);
+  on::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = std::cos(4.0 * x(i, 0));
+  og::GpConfig cfg;
+  cfg.mle_restarts = 0;
+  og::GaussianProcess gp(cfg);
+  gp.fit(x, y);
+  og::GaussianProcess::LooDiagnostics loo = gp.leave_one_out();
+
+  for (std::size_t drop : {std::size_t{0}, std::size_t{7}, std::size_t{19}}) {
+    on::Matrix x2(n - 1, 1);
+    on::Vector y2;
+    std::size_t row = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == drop) continue;
+      x2(row, 0) = x(i, 0);
+      y2.push_back(y[i]);
+      ++row;
+    }
+    // Same hyperparameters, explicit refit without point `drop`.
+    og::GaussianProcess gp2(cfg);
+    gp2.update_data(x, y);  // dummy to size internals
+    gp2 = gp;               // copy hyperparameters + data
+    gp2.update_data(x2, y2);
+    double pred = gp2.predict(x.row(drop)).mean;
+    EXPECT_NEAR(y[drop] - pred, loo.residuals[drop], 1e-6) << drop;
+  }
+}

@@ -1,0 +1,18 @@
+/// Compile check for the umbrella header (everything in one TU) plus a
+/// tiny cross-module smoke test through it.
+
+#include "osprey.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, EverythingCompilesAndLinks) {
+  osprey::num::RngStream rng(1);
+  osprey::epi::MetaRvm model(
+      osprey::epi::MetaRvmConfig::single_group(10000, 5, 30));
+  auto traj = model.run(osprey::epi::MetaRvmParams::nominal(), rng);
+  EXPECT_EQ(traj.days, 30);
+  EXPECT_EQ(osprey::crypto::Sha256::hash_hex("abc").size(), 64u);
+  osprey::core::OspreyPlatform platform;
+  platform.run_days(1);
+  EXPECT_EQ(platform.loop().now(), osprey::util::kDay);
+}

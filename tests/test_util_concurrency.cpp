@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "util/channel.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ou = osprey::util;
+
+TEST(Channel, FifoSingleThread) {
+  ou::Channel<int> ch;
+  ch.push(1);
+  ch.push(2);
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.pop().value(), 1);
+  EXPECT_EQ(ch.pop().value(), 2);
+}
+
+TEST(Channel, TryPopEmpty) {
+  ou::Channel<int> ch;
+  EXPECT_FALSE(ch.try_pop().has_value());
+  ch.push(5);
+  EXPECT_EQ(ch.try_pop().value(), 5);
+}
+
+TEST(Channel, CloseDrainsThenEnds) {
+  ou::Channel<int> ch;
+  ch.push(1);
+  ch.close();
+  EXPECT_FALSE(ch.push(2));  // rejected after close
+  EXPECT_EQ(ch.pop().value(), 1);
+  EXPECT_FALSE(ch.pop().has_value());
+}
+
+TEST(Channel, CloseWakesBlockedConsumer) {
+  ou::Channel<int> ch;
+  std::thread consumer([&] { EXPECT_FALSE(ch.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.close();
+  consumer.join();
+}
+
+TEST(Channel, ManyProducersManyConsumers) {
+  ou::Channel<int> ch;
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  std::atomic<long> total{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ch.push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = ch.pop()) {
+        total += *v;
+        ++count;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  ch.close();
+  for (int c = 0; c < kConsumers; ++c) {
+    threads[static_cast<std::size_t>(kProducers + c)].join();
+  }
+  int n = kPerProducer * kProducers;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(total.load(), static_cast<long>(n) * (n - 1) / 2);
+}
+
+TEST(Channel, BoundedCapacityBlocksUntilDrained) {
+  ou::Channel<int> ch(2);
+  ch.push(1);
+  ch.push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    ch.push(3);
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());  // blocked at capacity
+  EXPECT_EQ(ch.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ou::ThreadPool pool(3);
+  auto f1 = pool.submit([] { return 6 * 7; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ou::ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ou::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ou::ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, AtLeastOneThread) {
+  ou::ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}

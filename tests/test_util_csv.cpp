@@ -1,0 +1,75 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ou = osprey::util;
+
+TEST(Csv, BuildAndSerialize) {
+  ou::CsvTable t({"day", "value"});
+  t.add_row({"0", "1.5"});
+  t.add_row({"1", "2.5"});
+  EXPECT_EQ(t.to_string(), "day,value\n0,1.5\n1,2.5\n");
+}
+
+TEST(Csv, ParseRoundTrip) {
+  std::string text = "a,b,c\n1,2,3\n4,5,6\n";
+  ou::CsvTable t = ou::CsvTable::parse(text);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.to_string(), text);
+}
+
+TEST(Csv, QuotedFieldsWithCommasAndNewlines) {
+  ou::CsvTable t({"name", "note"});
+  t.add_row({"O'Brien", "hello, world"});
+  t.add_row({"X", "line1\nline2"});
+  t.add_row({"Y", "has \"quotes\""});
+  ou::CsvTable round = ou::CsvTable::parse(t.to_string());
+  EXPECT_EQ(round.cell(0, "note"), "hello, world");
+  EXPECT_EQ(round.cell(1, "note"), "line1\nline2");
+  EXPECT_EQ(round.cell(2, "note"), "has \"quotes\"");
+}
+
+TEST(Csv, ColumnAccessors) {
+  ou::CsvTable t = ou::CsvTable::parse("day,conc\n0,10.5\n2,20.25\n");
+  std::vector<double> conc = t.column_doubles("conc");
+  ASSERT_EQ(conc.size(), 2u);
+  EXPECT_DOUBLE_EQ(conc[1], 20.25);
+  EXPECT_EQ(t.column_strings("day"), (std::vector<std::string>{"0", "2"}));
+  EXPECT_DOUBLE_EQ(t.cell_double(0, "conc"), 10.5);
+}
+
+TEST(Csv, MissingColumnThrows) {
+  ou::CsvTable t = ou::CsvTable::parse("a\n1\n");
+  EXPECT_THROW(t.column_index("b"), ou::NotFound);
+  EXPECT_FALSE(t.has_column("b"));
+  EXPECT_TRUE(t.has_column("a"));
+}
+
+TEST(Csv, RaggedRowThrows) {
+  ou::CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ou::InvalidArgument);
+  EXPECT_THROW(ou::CsvTable::parse("a,b\n1\n"), ou::InvalidArgument);
+}
+
+TEST(Csv, NonNumericCellThrows) {
+  ou::CsvTable t = ou::CsvTable::parse("a\nnot-a-number\n");
+  EXPECT_THROW(t.cell_double(0, "a"), ou::InvalidArgument);
+}
+
+TEST(Csv, EmptyDocumentThrows) {
+  EXPECT_THROW(ou::CsvTable::parse(""), ou::InvalidArgument);
+}
+
+TEST(Csv, CrLfLineEndings) {
+  ou::CsvTable t = ou::CsvTable::parse("a,b\r\n1,2\r\n");
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.cell(0, "b"), "2");
+}
+
+TEST(Csv, EmptyFieldsPreserved) {
+  ou::CsvTable t = ou::CsvTable::parse("a,b,c\n1,,3\n");
+  EXPECT_EQ(t.cell(0, "b"), "");
+}

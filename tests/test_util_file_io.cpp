@@ -1,0 +1,39 @@
+#include "util/file_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/error.hpp"
+
+namespace ou = osprey::util;
+
+TEST(FileIo, RoundTrip) {
+  std::string path = "/tmp/osprey-test-io/sub/dir/file.txt";
+  std::filesystem::remove_all("/tmp/osprey-test-io");
+  ou::write_text_file(path, "hello\nworld\n");
+  auto content = ou::read_text_file(path);
+  ASSERT_TRUE(content.has_value());
+  EXPECT_EQ(*content, "hello\nworld\n");
+  std::filesystem::remove_all("/tmp/osprey-test-io");
+}
+
+TEST(FileIo, OverwriteReplaces) {
+  std::string path = "/tmp/osprey-test-io2/f.txt";
+  ou::write_text_file(path, "long original content");
+  ou::write_text_file(path, "short");
+  EXPECT_EQ(ou::read_text_file(path).value(), "short");
+  std::filesystem::remove_all("/tmp/osprey-test-io2");
+}
+
+TEST(FileIo, MissingFileIsNullopt) {
+  EXPECT_FALSE(ou::read_text_file("/tmp/definitely-not-here-osprey").has_value());
+}
+
+TEST(FileIo, BinarySafe) {
+  std::string path = "/tmp/osprey-test-io3/b.bin";
+  std::string payload("\x00\x01\xff\n\r\x7f", 6);
+  ou::write_text_file(path, payload);
+  EXPECT_EQ(ou::read_text_file(path).value(), payload);
+  std::filesystem::remove_all("/tmp/osprey-test-io3");
+}

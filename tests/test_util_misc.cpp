@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/sim_time.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/uuid.hpp"
+
+namespace ou = osprey::util;
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  EXPECT_EQ(ou::split("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(ou::split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtil, JoinInvertsSplit) {
+  std::vector<std::string> pieces{"x", "y", "z"};
+  EXPECT_EQ(ou::split(ou::join(pieces, "-"), '-'), pieces);
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(ou::trim("  hi \t\n"), "hi");
+  EXPECT_EQ(ou::trim(""), "");
+  EXPECT_EQ(ou::trim("   "), "");
+  EXPECT_EQ(ou::trim("a b"), "a b");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(ou::starts_with("prefix-rest", "prefix"));
+  EXPECT_FALSE(ou::starts_with("pre", "prefix"));
+}
+
+TEST(StringUtil, Format) {
+  EXPECT_EQ(ou::format("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(ou::format("%s", ""), "");
+}
+
+TEST(Uuid, CanonicalShape) {
+  ou::UuidFactory factory(1);
+  std::string u = factory.next();
+  EXPECT_TRUE(ou::looks_like_uuid(u)) << u;
+  EXPECT_EQ(u[14], '4');  // version nibble
+}
+
+TEST(Uuid, DeterministicPerSeed) {
+  ou::UuidFactory a(99), b(99), c(100);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Uuid, NoCollisionsInSequence) {
+  ou::UuidFactory factory(7);
+  std::set<std::string> seen;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(factory.next()).second);
+  }
+}
+
+TEST(Uuid, LooksLikeUuidRejectsBadShapes) {
+  EXPECT_FALSE(ou::looks_like_uuid(""));
+  EXPECT_FALSE(ou::looks_like_uuid("not-a-uuid"));
+  EXPECT_FALSE(ou::looks_like_uuid(
+      "3f2a9c1e-7b4d-4e8a-9c3f-1a2b3c4d5e6g"));  // 'g' not hex
+  EXPECT_FALSE(ou::looks_like_uuid(
+      "3f2a9c1e07b4d-4e8a-9c3f-1a2b3c4d5e6f"));  // dash misplaced
+}
+
+TEST(SimTime, Formatting) {
+  ou::SimTime t = 3 * ou::kDay + 7 * ou::kHour + 30 * ou::kMinute +
+                  15 * ou::kSecond + 250;
+  EXPECT_EQ(ou::format_sim_time(t), "d003 07:30:15.250");
+  EXPECT_EQ(ou::sim_day(t), 3);
+}
+
+TEST(SimTime, DurationFormatting) {
+  EXPECT_EQ(ou::format_duration(500), "500ms");
+  EXPECT_EQ(ou::format_duration(45 * ou::kSecond), "45.0s");
+  EXPECT_EQ(ou::format_duration(90 * ou::kSecond), "1.5m");
+  EXPECT_EQ(ou::format_duration(3 * ou::kHour), "3.0h");
+  EXPECT_EQ(ou::format_duration(36 * ou::kHour), "1.5d");
+}
+
+TEST(TextTable, AlignsColumns) {
+  ou::TextTable t({"name", "n"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "22"});
+  std::string rendered = t.render();
+  EXPECT_NE(rendered.find("a-much-longer-name  22"), std::string::npos);
+  EXPECT_NE(rendered.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(ou::TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(ou::TextTable::num(-0.5, 3), "-0.500");
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  ou::TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), osprey::util::InvalidArgument);
+}

@@ -1,0 +1,131 @@
+#include "util/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ou = osprey::util;
+
+TEST(Value, DefaultIsNull) {
+  ou::Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_object());
+}
+
+TEST(Value, ScalarAccessors) {
+  EXPECT_TRUE(ou::Value(true).as_bool());
+  EXPECT_EQ(ou::Value(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(ou::Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(ou::Value("hi").as_string(), "hi");
+}
+
+TEST(Value, IntCoercesToDouble) {
+  ou::Value v(7);
+  EXPECT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.as_double(), 7.0);
+}
+
+TEST(Value, IntegralDoubleCoercesToInt) {
+  EXPECT_EQ(ou::Value(3.0).as_int(), 3);
+  EXPECT_THROW(ou::Value(3.5).as_int(), ou::InvalidArgument);
+}
+
+TEST(Value, WrongTypeThrows) {
+  ou::Value v("text");
+  EXPECT_THROW(v.as_bool(), ou::InvalidArgument);
+  EXPECT_THROW(v.as_int(), ou::InvalidArgument);
+  EXPECT_THROW(v.as_array(), ou::InvalidArgument);
+}
+
+TEST(Value, ObjectInsertAndLookup) {
+  ou::Value v;
+  v["a"] = ou::Value(1);
+  v["b"] = ou::Value("x");
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_TRUE(v.contains("b"));
+  EXPECT_FALSE(v.contains("c"));
+  EXPECT_THROW(v.at("c"), ou::NotFound);
+}
+
+TEST(Value, GetOrDefaults) {
+  ou::Value v;
+  v["x"] = ou::Value(1.5);
+  EXPECT_DOUBLE_EQ(v.get_or("x", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(v.get_or("missing", 9.0), 9.0);
+  EXPECT_EQ(v.get_or("missing", std::int64_t{7}), 7);
+  EXPECT_EQ(v.get_or("missing", std::string("d")), "d");
+}
+
+TEST(Value, ArrayAccess) {
+  ou::ValueArray arr{ou::Value(1), ou::Value(2), ou::Value(3)};
+  ou::Value v(arr);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.at(std::size_t{1}).as_int(), 2);
+  EXPECT_THROW(v.at(std::size_t{3}), ou::InvalidArgument);
+}
+
+TEST(Value, FromToDoubles) {
+  std::vector<double> xs{1.0, 2.5, -3.0};
+  ou::Value v = ou::Value::from_doubles(xs);
+  EXPECT_EQ(v.to_doubles(), xs);
+}
+
+TEST(Value, JsonRoundTripScalars) {
+  for (const std::string json :
+       {"null", "true", "false", "42", "-17", "2.5", "\"hello\""}) {
+    ou::Value v = ou::Value::parse_json(json);
+    EXPECT_EQ(ou::Value::parse_json(v.to_json()), v) << json;
+  }
+}
+
+TEST(Value, JsonRoundTripNested) {
+  ou::Value v;
+  v["name"] = ou::Value("O'Brien");
+  v["population"] = ou::Value(std::int64_t{1300000});
+  v["weights"] = ou::Value::from_doubles({0.25, 0.75});
+  ou::Value nested;
+  nested["deep"] = ou::Value(true);
+  v["meta"] = nested;
+  ou::Value round = ou::Value::parse_json(v.to_json());
+  EXPECT_EQ(round, v);
+}
+
+TEST(Value, JsonEscapes) {
+  ou::Value v(std::string("line1\nline2\t\"quoted\"\\slash"));
+  ou::Value round = ou::Value::parse_json(v.to_json());
+  EXPECT_EQ(round.as_string(), v.as_string());
+}
+
+TEST(Value, JsonParseUnicodeEscape) {
+  ou::Value v = ou::Value::parse_json("\"a\\u0041b\"");
+  EXPECT_EQ(v.as_string(), "aAb");
+}
+
+TEST(Value, JsonParseWhitespace) {
+  ou::Value v = ou::Value::parse_json("  { \"a\" : [ 1 , 2 ] }  ");
+  EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(Value, JsonMalformedThrows) {
+  for (const std::string bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+        "{\"a\":1}extra"}) {
+    EXPECT_THROW(ou::Value::parse_json(bad), ou::InvalidArgument) << bad;
+  }
+}
+
+TEST(Value, JsonDoubleKeepsDoubleness) {
+  ou::Value v = ou::Value::parse_json(ou::Value(2.0).to_json());
+  EXPECT_TRUE(v.is_double());
+}
+
+TEST(Value, DeterministicSerialization) {
+  ou::Value a;
+  a["z"] = ou::Value(1);
+  a["a"] = ou::Value(2);
+  ou::Value b;
+  b["a"] = ou::Value(2);
+  b["z"] = ou::Value(1);
+  EXPECT_EQ(a.to_json(), b.to_json());  // ordered keys
+}
