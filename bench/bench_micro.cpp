@@ -18,7 +18,9 @@
 #include "gp/gp.hpp"
 #include "gsa/sobol.hpp"
 #include "num/sampling.hpp"
+#include "rt/ensemble.hpp"
 #include "rt/goldstein.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace osprey;
 
@@ -115,6 +117,71 @@ static void BM_GpFit(benchmark::State& state) {
 }
 BENCHMARK(BM_GpFit)->Arg(50)->Arg(100)->Arg(200);
 
+namespace {
+
+/// A GP conditioned on an n-point 5-D LHS with fixed hyperparameters —
+/// the shared starting state of the add_point scaling cases.
+osprey::gp::GaussianProcess prefit_gp(std::size_t n, bool incremental) {
+  num::RngStream rng(1);
+  num::Matrix x = num::latin_hypercube(n, 5, rng);
+  num::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = x(i, 0) + std::sin(3.0 * x(i, 1)) + 0.1 * rng.normal();
+  }
+  gp::GpConfig cfg;
+  cfg.mle_restarts = 0;
+  cfg.mle_max_iterations = 40;
+  cfg.incremental = incremental;
+  cfg.reopt_every = 0;  // isolate the conditioning cost per added point
+  gp::GaussianProcess gp(cfg);
+  gp.fit(x, y);
+  return gp;
+}
+
+void run_gp_add_point(benchmark::State& state, bool incremental) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kAdds = 16;
+  gp::GaussianProcess base = prefit_gp(n, incremental);
+  num::RngStream rng(2);
+  num::Matrix extra = num::latin_hypercube(kAdds, 5, rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    gp::GaussianProcess gp = base;
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < kAdds; ++i) {
+      gp.add_point(extra.row(i), extra(i, 0));
+    }
+    benchmark::DoNotOptimize(gp.predict({0.5, 0.5, 0.5, 0.5, 0.5}).mean);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kAdds));
+}
+
+}  // namespace
+
+/// The MUSIC acquisition hot path: one design point appended per step.
+/// Incremental = rank-1 Cholesky extension (O(n^2)); FullRefit = the
+/// seed behavior (rebuild + refactorize, O(n^3) per point).
+static void BM_GpAddPointIncremental(benchmark::State& state) {
+  run_gp_add_point(state, true);
+}
+BENCHMARK(BM_GpAddPointIncremental)->Arg(50)->Arg(100)->Arg(200);
+
+static void BM_GpAddPointFullRefit(benchmark::State& state) {
+  run_gp_add_point(state, false);
+}
+BENCHMARK(BM_GpAddPointFullRefit)->Arg(50)->Arg(100)->Arg(200);
+
+static void BM_GpLeaveOneOut(benchmark::State& state) {
+  gp::GaussianProcess gp =
+      prefit_gp(static_cast<std::size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.leave_one_out().rmse);
+  }
+}
+BENCHMARK(BM_GpLeaveOneOut)->Arg(100)->Arg(200);
+
+/// Args: {n training points, parallel batch prediction on/off}.
 static void BM_GpPredictMean(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   num::RngStream rng(1);
@@ -124,6 +191,7 @@ static void BM_GpPredictMean(benchmark::State& state) {
   gp::GpConfig cfg;
   cfg.mle_restarts = 0;
   cfg.mle_max_iterations = 40;
+  cfg.parallel = state.range(1) != 0;
   gp::GaussianProcess gp(cfg);
   gp.fit(x, y);
   num::Matrix queries = num::latin_hypercube(1024, 5, rng);
@@ -132,7 +200,11 @@ static void BM_GpPredictMean(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 1024);
 }
-BENCHMARK(BM_GpPredictMean)->Arg(100)->Arg(200);
+BENCHMARK(BM_GpPredictMean)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({200, 0})
+    ->Args({200, 1});
 
 static void BM_SaltelliOnCheapModel(benchmark::State& state) {
   auto ranges = std::vector<num::ParamRange>{
@@ -164,5 +236,44 @@ static void BM_GoldsteinMcmc(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_GoldsteinMcmc)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+/// The Figure-2 per-plant fan-out: 4 Goldstein chains, serially (arg 0)
+/// vs fanned out on a 4-thread pool (arg 1). Posteriors are
+/// bit-identical either way; only the wall clock changes.
+static void BM_EnsembleEstimate4Plants(benchmark::State& state) {
+  const int days = 90;
+  auto plants = epi::chicago_plants();
+  auto truths = epi::chicago_truths();
+  epi::WastewaterConfig ww;
+  ww.days = days;
+  std::vector<rt::PlantData> inputs;
+  for (std::size_t p = 0; p < plants.size(); ++p) {
+    epi::WastewaterGenerator gen(plants[p], truths[p], ww, 100 + p);
+    rt::PlantData pd;
+    pd.name = plants[p].name;
+    pd.population_weight = static_cast<double>(plants[p].population_served);
+    pd.samples = gen.samples();
+    pd.config.iterations = 1500;
+    pd.config.burnin = 750;
+    pd.config.flow_liters_per_day = plants[p].avg_flow_mgd * 3.785e6;
+    pd.config.seed = 500 + p;
+    inputs.push_back(std::move(pd));
+  }
+  const bool parallel = state.range(0) != 0;
+  util::ThreadPool pool(parallel ? inputs.size() : 1);
+  for (auto _ : state) {
+    auto members =
+        rt::estimate_members(inputs, days, parallel ? &pool : nullptr);
+    benchmark::DoNotOptimize(members.front().posterior.draws(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inputs.size()));
+}
+BENCHMARK(BM_EnsembleEstimate4Plants)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

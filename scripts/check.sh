@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a ThreadSanitizer pass over the concurrency-heavy
+# targets. Usage: scripts/check.sh [--skip-tsan]
+#
+#   1. Release build of everything + full ctest suite.
+#   2. TSan build (-DOSPREY_SANITIZE=thread) running the channel/pool
+#      tests (test_util_concurrency) and the EMEWS worker-pool tests
+#      (test_emews_pool), the two suites that exercise real threads.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "== tsan: skipped (--skip-tsan) =="
+  exit 0
+fi
+
+echo "== tsan: configure + build concurrency targets =="
+cmake -B build-tsan -S . -DOSPREY_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" \
+  --target test_util_concurrency test_emews_pool
+
+echo "== tsan: run concurrency tests =="
+(cd build-tsan && ctest --output-on-failure \
+  -R 'test_util_concurrency|test_emews_pool')
+
+echo "== all checks passed =="

@@ -7,6 +7,7 @@
 #include "num/optim.hpp"
 #include "num/stats.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace osprey::gp {
 
@@ -21,11 +22,7 @@ void GaussianProcess::fit(const Matrix& x, const Vector& y) {
   reoptimize();
 }
 
-void GaussianProcess::update_data(const Matrix& x, const Vector& y) {
-  OSPREY_REQUIRE(x.rows() == y.size(), "X/y size mismatch");
-  OSPREY_REQUIRE(x.rows() >= 2, "GP needs at least 2 points");
-  x_ = x;
-  y_ = y;
+void GaussianProcess::restandardize() {
   y_mean_ = osprey::num::mean(y_);
   y_sd_ = osprey::num::stddev(y_);
   if (y_sd_ < 1e-12) y_sd_ = 1.0;  // constant responses: degenerate scale
@@ -33,6 +30,14 @@ void GaussianProcess::update_data(const Matrix& x, const Vector& y) {
   for (std::size_t i = 0; i < y_.size(); ++i) {
     y_std_[i] = (y_[i] - y_mean_) / y_sd_;
   }
+}
+
+void GaussianProcess::update_data(const Matrix& x, const Vector& y) {
+  OSPREY_REQUIRE(x.rows() == y.size(), "X/y size mismatch");
+  OSPREY_REQUIRE(x.rows() >= 2, "GP needs at least 2 points");
+  x_ = x;
+  y_ = y;
+  restandardize();
   if (kernel_.lengthscales.size() != x_.cols()) {
     kernel_.lengthscales.assign(x_.cols(), 0.3);
     kernel_.variance = 1.0;
@@ -44,14 +49,44 @@ void GaussianProcess::update_data(const Matrix& x, const Vector& y) {
 void GaussianProcess::add_point(const Vector& x, double y) {
   OSPREY_REQUIRE(fitted(), "add_point before fit");
   OSPREY_REQUIRE(x.size() == x_.cols(), "point dimension mismatch");
-  Matrix x2(x_.rows() + 1, x_.cols());
-  for (std::size_t i = 0; i < x_.rows(); ++i) {
+  const std::size_t n = x_.rows();
+  Matrix x2(n + 1, x_.cols());
+  for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < x_.cols(); ++j) x2(i, j) = x_(i, j);
   }
-  for (std::size_t j = 0; j < x_.cols(); ++j) x2(x_.rows(), j) = x[j];
-  Vector y2 = y_;
-  y2.push_back(y);
-  update_data(x2, y2);
+  for (std::size_t j = 0; j < x_.cols(); ++j) x2(n, j) = x[j];
+  x_ = std::move(x2);
+  y_.push_back(y);
+  restandardize();
+  ++points_since_reopt_;
+
+  if (config_.reopt_every > 0 && points_since_reopt_ >= config_.reopt_every) {
+    reoptimize();
+    return;
+  }
+  if (!config_.incremental) {
+    condition();
+    return;
+  }
+  // Rank-1 path: the kernel matrix of the first n points is unchanged
+  // (hyperparameters are fixed here), so only the new row/column enters
+  // the factor — O(n^2) instead of the O(n^3) re-factorization. The
+  // response standardization does shift with the new y, but that only
+  // affects alpha, which is an O(n^2) pair of triangular solves.
+  Vector k(n);
+  for (std::size_t i = 0; i < n; ++i) k[i] = kernel_(x_.row(i), x);
+  // Diagonal must match condition() exactly: nugget + the base jitter
+  // plus whatever extra jitter the last factorization escalated to.
+  double c = kernel_.variance + nugget_ + config_.jitter + cond_jitter_;
+  try {
+    chol_->extend(k, c);
+  } catch (const osprey::util::NumericalError&) {
+    // Near-duplicate point made the bordered matrix numerically
+    // indefinite: fall back to the jitter-growing full factorization.
+    condition();
+    return;
+  }
+  refresh_alpha_and_lml();
 }
 
 double GaussianProcess::nlml(const Vector& log_params) const {
@@ -104,15 +139,22 @@ void GaussianProcess::reoptimize() {
   options.max_iterations = config_.mle_max_iterations;
   options.initial_step = 0.7;
   osprey::num::RngStream rng(config_.seed);
+  // nlml() only reads const state, so the multistarts are safe to fan
+  // out; the result is bit-identical to the serial path.
+  osprey::util::ThreadPool* pool =
+      (config_.parallel && config_.mle_restarts > 0)
+          ? &osprey::util::global_pool()
+          : nullptr;
   osprey::num::OptimResult best = osprey::num::multistart_minimize(
       [this](const Vector& p) { return nlml(p); }, x0, config_.mle_restarts,
-      1.5, rng, options);
+      1.5, rng, options, pool);
 
   for (std::size_t j = 0; j < d; ++j) {
     kernel_.lengthscales[j] = std::exp(best.x[j]);
   }
   kernel_.variance = std::exp(best.x[d]);
   nugget_ = std::exp(best.x[d + 1]);
+  points_since_reopt_ = 0;
   condition();
 }
 
@@ -121,7 +163,12 @@ void GaussianProcess::condition() {
   for (std::size_t i = 0; i < k.rows(); ++i) {
     k(i, i) += nugget_ + config_.jitter;
   }
-  chol_ = osprey::num::cholesky_with_jitter(k, config_.jitter, 10);
+  chol_ = osprey::num::cholesky_with_jitter(k, config_.jitter, 10,
+                                            &cond_jitter_);
+  refresh_alpha_and_lml();
+}
+
+void GaussianProcess::refresh_alpha_and_lml() {
   alpha_ = chol_->solve(y_std_);
   double fit_term = 0.5 * osprey::num::dot(y_std_, alpha_);
   double det_term = 0.5 * chol_->log_det();
@@ -147,7 +194,7 @@ Vector GaussianProcess::predict_mean(const Matrix& xstar) const {
   OSPREY_REQUIRE(xstar.cols() == x_.cols(), "dimension mismatch");
   Vector out(xstar.rows());
   const std::size_t d = x_.cols();
-  for (std::size_t p = 0; p < xstar.rows(); ++p) {
+  auto predict_row = [&](std::size_t p) {
     double m = 0.0;
     for (std::size_t i = 0; i < x_.rows(); ++i) {
       double q = 0.0;
@@ -158,6 +205,15 @@ Vector GaussianProcess::predict_mean(const Matrix& xstar) const {
       m += alpha_[i] * kernel_.variance * std::exp(-0.5 * q);
     }
     out[p] = y_mean_ + y_sd_ * m;
+  };
+  // Rows are independent and each writes its own slot, so the fan-out
+  // is bit-identical to the serial loop. Only batches with real work
+  // (rows x training points) go to the pool.
+  if (config_.parallel && xstar.rows() >= 32 &&
+      xstar.rows() * x_.rows() >= 16384) {
+    osprey::util::global_pool().parallel_for(xstar.rows(), predict_row);
+  } else {
+    for (std::size_t p = 0; p < xstar.rows(); ++p) predict_row(p);
   }
   return out;
 }
@@ -170,14 +226,16 @@ double GaussianProcess::log_marginal_likelihood() const {
 GaussianProcess::LooDiagnostics GaussianProcess::leave_one_out() const {
   OSPREY_REQUIRE(fitted(), "leave_one_out before fit");
   const std::size_t n = x_.rows();
-  // Diagonal of K^{-1} from the Cholesky factor: columns of the inverse.
-  Matrix k_inv = chol_->solve(Matrix::identity(n));
+  // Diagonal of K^{-1} straight from the factor's column solves —
+  // ~n^3/6 flops and O(n) memory, versus the ~n^3 flops plus two n x n
+  // temporaries of the old solve(Matrix::identity(n)) formulation.
+  Vector k_inv_diag = chol_->inverse_diagonal();
   LooDiagnostics out;
   out.residuals.resize(n);
   double acc = 0.0;
   std::size_t inside = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    double kii = k_inv(i, i);
+    double kii = k_inv_diag[i];
     OSPREY_CHECK(kii > 0.0, "non-positive K^{-1} diagonal");
     // Standardized-scale LOO residual and variance.
     double resid_std = alpha_[i] / kii;

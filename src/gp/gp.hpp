@@ -29,6 +29,18 @@ struct GpConfig {
   double min_nugget = 1e-8;
   double max_nugget = 1.0;        // relative to unit output variance
   std::uint64_t seed = 7;         // restarts' perturbation stream
+  /// add_point(): extend the Cholesky factor by one row/column in
+  /// O(n^2) instead of re-factorizing in O(n^3). Hyperparameters are
+  /// unchanged on this path, so the factor is exact (up to rounding);
+  /// a failed extension falls back to the full re-factorization.
+  bool incremental = true;
+  /// add_point(): run a full hyperparameter reoptimize() every this
+  /// many appended points (0 = never; the caller drives the cadence,
+  /// as the MUSIC engine does).
+  std::size_t reopt_every = 25;
+  /// Fan wide batch predictions and MLE multistarts out on the shared
+  /// util::global_pool(). Results are bit-identical to the serial path.
+  bool parallel = true;
 };
 
 struct GpPrediction {
@@ -47,7 +59,10 @@ class GaussianProcess {
   /// path for active-learning loops between re-optimizations).
   void update_data(const Matrix& x, const Vector& y);
 
-  /// Append one observation, keeping hyperparameters.
+  /// Append one observation. With config.incremental this is the O(n^2)
+  /// rank-1 Cholesky extension (the active-learning hot path); every
+  /// config.reopt_every appended points it instead runs a full
+  /// reoptimize() so the hyperparameters track the growing design.
   void add_point(const Vector& x, double y);
 
   /// Re-run the hyperparameter optimization on the current data.
@@ -74,7 +89,9 @@ class GaussianProcess {
 
   /// Leave-one-out cross-validation diagnostics, via the closed form
   /// mu_{-i} = y_i - [K^{-1} y]_i / [K^{-1}]_{ii} (no n refits). The
-  /// standard surrogate-quality check before trusting GSA estimates.
+  /// K^{-1} diagonal comes straight from the Cholesky factor's column
+  /// solves — the full inverse is never materialized. The standard
+  /// surrogate-quality check before trusting GSA estimates.
   struct LooDiagnostics {
     double rmse = 0.0;          // raw-scale LOO prediction error
     double coverage95 = 0.0;    // fraction of y_i inside the 95% LOO band
@@ -86,6 +103,8 @@ class GaussianProcess {
   /// NLML of hyperparameters packed as log values.
   double nlml(const Vector& log_params) const;
   void condition();  // rebuild Cholesky and alpha for current hypers/data
+  void restandardize();  // recompute y_mean_/y_sd_/y_std_ from y_
+  void refresh_alpha_and_lml();  // alpha and lml from the current factor
 
   GpConfig config_;
   Matrix x_;
@@ -96,8 +115,14 @@ class GaussianProcess {
   ArdSqExpKernel kernel_;
   double nugget_ = 1e-6;
   std::optional<osprey::num::Cholesky> chol_;
+  /// Extra diagonal jitter the last condition() actually used on top of
+  /// nugget + config.jitter (cholesky_with_jitter may escalate). The
+  /// rank-1 extension must add the same amount so both paths factor the
+  /// identical matrix.
+  double cond_jitter_ = 0.0;
   Vector alpha_;       // K^{-1} y_std
   double lml_ = 0.0;
+  std::size_t points_since_reopt_ = 0;  // add_point()s since last MLE
 };
 
 }  // namespace osprey::gp

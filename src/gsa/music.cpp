@@ -15,7 +15,13 @@ using osprey::num::Vector;
 MusicEngine::MusicEngine(MusicConfig config)
     : config_(std::move(config)),
       rng_(config_.seed, 0xBEEF),
-      gp_(config_.gp) {
+      gp_([&] {
+        // The engine drives the refit cadence (config_.reopt_every), so
+        // the GP's own add_point auto-reoptimize must stay out of the way.
+        osprey::gp::GpConfig gp_config = config_.gp;
+        gp_config.reopt_every = 0;
+        return gp_config;
+      }()) {
   OSPREY_REQUIRE(!config_.ranges.empty(), "MUSIC needs parameter ranges");
   OSPREY_REQUIRE(config_.n_init >= 4, "initial design too small");
   OSPREY_REQUIRE(config_.n_total >= config_.n_init,
@@ -130,17 +136,19 @@ std::optional<Vector> MusicEngine::advance() {
                  "advance() before the initial design is evaluated");
 
   // Refresh the surrogate: full MLE at init and every reopt_every new
-  // points; otherwise just recondition on the enlarged data.
-  Matrix x(x_unit_.size(), dim());
-  for (std::size_t i = 0; i < x_unit_.size(); ++i) x.set_row(i, x_unit_[i]);
-  Vector y = y_;
+  // points; otherwise append the new evaluations through the GP's
+  // O(n^2) incremental rank-1 path (hyperparameters unchanged).
   if (!gp_initialized_ || y_.size() >= last_reopt_n_ + config_.reopt_every) {
-    gp_.update_data(x, y);
+    Matrix x(x_unit_.size(), dim());
+    for (std::size_t i = 0; i < x_unit_.size(); ++i) x.set_row(i, x_unit_[i]);
+    gp_.update_data(x, y_);
     gp_.reoptimize();
     gp_initialized_ = true;
     last_reopt_n_ = y_.size();
   } else {
-    gp_.update_data(x, y);
+    for (std::size_t i = gp_.n(); i < x_unit_.size(); ++i) {
+      gp_.add_point(x_unit_[i], y_[i]);
+    }
   }
 
   SobolIndices idx = estimate_surrogate_indices();

@@ -64,6 +64,44 @@ Matrix Cholesky::solve(const Matrix& b) const {
   return out;
 }
 
+void Cholesky::extend(const Vector& b, double c) {
+  const std::size_t n = l_.rows();
+  OSPREY_REQUIRE(b.size() == n, "extend dimension mismatch");
+  Vector w = solve_lower(b);
+  double diag = c;
+  for (double wi : w) diag -= wi * wi;
+  if (!(diag > 0.0) || !std::isfinite(diag)) {
+    throw osprey::util::NumericalError(
+        "Cholesky::extend: bordered matrix not SPD");
+  }
+  Matrix l2(n + 1, n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) l2(i, j) = l_(i, j);
+  }
+  for (std::size_t j = 0; j < n; ++j) l2(n, j) = w[j];
+  l2(n, n) = std::sqrt(diag);
+  l_ = std::move(l2);
+}
+
+Vector Cholesky::inverse_diagonal() const {
+  const std::size_t n = l_.rows();
+  Vector out(n);
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Forward solve L v = e_i; v is zero above row i.
+    v[i] = 1.0 / l_(i, i);
+    for (std::size_t k = i + 1; k < n; ++k) {
+      double s = 0.0;
+      for (std::size_t j = i; j < k; ++j) s -= l_(k, j) * v[j];
+      v[k] = s / l_(k, k);
+    }
+    double acc = 0.0;
+    for (std::size_t k = i; k < n; ++k) acc += v[k] * v[k];
+    out[i] = acc;
+  }
+  return out;
+}
+
 double Cholesky::log_det() const {
   double s = 0.0;
   for (std::size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));

@@ -25,6 +25,24 @@ class Cholesky {
   /// Solve L y = b (forward substitution only).
   Vector solve_lower(const Vector& b) const;
 
+  /// Rank-1 extension: given the factor L of an n x n matrix A, update
+  /// it in O(n^2) to the factor of the bordered matrix
+  ///   [[A, b], [b^T, c]]
+  /// (new row [w^T, sqrt(c - w^T w)] with L w = b). This is the
+  /// active-learning hot path: appending one design point to a GP
+  /// kernel matrix without the O(n^3) re-factorization. Throws
+  /// NumericalError when the new pivot is non-positive (the bordered
+  /// matrix is not SPD), leaving the factor unchanged.
+  void extend(const Vector& b, double c);
+
+  /// Diagonal of A^{-1} = L^{-T} L^{-1}, computed column-by-column from
+  /// the factor without materializing the inverse:
+  ///   (A^{-1})_ii = sum_k (L^{-1})_{k,i}^2,
+  /// where column i of L^{-1} is the forward solve of e_i (nonzero only
+  /// from row i on, so the total cost is ~n^3/6 flops and O(n) extra
+  /// memory). Backs the closed-form leave-one-out GP diagnostics.
+  Vector inverse_diagonal() const;
+
   /// log|A| = 2 * sum log L_ii.
   double log_det() const;
 

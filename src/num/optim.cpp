@@ -124,16 +124,39 @@ OptimResult nelder_mead(const ObjectiveFn& fn, const Vector& x0,
 OptimResult multistart_minimize(const ObjectiveFn& fn, const Vector& x0,
                                 std::size_t n_restarts, double radius,
                                 RngStream& rng,
-                                const NelderMeadOptions& options) {
-  OptimResult best = nelder_mead(fn, x0, options);
+                                const NelderMeadOptions& options,
+                                osprey::util::ThreadPool* pool) {
+  // Draw every start up front so the RNG consumption order (and hence
+  // the start set) is identical whether the local searches then run
+  // serially or fanned out on the pool.
+  std::vector<Vector> starts;
+  starts.reserve(n_restarts + 1);
+  starts.push_back(x0);
   for (std::size_t r = 0; r < n_restarts; ++r) {
     Vector xs = x0;
     for (double& x : xs) x += rng.uniform(-radius, radius);
-    OptimResult cand = nelder_mead(fn, xs, options);
-    cand.evaluations += best.evaluations;
-    if (cand.f < best.f) best = cand;
+    starts.push_back(std::move(xs));
   }
-  return best;
+
+  std::vector<OptimResult> results(starts.size());
+  auto run_one = [&](std::size_t i) {
+    results[i] = nelder_mead(fn, starts[i], options);
+  };
+  if (pool != nullptr && starts.size() > 1) {
+    pool->parallel_for(starts.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < starts.size(); ++i) run_one(i);
+  }
+
+  std::size_t best = 0;
+  std::size_t total_evaluations = results[0].evaluations;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    total_evaluations += results[i].evaluations;
+    if (results[i].f < results[best].f) best = i;
+  }
+  OptimResult out = results[best];
+  out.evaluations = total_evaluations;
+  return out;
 }
 
 }  // namespace osprey::num

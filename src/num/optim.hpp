@@ -8,6 +8,7 @@
 
 #include "num/rng.hpp"
 #include "num/vecmat.hpp"
+#include "util/thread_pool.hpp"
 
 namespace osprey::num {
 
@@ -34,10 +35,16 @@ OptimResult nelder_mead(const ObjectiveFn& fn, const Vector& x0,
                         const NelderMeadOptions& options = {});
 
 /// Multi-start wrapper: runs Nelder–Mead from `x0` plus `n_restarts`
-/// uniform perturbations within `radius`; returns the best result.
+/// uniform perturbations within `radius`; returns the best result
+/// (ties broken toward the earlier start). All start points are drawn
+/// from `rng` up front, so passing `pool` fans the independent local
+/// searches out across threads with a bit-identical final result —
+/// `fn` must then be safe to call concurrently. The returned
+/// `evaluations` counts objective calls across every start.
 OptimResult multistart_minimize(const ObjectiveFn& fn, const Vector& x0,
                                 std::size_t n_restarts, double radius,
                                 RngStream& rng,
-                                const NelderMeadOptions& options = {});
+                                const NelderMeadOptions& options = {},
+                                osprey::util::ThreadPool* pool = nullptr);
 
 }  // namespace osprey::num

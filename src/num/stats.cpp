@@ -40,13 +40,18 @@ double weighted_mean(const std::vector<double>& xs,
 
 double quantile(std::vector<double> xs, double q) {
   OSPREY_REQUIRE(!xs.empty(), "quantile of empty vector");
-  OSPREY_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
   std::sort(xs.begin(), xs.end());
-  double h = (static_cast<double>(xs.size()) - 1.0) * q;
+  return quantile_sorted(xs, q);
+}
+
+double quantile_sorted(const std::vector<double>& sorted_xs, double q) {
+  OSPREY_REQUIRE(!sorted_xs.empty(), "quantile of empty vector");
+  OSPREY_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
+  double h = (static_cast<double>(sorted_xs.size()) - 1.0) * q;
   std::size_t lo = static_cast<std::size_t>(std::floor(h));
-  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  std::size_t hi = std::min(lo + 1, sorted_xs.size() - 1);
   double frac = h - static_cast<double>(lo);
-  return xs[lo] + frac * (xs[hi] - xs[lo]);
+  return sorted_xs[lo] + frac * (sorted_xs[hi] - sorted_xs[lo]);
 }
 
 double median(const std::vector<double>& xs) { return quantile(xs, 0.5); }
@@ -90,11 +95,14 @@ Summary summarize(const std::vector<double>& xs) {
   s.n = xs.size();
   s.mean = mean(xs);
   s.sd = stddev(xs);
-  s.min = *std::min_element(xs.begin(), xs.end());
-  s.max = *std::max_element(xs.begin(), xs.end());
-  s.q025 = quantile(xs, 0.025);
-  s.median = quantile(xs, 0.5);
-  s.q975 = quantile(xs, 0.975);
+  // One sort serves min/max and all three quantiles.
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q025 = quantile_sorted(sorted, 0.025);
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q975 = quantile_sorted(sorted, 0.975);
   return s;
 }
 

@@ -20,6 +20,10 @@ double weighted_mean(const std::vector<double>& xs,
 
 /// Quantile with linear interpolation (R type-7). q in [0, 1].
 double quantile(std::vector<double> xs, double q);
+/// Same, for data already sorted ascending — no copy, no re-sort. Use
+/// this when taking several quantiles of one sample (summaries,
+/// posterior bands): sort once, query many.
+double quantile_sorted(const std::vector<double>& sorted_xs, double q);
 double median(const std::vector<double>& xs);
 
 /// sqrt(mean((a-b)^2)).

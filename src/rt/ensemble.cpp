@@ -6,6 +6,25 @@
 
 namespace osprey::rt {
 
+std::vector<EnsembleMember> estimate_members(
+    const std::vector<PlantData>& plants, int days,
+    osprey::util::ThreadPool* pool) {
+  OSPREY_REQUIRE(!plants.empty(), "empty ensemble");
+  std::vector<EnsembleMember> members(plants.size());
+  auto estimate_one = [&](std::size_t p) {
+    members[p].name = plants[p].name;
+    members[p].population_weight = plants[p].population_weight;
+    GoldsteinEstimator estimator(plants[p].config);
+    members[p].posterior = estimator.estimate(plants[p].samples, days);
+  };
+  if (pool != nullptr && plants.size() > 1) {
+    pool->parallel_for(plants.size(), estimate_one);
+  } else {
+    for (std::size_t p = 0; p < plants.size(); ++p) estimate_one(p);
+  }
+  return members;
+}
+
 RtPosterior aggregate_population_weighted(
     const std::vector<EnsembleMember>& members) {
   OSPREY_REQUIRE(!members.empty(), "empty ensemble");

@@ -7,10 +7,13 @@
 /// ensemble average to improve the R(t) signal to noise" (Figure 2,
 /// bottom panel).
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "rt/goldstein.hpp"
 #include "rt/posterior.hpp"
+#include "util/thread_pool.hpp"
 
 namespace osprey::rt {
 
@@ -20,6 +23,26 @@ struct EnsembleMember {
   double population_weight = 1.0;  // e.g. population served by the plant
   RtPosterior posterior;
 };
+
+/// Per-plant input to the ensemble fan-out: samples plus the plant's
+/// own estimator settings (flow normalization and MCMC seed differ per
+/// plant, so each gets an independent chain).
+struct PlantData {
+  std::string name;
+  double population_weight = 1.0;
+  std::vector<epi::WwSample> samples;
+  GoldsteinConfig config;
+};
+
+/// Run the Goldstein estimator for every plant and return the members
+/// in input order. The per-plant MCMC chains are independent (each a
+/// pure function of its samples/days/config), so when `pool` is given
+/// the estimates fan out across threads with bit-identical posteriors —
+/// this is the dominant wall-clock cost of the Figure-2 workflow, and
+/// it scales with the plant count.
+std::vector<EnsembleMember> estimate_members(
+    const std::vector<PlantData>& plants, int days,
+    osprey::util::ThreadPool* pool = nullptr);
 
 /// Combine posteriors draw-wise: aggregate draw d, day t is the
 /// weight-normalized average of the members' draw d, day t. Members must

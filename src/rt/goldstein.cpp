@@ -120,6 +120,12 @@ double GoldsteinEstimator::neg_log_posterior(
 
 RtPosterior GoldsteinEstimator::estimate(
     const std::vector<epi::WwSample>& samples, int days) const {
+  return estimate(samples, days, config_.seed);
+}
+
+RtPosterior GoldsteinEstimator::estimate(
+    const std::vector<epi::WwSample>& samples, int days,
+    std::uint64_t seed) const {
   OSPREY_REQUIRE(samples.size() >= 4, "need at least 4 samples");
   const int k = num_knots(days);
   const std::size_t dim = static_cast<std::size_t>(k) + 2;
@@ -138,7 +144,7 @@ RtPosterior GoldsteinEstimator::estimate(
   theta[static_cast<std::size_t>(k)] = std::log(i0_guess);
   theta[static_cast<std::size_t>(k) + 1] = std::log(0.5);
 
-  RngStream rng(config_.seed);
+  RngStream rng(seed);
   double current = neg_log_posterior(theta, samples, days);
 
   std::vector<double> step(dim, 0.08);
@@ -146,7 +152,12 @@ RtPosterior GoldsteinEstimator::estimate(
   std::vector<std::size_t> proposals(dim, 0);
   const int adapt_window = 50;
 
-  const int n_draws = (config_.iterations - config_.burnin) / config_.thin;
+  // Draws land at offsets 0, thin, 2*thin, ... within the post-burn-in
+  // span, so the count is the CEILING of span/thin — floor division
+  // would silently drop the final thinned draw whenever thin does not
+  // divide the span.
+  const int span = config_.iterations - config_.burnin;
+  const int n_draws = (span + config_.thin - 1) / config_.thin;
   RtPosterior posterior;
   posterior.draws =
       osprey::num::Matrix(static_cast<std::size_t>(n_draws),
@@ -183,8 +194,7 @@ RtPosterior GoldsteinEstimator::estimate(
       }
     }
     if (iter >= config_.burnin &&
-        (iter - config_.burnin) % config_.thin == 0 &&
-        stored < static_cast<std::size_t>(n_draws)) {
+        (iter - config_.burnin) % config_.thin == 0) {
       std::vector<double> log_knots(
           theta.begin(), theta.begin() + static_cast<std::ptrdiff_t>(k));
       std::vector<double> rt = knots_to_daily(log_knots, days);
@@ -195,6 +205,8 @@ RtPosterior GoldsteinEstimator::estimate(
       ++stored;
     }
   }
+  OSPREY_CHECK(stored == static_cast<std::size_t>(n_draws),
+               "thinned draw count mismatch");
   posterior.acceptance_rate =
       total_prop == 0 ? 0.0
                       : static_cast<double>(total_acc) /

@@ -55,6 +55,13 @@ class GoldsteinEstimator {
   RtPosterior estimate(const std::vector<epi::WwSample>& samples,
                        int days) const;
 
+  /// Same, with an explicit chain seed overriding config.seed. The
+  /// posterior is a pure function of (samples, days, seed), so ensemble
+  /// fan-outs can give each plant its own independent stream and still
+  /// get bit-identical results regardless of execution order.
+  RtPosterior estimate(const std::vector<epi::WwSample>& samples, int days,
+                       std::uint64_t seed) const;
+
   /// Negative log posterior at a parameter vector (exposed for tests).
   /// theta = [logR knots..., log I0, log sigma].
   double neg_log_posterior(const std::vector<double>& theta,

@@ -11,6 +11,11 @@
 
 namespace osprey::util {
 
+/// Outcome of a non-blocking pop. Distinguishes "nothing right now"
+/// from "never anything again": pollers must keep waiting on kEmpty but
+/// can exit on kClosed.
+enum class ChannelStatus { kItem, kEmpty, kClosed };
+
 /// Multi-producer multi-consumer blocking channel.
 /// close() wakes all waiters; pop() then drains remaining items and
 /// finally returns std::nullopt.
@@ -46,14 +51,28 @@ class Channel {
     return item;
   }
 
-  /// Non-blocking pop.
+  /// Non-blocking pop. NOTE: collapses "empty but open" and "closed and
+  /// drained" into nullopt; pollers that must tell shutdown apart from
+  /// momentary emptiness should use try_pop_status() instead.
   std::optional<T> try_pop() {
+    T item;
+    if (try_pop_status(item) == ChannelStatus::kItem) return item;
+    return std::nullopt;
+  }
+
+  /// Non-blocking pop with distinguishable outcomes: kItem moves an
+  /// item into `out`; kEmpty means the channel is open but momentarily
+  /// drained (retry later); kClosed means closed AND drained (no item
+  /// will ever arrive — stop polling).
+  ChannelStatus try_pop_status(T& out) {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    not_full_.notify_one();
-    return item;
+    if (!items_.empty()) {
+      out = std::move(items_.front());
+      items_.pop_front();
+      not_full_.notify_one();
+      return ChannelStatus::kItem;
+    }
+    return closed_ ? ChannelStatus::kClosed : ChannelStatus::kEmpty;
   }
 
   void close() {

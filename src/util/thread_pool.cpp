@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 
 namespace osprey::util {
 
@@ -24,6 +26,13 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  if (queue_.try_pop_status(task) != ChannelStatus::kItem) return false;
+  task();
+  return true;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
@@ -41,7 +50,36 @@ void ThreadPool::parallel_for(std::size_t n,
       }
     }));
   }
-  for (auto& f : futs) f.get();
+  // The caller works the same cursor instead of blocking straight away.
+  while (true) {
+    std::size_t i = cursor->fetch_add(1);
+    if (i >= n) break;
+    fn(i);
+  }
+  // While chunk tasks are still running on workers, keep draining the
+  // queue (they may be queued behind unrelated submissions).
+  for (auto& f : futs) {
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!try_run_one()) {
+        f.wait();
+        break;
+      }
+    }
+    f.get();
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("OSPREY_THREADS")) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return static_cast<std::size_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }());
+  return pool;
 }
 
 }  // namespace osprey::util

@@ -41,12 +41,28 @@ class ThreadPool {
     return fut;
   }
 
+  /// Run one queued task on the calling thread if one is immediately
+  /// available. Returns false when the queue is momentarily empty or
+  /// the pool is shutting down (distinguished via the channel's status
+  /// API). Lets blocked submitters help drain the queue.
+  bool try_run_one();
+
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// The calling thread participates as an extra worker while it waits,
+  /// so a parallel_for issued from inside a pool task cannot deadlock
+  /// even when every pool thread is busy.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
   Channel<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
 };
+
+/// Process-wide shared pool sized by the hardware concurrency (minimum
+/// 1; override with the OSPREY_THREADS environment variable). Lives for
+/// the life of the process; intended for deterministic data-parallel
+/// kernels (GP batch prediction, MLE multistarts, per-plant MCMC
+/// fan-out) where spinning up a private pool per call would dominate.
+ThreadPool& global_pool();
 
 }  // namespace osprey::util

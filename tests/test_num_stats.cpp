@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <random>
 
 #include "num/special.hpp"
 #include "util/error.hpp"
@@ -35,6 +37,41 @@ TEST(Stats, QuantileType7) {
   EXPECT_DOUBLE_EQ(on::quantile(xs, 0.5), 2.5);
   EXPECT_DOUBLE_EQ(on::quantile(xs, 0.25), 1.75);
   EXPECT_DOUBLE_EQ(on::median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(Stats, QuantileSortedMatchesQuantileOnRandomSample) {
+  // quantile() sorts internally; quantile_sorted() trusts the caller.
+  // On a pre-sorted fixed-seed sample they must agree exactly.
+  std::mt19937_64 rng(12345);
+  std::uniform_real_distribution<double> unif(-50.0, 50.0);
+  std::vector<double> xs(501);
+  for (double& x : xs) x = unif(rng);
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.025, 0.1, 0.25, 0.5, 0.643, 0.9, 0.975, 1.0}) {
+    EXPECT_DOUBLE_EQ(on::quantile_sorted(sorted, q), on::quantile(xs, q))
+        << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(on::quantile_sorted({7.0}, 0.31), 7.0);
+  EXPECT_THROW(on::quantile_sorted({}, 0.5), osprey::util::InvalidArgument);
+  EXPECT_THROW(on::quantile_sorted({1.0}, 1.5), osprey::util::InvalidArgument);
+}
+
+TEST(Stats, SummarizeMatchesIndividualQuantiles) {
+  // summarize() now sorts once and reuses the sorted copy for min, max,
+  // and the three quantiles; the outputs must be unchanged.
+  std::mt19937_64 rng(99);
+  std::normal_distribution<double> norm(3.0, 2.0);
+  std::vector<double> xs(777);
+  for (double& x : xs) x = norm(rng);
+  on::Summary s = on::summarize(xs);
+  EXPECT_DOUBLE_EQ(s.min, *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(s.max, *std::max_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(s.q025, on::quantile(xs, 0.025));
+  EXPECT_DOUBLE_EQ(s.median, on::quantile(xs, 0.5));
+  EXPECT_DOUBLE_EQ(s.q975, on::quantile(xs, 0.975));
+  EXPECT_DOUBLE_EQ(s.mean, on::mean(xs));
+  EXPECT_DOUBLE_EQ(s.sd, on::stddev(xs));
 }
 
 TEST(Stats, RmseMae) {

@@ -49,6 +49,51 @@ TEST(Goldstein, RequiresEnoughSamples) {
   EXPECT_THROW(est.estimate(samples, 30), osprey::util::InvalidArgument);
 }
 
+TEST(Goldstein, ThinnedDrawCountUsesCeilingDivision) {
+  // iterations=100, burnin=40, thin=7: draws land at post-burn-in
+  // offsets 0, 7, ..., 56 -> ceil(60 / 7) = 9 draws. The old floor
+  // division allocated 8 rows and silently dropped the last draw.
+  oe::Plant plant = oe::chicago_plants()[0];
+  ort::GoldsteinConfig cfg;
+  cfg.iterations = 100;
+  cfg.burnin = 40;
+  cfg.thin = 7;
+  cfg.flow_liters_per_day = plant.avg_flow_mgd * 3.785e6;
+  oe::WastewaterConfig wcfg;
+  wcfg.days = 30;
+  oe::WastewaterGenerator gen(plant, oe::chicago_truths()[0], wcfg, 11);
+  ort::GoldsteinEstimator est(cfg);
+  ort::RtPosterior posterior = est.estimate(gen.samples(), 30);
+  EXPECT_EQ(posterior.n_draws(), 9u);
+  // Every allocated row was written (no silent zero rows at the tail).
+  for (std::size_t d = 0; d < posterior.n_draws(); ++d) {
+    EXPECT_GT(posterior.draws(d, 15), 0.0) << "empty draw row " << d;
+  }
+}
+
+TEST(Goldstein, ExplicitSeedOverloadMatchesConfigSeed) {
+  oe::Plant plant = oe::chicago_plants()[0];
+  oe::WastewaterConfig wcfg;
+  wcfg.days = 40;
+  oe::WastewaterGenerator gen(plant, oe::chicago_truths()[0], wcfg, 6);
+  ort::GoldsteinConfig cfg = test_config(plant);
+  cfg.iterations = 300;
+  cfg.burnin = 150;
+  ort::GoldsteinEstimator est(cfg);
+  ort::RtPosterior a = est.estimate(gen.samples(), 40);
+  ort::RtPosterior b = est.estimate(gen.samples(), 40, cfg.seed);
+  ort::RtPosterior c = est.estimate(gen.samples(), 40, cfg.seed + 1);
+  ASSERT_EQ(a.n_draws(), b.n_draws());
+  bool differs_from_c = false;
+  for (std::size_t d = 0; d < a.n_draws(); ++d) {
+    for (std::size_t t = 0; t < a.days(); ++t) {
+      EXPECT_EQ(a.draws(d, t), b.draws(d, t));
+      if (a.draws(d, t) != c.draws(d, t)) differs_from_c = true;
+    }
+  }
+  EXPECT_TRUE(differs_from_c) << "seed had no effect on the chain";
+}
+
 TEST(Goldstein, NegLogPosteriorFiniteAndPenalizesBadParams) {
   oe::Plant plant = oe::chicago_plants()[0];
   oe::WastewaterConfig wcfg;
@@ -234,6 +279,54 @@ TEST(Ensemble, AggregationReducesNoise) {
     member_col[d] = members[0].posterior.draws(d, 0);
   }
   EXPECT_LT(on::stddev(agg_col), 0.7 * on::stddev(member_col));
+}
+
+TEST(Ensemble, ParallelEstimateMembersBitIdenticalToSerial) {
+  // Each plant's chain is a pure function of (samples, days, config), so
+  // fanning the estimates out on a pool must be bit-identical to the
+  // serial loop — this is the guarantee the Figure-2 speedup rests on.
+  const int days = 40;
+  auto plants = oe::chicago_plants();
+  auto truths = oe::chicago_truths();
+  oe::WastewaterConfig wcfg;
+  wcfg.days = days;
+  std::vector<ort::PlantData> inputs;
+  for (std::size_t p = 0; p < 3; ++p) {
+    oe::WastewaterGenerator gen(plants[p], truths[p], wcfg, 50 + p);
+    ort::PlantData pd;
+    pd.name = plants[p].name;
+    pd.population_weight = static_cast<double>(plants[p].population_served);
+    pd.samples = gen.samples();
+    pd.config.iterations = 240;
+    pd.config.burnin = 120;
+    pd.config.thin = 4;
+    pd.config.flow_liters_per_day = plants[p].avg_flow_mgd * 3.785e6;
+    pd.config.seed = 700 + p;
+    inputs.push_back(std::move(pd));
+  }
+  std::vector<ort::EnsembleMember> serial =
+      ort::estimate_members(inputs, days, nullptr);
+  osprey::util::ThreadPool pool(3);
+  std::vector<ort::EnsembleMember> parallel =
+      ort::estimate_members(inputs, days, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    EXPECT_EQ(serial[p].name, inputs[p].name);
+    EXPECT_EQ(parallel[p].name, inputs[p].name);
+    EXPECT_EQ(serial[p].population_weight, parallel[p].population_weight);
+    ASSERT_EQ(serial[p].posterior.n_draws(), parallel[p].posterior.n_draws());
+    for (std::size_t d = 0; d < serial[p].posterior.n_draws(); ++d) {
+      for (std::size_t t = 0; t < static_cast<std::size_t>(days); ++t) {
+        ASSERT_EQ(serial[p].posterior.draws(d, t),
+                  parallel[p].posterior.draws(d, t))
+            << "plant " << p << " draw " << d << " day " << t;
+      }
+    }
+  }
+  // And the serial path matches a direct estimator call.
+  ort::GoldsteinEstimator direct(inputs[0].config);
+  ort::RtPosterior ref = direct.estimate(inputs[0].samples, days);
+  EXPECT_EQ(serial[0].posterior.draws(0, 0), ref.draws(0, 0));
 }
 
 TEST(Ensemble, WeightedSeriesAverage) {

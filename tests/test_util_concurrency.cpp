@@ -34,6 +34,60 @@ TEST(Channel, CloseDrainsThenEnds) {
   EXPECT_FALSE(ch.pop().has_value());
 }
 
+TEST(Channel, TryPopStatusDistinguishesEmptyFromClosed) {
+  ou::Channel<int> ch;
+  int out = 0;
+  // Open and empty: momentary emptiness, pollers should retry.
+  EXPECT_EQ(ch.try_pop_status(out), ou::ChannelStatus::kEmpty);
+  ch.push(5);
+  ch.close();
+  // Closed but not drained: the buffered item still comes out.
+  EXPECT_EQ(ch.try_pop_status(out), ou::ChannelStatus::kItem);
+  EXPECT_EQ(out, 5);
+  // Closed and drained: terminal — nothing will ever arrive.
+  EXPECT_EQ(ch.try_pop_status(out), ou::ChannelStatus::kClosed);
+  EXPECT_EQ(ch.try_pop_status(out), ou::ChannelStatus::kClosed);
+}
+
+TEST(Channel, TryPopStatusCloseThenDrainUnderContention) {
+  // Producers fill, then the channel closes; polling consumers using
+  // try_pop_status must between them drain every buffered item and each
+  // exit only on kClosed — no item lost, no poller stuck on kEmpty.
+  constexpr int kItems = 2000;
+  constexpr int kConsumers = 4;
+  ou::Channel<int> ch;
+  std::atomic<long> total{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int v = 0;
+      while (true) {
+        switch (ch.try_pop_status(v)) {
+          case ou::ChannelStatus::kItem:
+            total += v;
+            ++count;
+            break;
+          case ou::ChannelStatus::kEmpty:
+            std::this_thread::yield();
+            break;
+          case ou::ChannelStatus::kClosed:
+            return;
+        }
+      }
+    });
+  }
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ch.push(i);
+    ch.close();
+  });
+  producer.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(count.load(), kItems);
+  EXPECT_EQ(total.load(), static_cast<long>(kItems) * (kItems - 1) / 2);
+  EXPECT_EQ(ch.size(), 0u);
+}
+
 TEST(Channel, CloseWakesBlockedConsumer) {
   ou::Channel<int> ch;
   std::thread consumer([&] { EXPECT_FALSE(ch.pop().has_value()); });
@@ -121,4 +175,37 @@ TEST(ThreadPool, AtLeastOneThread) {
   ou::ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1u);
   EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // parallel_for called from inside a pool task: the calling task helps
+  // run queued work (try_run_one) instead of blocking a worker forever.
+  ou::ThreadPool pool(2);
+  std::atomic<int> inner_hits{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { inner_hits++; });
+  });
+  EXPECT_EQ(inner_hits.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForUsableFromSubmittedTask) {
+  ou::ThreadPool pool(1);  // single worker: the submitted task owns it
+  auto f = pool.submit([&] {
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallel_for(64, [&](std::size_t i) { hits[i]++; });
+    int sum = 0;
+    for (auto& h : hits) sum += h.load();
+    return sum;
+  });
+  EXPECT_EQ(f.get(), 64);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingletonAndRuns) {
+  ou::ThreadPool& a = ou::global_pool();
+  ou::ThreadPool& b = ou::global_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+  std::atomic<int> hits{0};
+  a.parallel_for(100, [&](std::size_t) { hits++; });
+  EXPECT_EQ(hits.load(), 100);
 }
