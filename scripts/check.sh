@@ -1,42 +1,135 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus a ThreadSanitizer pass over the concurrency-heavy
-# targets. Usage: scripts/check.sh [--skip-tsan]
+# Ordered verification gate for the OSPREY reproduction. Stages run
+# cheapest-first so style/invariant breakage fails before any sanitizer
+# build starts:
 #
-#   1. Release build of everything + full ctest suite.
-#   2. TSan build (-DOSPREY_SANITIZE=thread) running the channel/pool
-#      tests (test_util_concurrency) and the EMEWS worker-pool tests
-#      (test_emews_pool), the two suites that exercise real threads.
-set -euo pipefail
+#   lint    tools/osprey_lint over src/ tests/ bench/ (determinism &
+#           concurrency invariants; see DESIGN.md §"Concurrency &
+#           determinism invariants").
+#   tidy    clang-tidy with the repo .clang-tidy (SKIPPED when
+#           clang-tidy is not installed).
+#   tsa     Clang -Wthread-safety -Werror=thread-safety build via
+#           -DOSPREY_THREAD_SAFETY=ON, including the negative
+#           try_compile check (SKIPPED when clang++ is not installed).
+#   tier1   Release build + full ctest suite (the seed gate).
+#   asan    address+undefined sanitizer build, full ctest suite.
+#   tsan    thread sanitizer build, concurrency-heavy suites only.
+#
+# Usage: scripts/check.sh [--skip-tsan] [stage ...]
+#   No stage arguments = run all stages in order. Naming stages runs
+#   just those, still in canonical order. The summary table reports
+#   PASS/FAIL/SKIP per stage; exit is non-zero if any stage FAILs.
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+ALL_STAGES=(lint tidy tsa tier1 asan tsan)
+declare -A WANTED=()
 SKIP_TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
-    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    lint|tidy|tsa|tier1|asan|tsan) WANTED[$arg]=1 ;;
+    *) echo "unknown argument: $arg" >&2
+       echo "usage: scripts/check.sh [--skip-tsan] [stage ...]" >&2
+       echo "stages: ${ALL_STAGES[*]}" >&2
+       exit 2 ;;
   esac
 done
 
-echo "== tier-1: configure + build =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS"
+declare -A RESULT=()
+FAILED=0
 
-echo "== tier-1: ctest =="
-(cd build && ctest --output-on-failure -j "$JOBS")
+run_stage() {  # run_stage <name> <fn>
+  local name="$1" fn="$2"
+  if [[ ${#WANTED[@]} -gt 0 && -z "${WANTED[$name]:-}" ]]; then
+    RESULT[$name]="-"
+    return 0
+  fi
+  echo
+  echo "== stage: $name =="
+  local status
+  "$fn"
+  status=$?
+  if [[ $status -eq 0 ]]; then
+    RESULT[$name]="PASS"
+  elif [[ $status -eq 99 ]]; then
+    RESULT[$name]="SKIP"
+  else
+    RESULT[$name]="FAIL"
+    FAILED=1
+  fi
+  return 0
+}
 
-if [[ "$SKIP_TSAN" == "1" ]]; then
-  echo "== tsan: skipped (--skip-tsan) =="
-  exit 0
+stage_lint() {
+  cmake -B build -S . >/dev/null &&
+  cmake --build build --target osprey_lint -j "$JOBS" &&
+  ./build/tools/osprey_lint --root . --json build/osprey_lint.json \
+      src tests bench
+}
+
+stage_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping"
+    return 99
+  fi
+  cmake -B build -S . >/dev/null &&
+  find src tools -name '*.cpp' | sort |
+      xargs -P "$JOBS" -n 8 clang-tidy -p build --quiet
+}
+
+stage_tsa() {
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "clang++ not installed; skipping thread-safety build"
+    return 99
+  fi
+  cmake -B build-tsa -S . \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      -DOSPREY_THREAD_SAFETY=ON >/dev/null &&
+  cmake --build build-tsa -j "$JOBS"
+}
+
+stage_tier1() {
+  cmake -B build -S . >/dev/null &&
+  cmake --build build -j "$JOBS" &&
+  (cd build && ctest --output-on-failure -j "$JOBS")
+}
+
+stage_asan() {
+  cmake -B build-asan -S . -DOSPREY_SANITIZE=address,undefined >/dev/null &&
+  cmake --build build-asan -j "$JOBS" &&
+  (cd build-asan && ctest --output-on-failure -j "$JOBS")
+}
+
+stage_tsan() {
+  if [[ "$SKIP_TSAN" == "1" ]]; then
+    echo "skipped (--skip-tsan)"
+    return 99
+  fi
+  cmake -B build-tsan -S . -DOSPREY_SANITIZE=thread >/dev/null &&
+  cmake --build build-tsan -j "$JOBS" \
+      --target test_util_concurrency test_emews_pool \
+               test_emews_taskdb_stress &&
+  (cd build-tsan && ctest --output-on-failure \
+      -R 'test_util_concurrency|test_emews_pool|test_emews_taskdb_stress')
+}
+
+run_stage lint  stage_lint
+[[ $FAILED -eq 0 ]] && run_stage tidy  stage_tidy
+[[ $FAILED -eq 0 ]] && run_stage tsa   stage_tsa
+[[ $FAILED -eq 0 ]] && run_stage tier1 stage_tier1
+[[ $FAILED -eq 0 ]] && run_stage asan  stage_asan
+[[ $FAILED -eq 0 ]] && run_stage tsan  stage_tsan
+
+echo
+echo "== summary =="
+for s in "${ALL_STAGES[@]}"; do
+  printf '  %-6s %s\n' "$s" "${RESULT[$s]:-not run (earlier stage failed)}"
+done
+if [[ $FAILED -ne 0 ]]; then
+  echo "check.sh: FAILED"
+  exit 1
 fi
-
-echo "== tsan: configure + build concurrency targets =="
-cmake -B build-tsan -S . -DOSPREY_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" \
-  --target test_util_concurrency test_emews_pool
-
-echo "== tsan: run concurrency tests =="
-(cd build-tsan && ctest --output-on-failure \
-  -R 'test_util_concurrency|test_emews_pool')
-
-echo "== all checks passed =="
+echo "check.sh: all executed stages passed"

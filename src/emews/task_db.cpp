@@ -6,14 +6,7 @@
 
 namespace osprey::emews {
 
-namespace {
-std::uint64_t steady_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-}  // namespace
+using osprey::util::MutexLock;
 
 const char* task_status_name(TaskStatus s) {
   switch (s) {
@@ -38,7 +31,7 @@ const TaskRecord& TaskDb::record_locked(TaskId id) const {
 
 TaskId TaskDb::submit(const std::string& type, osprey::util::Value payload,
                       int priority) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   OSPREY_REQUIRE(!closed_, "submit to a closed task database");
   TaskId id = tasks_.size();
   TaskRecord rec;
@@ -46,65 +39,15 @@ TaskId TaskDb::submit(const std::string& type, osprey::util::Value payload,
   rec.type = type;
   rec.payload = std::move(payload);
   rec.priority = priority;
-  rec.submitted_ns = steady_ns();
+  rec.submitted_ns = clock_->now_ns();
   tasks_.push_back(std::move(rec));
   queues_[type][priority].push_back(id);
   queue_cv_.notify_one();
   return id;
 }
 
-std::optional<TaskId> TaskDb::claim(const std::string& type,
-                                    const std::string& worker) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  while (true) {
-    auto qit = queues_.find(type);
-    if (qit != queues_.end() && !qit->second.empty()) {
-      auto& by_priority = qit->second;
-      auto pit = by_priority.begin();
-      TaskId id = pit->second.front();
-      pit->second.pop_front();
-      if (pit->second.empty()) by_priority.erase(pit);
-      TaskRecord& rec = record_locked(id);
-      rec.status = TaskStatus::kRunning;
-      rec.worker = worker;
-      rec.started_ns = steady_ns();
-      return id;
-    }
-    if (closed_) return std::nullopt;
-    queue_cv_.wait(lock);
-  }
-}
-
-std::optional<TaskId> TaskDb::claim_for(const std::string& type,
-                                        const std::string& worker,
-                                        std::int64_t timeout_ms) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  auto deadline = std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(timeout_ms);
-  while (true) {
-    auto qit = queues_.find(type);
-    if (qit != queues_.end() && !qit->second.empty()) {
-      auto& by_priority = qit->second;
-      auto pit = by_priority.begin();
-      TaskId id = pit->second.front();
-      pit->second.pop_front();
-      if (pit->second.empty()) by_priority.erase(pit);
-      TaskRecord& rec = record_locked(id);
-      rec.status = TaskStatus::kRunning;
-      rec.worker = worker;
-      rec.started_ns = steady_ns();
-      return id;
-    }
-    if (closed_) return std::nullopt;
-    if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      return std::nullopt;
-    }
-  }
-}
-
-std::optional<TaskId> TaskDb::try_claim(const std::string& type,
-                                        const std::string& worker) {
-  std::lock_guard<std::mutex> lock(mutex_);
+std::optional<TaskId> TaskDb::claim_locked(const std::string& type,
+                                           const std::string& worker) {
   auto qit = queues_.find(type);
   if (qit == queues_.end() || qit->second.empty()) return std::nullopt;
   auto& by_priority = qit->second;
@@ -115,20 +58,58 @@ std::optional<TaskId> TaskDb::try_claim(const std::string& type,
   TaskRecord& rec = record_locked(id);
   rec.status = TaskStatus::kRunning;
   rec.worker = worker;
-  rec.started_ns = steady_ns();
+  rec.started_ns = clock_->now_ns();
   return id;
+}
+
+std::optional<TaskId> TaskDb::claim(const std::string& type,
+                                    const std::string& worker) {
+  MutexLock lock(mutex_);
+  while (true) {
+    if (auto id = claim_locked(type, worker)) return id;
+    if (closed_) return std::nullopt;
+    queue_cv_.wait(lock);
+  }
+}
+
+std::optional<TaskId> TaskDb::claim_for(const std::string& type,
+                                        const std::string& worker,
+                                        std::int64_t timeout_ms) {
+  MutexLock lock(mutex_);
+  std::int64_t remaining_ms = timeout_ms;
+  while (true) {
+    if (auto id = claim_locked(type, worker)) return id;
+    if (closed_) return std::nullopt;
+    if (remaining_ms <= 0) return std::nullopt;
+    // The blocking bound is real time (a poll interval, not simulated
+    // state); elapsed time is measured through the injected clock so a
+    // SimClock still controls the records.
+    std::uint64_t t0 = clock_->now_ns();
+    if (queue_cv_.wait_for(lock, std::chrono::milliseconds(remaining_ms)) ==
+        std::cv_status::timeout) {
+      return std::nullopt;
+    }
+    std::uint64_t dt_ns = clock_->now_ns() - t0;
+    remaining_ms -= static_cast<std::int64_t>(dt_ns / 1'000'000ull);
+  }
+}
+
+std::optional<TaskId> TaskDb::try_claim(const std::string& type,
+                                        const std::string& worker) {
+  MutexLock lock(mutex_);
+  return claim_locked(type, worker);
 }
 
 void TaskDb::finish_locked(TaskId id, TaskStatus status) {
   TaskRecord& rec = record_locked(id);
   rec.status = status;
-  rec.completed_ns = steady_ns();
+  rec.completed_ns = clock_->now_ns();
   ++finished_;
   done_cv_.notify_all();
 }
 
 void TaskDb::complete(TaskId id, osprey::util::Value result) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TaskRecord& rec = record_locked(id);
   OSPREY_REQUIRE(rec.status == TaskStatus::kRunning,
                  "complete() on a task that is not running");
@@ -137,7 +118,7 @@ void TaskDb::complete(TaskId id, osprey::util::Value result) {
 }
 
 void TaskDb::fail(TaskId id, const std::string& error) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TaskRecord& rec = record_locked(id);
   OSPREY_REQUIRE(rec.status == TaskStatus::kRunning,
                  "fail() on a task that is not running");
@@ -146,7 +127,7 @@ void TaskDb::fail(TaskId id, const std::string& error) {
 }
 
 bool TaskDb::cancel(TaskId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TaskRecord& rec = record_locked(id);
   if (rec.status != TaskStatus::kQueued) return false;
   // Remove from its queue.
@@ -166,40 +147,58 @@ bool TaskDb::cancel(TaskId id) {
   return true;
 }
 
+bool TaskDb::requeue(TaskId id) {
+  MutexLock lock(mutex_);
+  if (closed_) return false;
+  TaskRecord& rec = record_locked(id);
+  if (rec.status != TaskStatus::kRunning) return false;
+  rec.status = TaskStatus::kQueued;
+  rec.worker.clear();
+  rec.started_ns = 0;
+  ++rec.requeues;
+  queues_[rec.type][rec.priority].push_back(id);
+  queue_cv_.notify_one();
+  return true;
+}
+
 TaskRecord TaskDb::snapshot(TaskId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return record_locked(id);
 }
 
 bool TaskDb::is_done(TaskId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TaskStatus s = record_locked(id).status;
   return s == TaskStatus::kComplete || s == TaskStatus::kFailed ||
          s == TaskStatus::kCancelled;
 }
 
 TaskRecord TaskDb::wait(TaskId id) const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] {
+  MutexLock lock(mutex_);
+  while (true) {
     TaskStatus s = record_locked(id).status;
-    return s == TaskStatus::kComplete || s == TaskStatus::kFailed ||
-           s == TaskStatus::kCancelled;
-  });
-  return record_locked(id);
+    if (s == TaskStatus::kComplete || s == TaskStatus::kFailed ||
+        s == TaskStatus::kCancelled) {
+      return record_locked(id);
+    }
+    done_cv_.wait(lock);
+  }
 }
 
 std::uint64_t TaskDb::finished_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return finished_;
 }
 
 void TaskDb::wait_for_more_finished(std::uint64_t seen) const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return finished_ > seen || closed_; });
+  MutexLock lock(mutex_);
+  while (finished_ <= seen && !closed_) {
+    done_cv_.wait(lock);
+  }
 }
 
 std::size_t TaskDb::queued_count(const std::string& type) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto qit = queues_.find(type);
   if (qit == queues_.end()) return 0;
   std::size_t n = 0;
@@ -211,12 +210,12 @@ std::size_t TaskDb::queued_count(const std::string& type) const {
 }
 
 std::size_t TaskDb::total_submitted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return tasks_.size();
 }
 
 void TaskDb::close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (closed_) return;
   closed_ = true;
   // Cancel everything still queued.
@@ -227,7 +226,7 @@ void TaskDb::close() {
       for (TaskId id : fifo) {
         TaskRecord& rec = record_locked(id);
         rec.status = TaskStatus::kCancelled;
-        rec.completed_ns = steady_ns();
+        rec.completed_ns = clock_->now_ns();
         ++finished_;
       }
       fifo.clear();
@@ -239,7 +238,7 @@ void TaskDb::close() {
 }
 
 bool TaskDb::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return closed_;
 }
 

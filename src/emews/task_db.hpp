@@ -9,17 +9,24 @@
 /// condition variables so pollers never spin.
 ///
 /// Thread-safe: ME algorithm threads, worker threads and monitors may
-/// call concurrently.
+/// call concurrently. The lock discipline is machine-checked — every
+/// mutable member is OSPREY_GUARDED_BY(mutex_) and the
+/// OSPREY_THREAD_SAFETY build rejects unguarded access at compile time.
+///
+/// Timestamps come from an injected util::Clock (default: the process
+/// real clock), so simulated runs driven by a util::SimClock are
+/// bit-replayable; no std::chrono clock is named in this layer.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/clock.hpp"
+#include "util/mutex.hpp"
 #include "util/value.hpp"
 
 namespace osprey::emews {
@@ -40,7 +47,9 @@ struct TaskRecord {
   osprey::util::Value result;
   std::string error;
   std::string worker;        // who evaluated it
-  // Wall-clock nanoseconds (steady clock) for throughput accounting.
+  /// How often the task was returned to the queue by requeue().
+  std::uint32_t requeues = 0;
+  // Clock nanoseconds (injected util::Clock) for throughput accounting.
   std::uint64_t submitted_ns = 0;
   std::uint64_t started_ns = 0;
   std::uint64_t completed_ns = 0;
@@ -49,9 +58,16 @@ struct TaskRecord {
 /// The task database.
 class TaskDb {
  public:
-  TaskDb() = default;
+  /// `clock` stamps task lifecycle events; nullptr selects the process
+  /// real clock. Pass a util::SimClock for deterministic simulated runs.
+  explicit TaskDb(const osprey::util::Clock* clock = nullptr)
+      : clock_(clock != nullptr ? clock : &osprey::util::real_clock()) {}
   TaskDb(const TaskDb&) = delete;
   TaskDb& operator=(const TaskDb&) = delete;
+
+  /// The clock stamping this database's records (shared with worker
+  /// pools so busy-time accounting uses the same time base).
+  const osprey::util::Clock& clock() const { return *clock_; }
 
   /// Insert a task; returns its id immediately (the Future handle is
   /// built from this id).
@@ -80,6 +96,11 @@ class TaskDb {
   void fail(TaskId id, const std::string& error);
   /// Cancel a still-queued task; returns false if it already started.
   bool cancel(TaskId id);
+  /// Return a running task to its queue (e.g. its worker died or was
+  /// preempted); it becomes claimable again at its original priority,
+  /// behind tasks already queued at that priority. Returns false if the
+  /// task is not currently running.
+  bool requeue(TaskId id);
 
   /// Copy of the task's current state.
   TaskRecord snapshot(TaskId id) const;
@@ -103,19 +124,25 @@ class TaskDb {
   bool closed() const;
 
  private:
-  TaskRecord& record_locked(TaskId id);
-  const TaskRecord& record_locked(TaskId id) const;
-  void finish_locked(TaskId id, TaskStatus status);
+  TaskRecord& record_locked(TaskId id) OSPREY_REQUIRES(mutex_);
+  const TaskRecord& record_locked(TaskId id) const OSPREY_REQUIRES(mutex_);
+  void finish_locked(TaskId id, TaskStatus status) OSPREY_REQUIRES(mutex_);
+  /// Pop the highest-priority queued id of `type`, mark it running by
+  /// `worker`; nullopt when nothing is queued.
+  std::optional<TaskId> claim_locked(const std::string& type,
+                                     const std::string& worker)
+      OSPREY_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;        // new task or close
-  mutable std::condition_variable done_cv_; // task finished or close
-  std::vector<TaskRecord> tasks_;
+  const osprey::util::Clock* clock_;
+  mutable osprey::util::Mutex mutex_;
+  osprey::util::CondVar queue_cv_;         // new task or close
+  mutable osprey::util::CondVar done_cv_;  // task finished or close
+  std::vector<TaskRecord> tasks_ OSPREY_GUARDED_BY(mutex_);
   // type -> priority -> FIFO of task ids (higher priority first).
   std::map<std::string, std::map<int, std::deque<TaskId>, std::greater<int>>>
-      queues_;
-  std::uint64_t finished_ = 0;
-  bool closed_ = false;
+      queues_ OSPREY_GUARDED_BY(mutex_);
+  std::uint64_t finished_ OSPREY_GUARDED_BY(mutex_) = 0;
+  bool closed_ OSPREY_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace osprey::emews

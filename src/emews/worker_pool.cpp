@@ -1,6 +1,5 @@
 #include "emews/worker_pool.hpp"
 
-#include <chrono>
 #include <limits>
 
 #include "util/log.hpp"
@@ -8,13 +7,6 @@
 namespace osprey::emews {
 
 namespace {
-
-std::uint64_t steady_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
 
 /// How long a worker blocks on the queue before re-checking its pool's
 /// stop flag. Several pools may serve the same queue, so stopping must
@@ -31,7 +23,7 @@ WorkerPool::WorkerPool(TaskDb& db, std::string task_type, ModelFn model,
       name_(std::move(pool_name)),
       busy_ns_(n_workers == 0 ? 1 : n_workers),
       task_counts_(n_workers == 0 ? 1 : n_workers),
-      start_ns_(steady_ns()) {
+      start_ns_(db.clock().now_ns()) {
   if (n_workers == 0) n_workers = 1;
   threads_.reserve(n_workers);
   for (std::size_t i = 0; i < n_workers; ++i) {
@@ -49,14 +41,14 @@ void WorkerPool::worker_loop(std::size_t worker_index) {
       name_ + "/w" + std::to_string(worker_index);
   auto evaluate = [&](TaskId id) {
     TaskRecord rec = db_.snapshot(id);
-    std::uint64_t t0 = steady_ns();
+    std::uint64_t t0 = now_ns();
     try {
       osprey::util::Value result = model_(rec.payload);
       db_.complete(id, std::move(result));
     } catch (const std::exception& e) {
       db_.fail(id, e.what());
     }
-    std::uint64_t dt = steady_ns() - t0;
+    std::uint64_t dt = now_ns() - t0;
     busy_ns_[worker_index].fetch_add(dt, std::memory_order_relaxed);
     task_counts_[worker_index].fetch_add(1, std::memory_order_relaxed);
     evaluated_.fetch_add(1, std::memory_order_relaxed);
@@ -81,20 +73,23 @@ void WorkerPool::worker_loop(std::size_t worker_index) {
 }
 
 void WorkerPool::shutdown() {
+  // Hold the mutex across the join: a concurrent second shutdown()
+  // blocks until the workers are actually stopped, then no-ops.
+  osprey::util::MutexLock lock(join_mutex_);
   if (joined_) return;
+  joined_ = true;
   stopping_.store(true, std::memory_order_release);
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
-  end_ns_.store(steady_ns());
-  joined_ = true;
+  end_ns_.store(now_ns());
   OSPREY_LOG_INFO("emews", "worker pool '" << name_ << "' stopped after "
                            << evaluated_.load() << " task(s)");
 }
 
 double WorkerPool::utilization() const {
   std::uint64_t end = end_ns_.load();
-  if (end == 0) end = steady_ns();
+  if (end == 0) end = now_ns();
   double span = static_cast<double>(end - start_ns_) *
                 static_cast<double>(threads_.size());
   if (span <= 0.0) return 0.0;

@@ -6,6 +6,9 @@
 /// e.g. ... run models where the tasks' data are model input
 /// parameters". Per-worker busy-time accounting backs the utilization
 /// comparison of interleaved vs sequential ME instances (§3.2).
+///
+/// All timestamps come from the task database's injected util::Clock,
+/// so a SimClock-driven run produces replayable utilization numbers.
 
 #include <atomic>
 #include <cstdint>
@@ -15,6 +18,8 @@
 #include <vector>
 
 #include "emews/task_db.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 #include "util/value.hpp"
 
 namespace osprey::emews {
@@ -48,7 +53,8 @@ class WorkerPool {
   /// Drain remaining queued tasks, then stop and join all workers.
   /// Implemented with a stop flag + timed claims (not in-band poison
   /// messages), so multiple pools can safely serve one queue. Safe to
-  /// call multiple times.
+  /// call multiple times and from multiple threads (the join handoff is
+  /// serialized by an internal mutex).
   void shutdown();
 
   /// Pool-lifetime utilization: busy worker-time / (workers × wall time
@@ -60,6 +66,7 @@ class WorkerPool {
 
  private:
   void worker_loop(std::size_t worker_index);
+  std::uint64_t now_ns() const { return db_.clock().now_ns(); }
 
   TaskDb& db_;
   std::string type_;
@@ -67,12 +74,15 @@ class WorkerPool {
   std::string name_;
   std::vector<std::atomic<std::uint64_t>> busy_ns_;     // per worker
   std::vector<std::atomic<std::uint64_t>> task_counts_; // per worker
+  // WorkerPool models a compute resource and so legitimately owns raw
+  // threads, like util::ThreadPool. osprey-lint: allow(raw-thread)
   std::vector<std::thread> threads_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> evaluated_{0};
   std::uint64_t start_ns_ = 0;
   std::atomic<std::uint64_t> end_ns_{0};  // set at shutdown
-  bool joined_ = false;
+  osprey::util::Mutex join_mutex_;
+  bool joined_ OSPREY_GUARDED_BY(join_mutex_) = false;
 };
 
 }  // namespace osprey::emews

@@ -3,11 +3,18 @@
 /// \file channel.hpp
 /// A bounded/unbounded MPMC blocking queue. The EMEWS task database and
 /// worker pools are built on top of this primitive.
+///
+/// Lock discipline is machine-checked: members are OSPREY_GUARDED_BY
+/// the channel mutex and the OSPREY_THREAD_SAFETY build rejects any
+/// unguarded access. Condition waits use explicit while-loops (not
+/// predicate lambdas) so the analysis sees the guarded reads under the
+/// held capability.
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace osprey::util {
 
@@ -29,11 +36,11 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   /// Blocking push; returns false if the channel is closed.
-  bool push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] {
-      return closed_ || capacity_ == 0 || items_.size() < capacity_;
-    });
+  bool push(T item) OSPREY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && capacity_ != 0 && items_.size() >= capacity_) {
+      not_full_.wait(lock);
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
     not_empty_.notify_one();
@@ -41,9 +48,11 @@ class Channel {
   }
 
   /// Blocking pop; returns nullopt once closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> pop() OSPREY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      not_empty_.wait(lock);
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -54,7 +63,7 @@ class Channel {
   /// Non-blocking pop. NOTE: collapses "empty but open" and "closed and
   /// drained" into nullopt; pollers that must tell shutdown apart from
   /// momentary emptiness should use try_pop_status() instead.
-  std::optional<T> try_pop() {
+  std::optional<T> try_pop() OSPREY_EXCLUDES(mutex_) {
     T item;
     if (try_pop_status(item) == ChannelStatus::kItem) return item;
     return std::nullopt;
@@ -64,8 +73,8 @@ class Channel {
   /// item into `out`; kEmpty means the channel is open but momentarily
   /// drained (retry later); kClosed means closed AND drained (no item
   /// will ever arrive — stop polling).
-  ChannelStatus try_pop_status(T& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  ChannelStatus try_pop_status(T& out) OSPREY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (!items_.empty()) {
       out = std::move(items_.front());
       items_.pop_front();
@@ -75,30 +84,30 @@ class Channel {
     return closed_ ? ChannelStatus::kClosed : ChannelStatus::kEmpty;
   }
 
-  void close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void close() OSPREY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const OSPREY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const OSPREY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ OSPREY_GUARDED_BY(mutex_);
+  bool closed_ OSPREY_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace osprey::util

@@ -1,0 +1,27 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+
+namespace osprey::util {
+
+namespace {
+
+/// Real steady-clock implementation behind the Clock interface.
+class RealClock final : public Clock {
+ public:
+  std::uint64_t now_ns() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+}  // namespace
+
+const Clock& real_clock() {
+  static const RealClock clock;
+  return clock;
+}
+
+}  // namespace osprey::util

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file clock.hpp
+/// Injectable wall-clock abstraction. The EMEWS layer stamps task
+/// lifecycle events (submitted/started/completed) and worker busy time;
+/// for replayable simulated runs those stamps must come from a
+/// controllable clock, not the machine's. Components therefore take a
+/// `const Clock*` (defaulting to the process-wide real clock) and never
+/// name std::chrono clocks directly — the osprey_lint `wall-clock` rule
+/// enforces this for the fabric/EMEWS/AERO layers.
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/sim_time.hpp"
+
+namespace osprey::util {
+
+/// Monotonic nanosecond clock interface. Implementations must be
+/// thread-safe: now_ns() is called concurrently without external
+/// locking.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Nanoseconds since an arbitrary fixed epoch; never decreases.
+  virtual std::uint64_t now_ns() const = 0;
+};
+
+/// The process-wide real (steady) clock. This is the ONLY place the
+/// repository reads machine time for the orchestration layers.
+const Clock& real_clock();
+
+/// Manually-advanced clock for simulated and deterministic test runs.
+/// Starts at 0; advance explicitly (or mirror the discrete-event
+/// fabric's virtual time via set_sim_time). Thread-safe.
+class SimClock final : public Clock {
+ public:
+  std::uint64_t now_ns() const override {
+    return ns_.load(std::memory_order_acquire);
+  }
+
+  void set_ns(std::uint64_t ns) { ns_.store(ns, std::memory_order_release); }
+
+  void advance_ns(std::uint64_t dt) {
+    ns_.fetch_add(dt, std::memory_order_acq_rel);
+  }
+
+  /// Mirror the fabric's virtual time (SimTime is integral milliseconds).
+  void set_sim_time(SimTime t) {
+    set_ns(static_cast<std::uint64_t>(t) * 1'000'000ull);
+  }
+
+ private:
+  std::atomic<std::uint64_t> ns_{0};
+};
+
+}  // namespace osprey::util

@@ -2,13 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace osprey::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
+// Serializes writes to stderr so interleaved component lines stay whole.
+Mutex g_mutex;
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -32,7 +34,7 @@ const char* level_name(LogLevel level) {
 
 void log_line(LogLevel level, const std::string& component,
               const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%-5s] %-12s %s\n", level_name(level),
                component.c_str(), message.c_str());
 }

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
+
+#include "util/log.hpp"
 
 namespace osprey::util {
 
@@ -70,15 +74,32 @@ void ThreadPool::parallel_for(std::size_t n,
   }
 }
 
+std::size_t parse_thread_count(const char* env, std::size_t fallback) {
+  if (env == nullptr) return fallback;
+  const char* p = env;
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p == '\0') return fallback;  // unset/blank: no override intended
+  errno = 0;
+  char* end = nullptr;
+  long v = std::strtol(p, &end, 10);
+  bool overflow = errno == ERANGE;
+  while (end != nullptr && std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  bool fully_consumed = end != nullptr && *end == '\0' && end != p;
+  if (fully_consumed && !overflow && v > 0) {
+    return static_cast<std::size_t>(v);
+  }
+  OSPREY_LOG_WARN("util", "OSPREY_THREADS='" << env
+                          << "' is not a positive integer; using 1 thread");
+  return 1;
+}
+
 ThreadPool& global_pool() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("OSPREY_THREADS")) {
-      long v = std::strtol(env, nullptr, 10);
-      if (v > 0) return static_cast<std::size_t>(v);
-    }
-    return static_cast<std::size_t>(
-        std::max(1u, std::thread::hardware_concurrency()));
-  }());
+  static ThreadPool pool(parse_thread_count(
+      std::getenv("OSPREY_THREADS"),
+      static_cast<std::size_t>(
+          std::max(1u, std::thread::hardware_concurrency()))));
   return pool;
 }
 

@@ -58,11 +58,19 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
+/// Parse an OSPREY_THREADS-style override. `env` is the raw variable
+/// value (nullptr/empty = unset -> `fallback`). A strictly positive
+/// integer (optionally whitespace-padded) is honored as-is; anything
+/// else — "0", negatives, non-numeric, trailing garbage, overflow — is
+/// clamped to 1 with a logged warning rather than silently misparsed.
+std::size_t parse_thread_count(const char* env, std::size_t fallback);
+
 /// Process-wide shared pool sized by the hardware concurrency (minimum
-/// 1; override with the OSPREY_THREADS environment variable). Lives for
-/// the life of the process; intended for deterministic data-parallel
-/// kernels (GP batch prediction, MLE multistarts, per-plant MCMC
-/// fan-out) where spinning up a private pool per call would dominate.
+/// 1; override with the OSPREY_THREADS environment variable, validated
+/// by parse_thread_count). Lives for the life of the process; intended
+/// for deterministic data-parallel kernels (GP batch prediction, MLE
+/// multistarts, per-plant MCMC fan-out) where spinning up a private
+/// pool per call would dominate.
 ThreadPool& global_pool();
 
 }  // namespace osprey::util

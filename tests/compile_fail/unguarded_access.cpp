@@ -1,0 +1,31 @@
+// NEGATIVE compile check — this file must NOT compile under
+// -Werror=thread-safety. tests/CMakeLists.txt try_compile()s it when
+// OSPREY_THREAD_SAFETY is ON under Clang and aborts the configure if it
+// unexpectedly succeeds, proving the annotations actually reject
+// unguarded access rather than expanding to nothing.
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace {
+
+struct Counter {
+  osprey::util::Mutex mutex;
+  int value OSPREY_GUARDED_BY(mutex) = 0;
+
+  // error: writing 'value' requires holding mutex 'mutex'
+  void bump_unguarded() { ++value; }
+
+  int read_guarded() {
+    osprey::util::MutexLock lock(mutex);
+    return value;  // correct access, must stay warning-free
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_unguarded();
+  return c.read_guarded();
+}

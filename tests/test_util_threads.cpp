@@ -1,0 +1,77 @@
+// Unit tests for the OSPREY_THREADS override parser and the injectable
+// clock abstraction (util::Clock / util::SimClock).
+
+#include <gtest/gtest.h>
+
+#include "util/clock.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ou = osprey::util;
+
+TEST(ParseThreadCount, UnsetFallsBack) {
+  EXPECT_EQ(ou::parse_thread_count(nullptr, 8), 8u);
+  EXPECT_EQ(ou::parse_thread_count("", 8), 8u);
+  EXPECT_EQ(ou::parse_thread_count("   ", 8), 8u);
+}
+
+TEST(ParseThreadCount, PositiveIntegersHonored) {
+  EXPECT_EQ(ou::parse_thread_count("1", 8), 1u);
+  EXPECT_EQ(ou::parse_thread_count("4", 8), 4u);
+  EXPECT_EQ(ou::parse_thread_count(" 16 ", 8), 16u);
+  EXPECT_EQ(ou::parse_thread_count("128", 1), 128u);
+}
+
+TEST(ParseThreadCount, ZeroClampsToOne) {
+  EXPECT_EQ(ou::parse_thread_count("0", 8), 1u);
+  EXPECT_EQ(ou::parse_thread_count(" 0 ", 8), 1u);
+}
+
+TEST(ParseThreadCount, NegativeClampsToOne) {
+  EXPECT_EQ(ou::parse_thread_count("-1", 8), 1u);
+  EXPECT_EQ(ou::parse_thread_count("-64", 8), 1u);
+}
+
+TEST(ParseThreadCount, NonNumericClampsToOne) {
+  EXPECT_EQ(ou::parse_thread_count("abc", 8), 1u);
+  EXPECT_EQ(ou::parse_thread_count("4x", 8), 1u);
+  EXPECT_EQ(ou::parse_thread_count("x4", 8), 1u);
+  EXPECT_EQ(ou::parse_thread_count("3.5", 8), 1u);
+  EXPECT_EQ(ou::parse_thread_count("+", 8), 1u);
+}
+
+TEST(ParseThreadCount, OverflowClampsToOne) {
+  EXPECT_EQ(ou::parse_thread_count("99999999999999999999999999", 8), 1u);
+}
+
+TEST(ThreadPool, ZeroThreadConstructionClampsToOne) {
+  ou::ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  auto fut = pool.submit([] { return 42; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(Clock, RealClockIsMonotonic) {
+  const ou::Clock& c = ou::real_clock();
+  std::uint64_t a = c.now_ns();
+  std::uint64_t b = c.now_ns();
+  EXPECT_LE(a, b);
+  EXPECT_GT(b, 0u);
+}
+
+TEST(Clock, SimClockIsManuallyDriven) {
+  ou::SimClock c;
+  EXPECT_EQ(c.now_ns(), 0u);
+  c.set_ns(1'000);
+  EXPECT_EQ(c.now_ns(), 1'000u);
+  c.advance_ns(234);
+  EXPECT_EQ(c.now_ns(), 1'234u);
+  c.set_sim_time(osprey::util::kSecond);  // 1000 ms of virtual time
+  EXPECT_EQ(c.now_ns(), 1'000'000'000u);
+}
+
+TEST(Clock, SimClockThroughInterface) {
+  ou::SimClock sim;
+  sim.set_ns(777);
+  const ou::Clock* c = &sim;
+  EXPECT_EQ(c->now_ns(), 777u);
+}
