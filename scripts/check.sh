@@ -14,6 +14,9 @@
 #   tier1   Release build + full ctest suite (the seed gate).
 #   asan    address+undefined sanitizer build, full ctest suite.
 #   tsan    thread sanitizer build, concurrency-heavy suites only.
+#   chaos   thread sanitizer build of the chaos suite: the 16-seed
+#           fault-injection sweep (ctest -L chaos) plus the
+#           retry/backoff property tests. See DESIGN.md §"Fault model".
 #
 # Usage: scripts/check.sh [--skip-tsan] [stage ...]
 #   No stage arguments = run all stages in order. Naming stages runs
@@ -24,13 +27,13 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-ALL_STAGES=(lint tidy tsa tier1 asan tsan)
+ALL_STAGES=(lint tidy tsa tier1 asan tsan chaos)
 declare -A WANTED=()
 SKIP_TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
-    lint|tidy|tsa|tier1|asan|tsan) WANTED[$arg]=1 ;;
+    lint|tidy|tsa|tier1|asan|tsan|chaos) WANTED[$arg]=1 ;;
     *) echo "unknown argument: $arg" >&2
        echo "usage: scripts/check.sh [--skip-tsan] [stage ...]" >&2
        echo "stages: ${ALL_STAGES[*]}" >&2
@@ -116,12 +119,25 @@ stage_tsan() {
       -R 'test_util_concurrency|test_emews_pool|test_emews_taskdb_stress')
 }
 
+stage_chaos() {
+  if [[ "$SKIP_TSAN" == "1" ]]; then
+    echo "skipped (--skip-tsan)"
+    return 99
+  fi
+  cmake -B build-tsan -S . -DOSPREY_SANITIZE=thread >/dev/null &&
+  cmake --build build-tsan -j "$JOBS" \
+      --target test_chaos_fabric test_retry_policy &&
+  (cd build-tsan && ctest --output-on-failure -j "$JOBS" -L chaos) &&
+  (cd build-tsan && ctest --output-on-failure -R '^test_retry_policy$')
+}
+
 run_stage lint  stage_lint
 [[ $FAILED -eq 0 ]] && run_stage tidy  stage_tidy
 [[ $FAILED -eq 0 ]] && run_stage tsa   stage_tsa
 [[ $FAILED -eq 0 ]] && run_stage tier1 stage_tier1
 [[ $FAILED -eq 0 ]] && run_stage asan  stage_asan
 [[ $FAILED -eq 0 ]] && run_stage tsan  stage_tsan
+[[ $FAILED -eq 0 ]] && run_stage chaos stage_chaos
 
 echo
 echo "== summary =="

@@ -21,7 +21,7 @@ scripts/check.sh tier1
 
 if [[ "$MODE" == "full" ]]; then
   echo "=== ci: sanitizer stages ==="
-  scripts/check.sh asan tsan
+  scripts/check.sh asan tsan chaos
 fi
 
 echo "=== ci: done ==="

@@ -1,5 +1,7 @@
 #include "aero/server.hpp"
 
+#include <algorithm>
+
 #include "crypto/sha256.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -8,6 +10,30 @@ namespace osprey::aero {
 
 using osprey::util::Value;
 using osprey::util::ValueObject;
+
+namespace {
+
+/// The retry policy a flow actually runs with: the spec's full policy
+/// when enabled, otherwise one synthesized from the legacy
+/// max_retries/retry_backoff knobs (exponential, multiplier 2, capped at
+/// 8x the initial backoff, no jitter).
+osprey::util::RetryPolicy effective_policy(const IngestionFlowSpec& spec) {
+  if (spec.retry.enabled()) return spec.retry;
+  osprey::util::RetryPolicy policy;
+  policy.max_attempts = spec.max_retries;
+  policy.initial_backoff = spec.retry_backoff;
+  return policy;
+}
+
+osprey::util::RetryPolicy effective_policy(const AnalysisFlowSpec& spec) {
+  if (spec.retry.enabled()) return spec.retry;
+  osprey::util::RetryPolicy policy;
+  policy.max_attempts = spec.max_retries;
+  policy.initial_backoff = spec.retry_backoff;
+  return policy;
+}
+
+}  // namespace
 
 AeroServer::AeroServer(fabric::EventLoop& loop, fabric::AuthService& auth,
                        fabric::TimerService& timers,
@@ -32,6 +58,9 @@ IngestionHandles AeroServer::register_ingestion(IngestionFlowSpec spec) {
   Ingestion ing;
   ing.raw_uuid = db_.register_object(spec.name + "/raw", spec.name);
   ing.output_uuid = db_.register_object(spec.name + "/transformed", spec.name);
+  ing.retry = effective_policy(spec);
+  ing.breaker = osprey::util::CircuitBreaker(spec.breaker);
+  ing.retry_key = osprey::util::stable_key(spec.name.c_str());
   ing.spec = std::move(spec);
 
   std::size_t index = ingestions_.size();
@@ -121,6 +150,9 @@ std::vector<std::string> AeroServer::register_analysis(AnalysisFlowSpec spec) {
   for (const std::string& uuid : spec.input_uuids) {
     analysis.consumed_version[uuid] = db_.latest_version_number(uuid);
   }
+  analysis.retry = effective_policy(spec);
+  analysis.breaker = osprey::util::CircuitBreaker(spec.breaker);
+  analysis.retry_key = osprey::util::stable_key(spec.name.c_str());
   analysis.spec = std::move(spec);
 
   std::vector<std::string> outputs = analysis.output_uuids;
@@ -135,6 +167,16 @@ std::vector<std::string> AeroServer::register_analysis(AnalysisFlowSpec spec) {
 void AeroServer::poll_ingestion(std::size_t index) {
   Ingestion& ing = ingestions_[index];
   ++polls_;
+  // Injected upstream outage: the source is unreachable for the whole
+  // window, so every poll inside it is one failed fetch.
+  if (plan_ != nullptr &&
+      plan_->in_window(fabric::FaultKind::kSourceOutage, "aero",
+                       ing.spec.name, loop_.now())) {
+    ++fetch_errors_;
+    OSPREY_LOG_WARN("aero", "fetch failed for '" << ing.spec.name
+                            << "': upstream outage (injected)");
+    return;
+  }
   // A flaky upstream must not take the whole server down; failed
   // fetches are counted and retried on the next poll.
   std::optional<std::string> payload;
@@ -156,11 +198,37 @@ void AeroServer::poll_ingestion(std::size_t index) {
                           << osprey::util::format_sim_time(loop_.now()));
   if (ing.running) {
     // A new upstream version arrived mid-run; remember the freshest one.
+    if (ing.pending) {
+      ++superseded_triggers_;
+      record_incident(fabric::IncidentCategory::kRecovery,
+                      "trigger-superseded", ing.spec.name,
+                      "queued payload replaced by fresher upstream data");
+    }
     ing.pending = true;
     ing.pending_payload = std::move(*payload);
     return;
   }
+  if (!ing.breaker.allow(loop_.now())) {
+    // Circuit open: park the payload and probe when the breaker is
+    // willing to admit traffic again.
+    ++deferred_triggers_;
+    if (ing.pending) {
+      ++superseded_triggers_;
+      record_incident(fabric::IncidentCategory::kRecovery,
+                      "trigger-superseded", ing.spec.name,
+                      "deferred payload replaced by fresher upstream data");
+    }
+    ing.pending = true;
+    ing.pending_payload = std::move(*payload);
+    record_incident(fabric::IncidentCategory::kDegraded, "trigger-deferred",
+                    ing.spec.name, "circuit open; probe at " +
+                        osprey::util::format_sim_time(
+                            ing.breaker.reopen_at() + 1));
+    schedule_ingestion_probe(index, ing.breaker.reopen_at() + 1);
+    return;
+  }
   ing.attempts = 0;  // fresh trigger
+  ++ing.trigger_gen;
   run_ingestion_flow(index, std::move(*payload), "poll:" + ing.spec.source->url());
 }
 
@@ -293,38 +361,121 @@ void AeroServer::run_ingestion_flow(std::size_t index, std::string payload,
                               ok ? RunStatus::kSucceeded : RunStatus::kFailed,
                               outputs, loop_.now());
                ing2.running = false;
+               note_run_outcome(ing2.breaker, ing2.spec.name, ok);
                std::string output_uuid = ing2.output_uuid;
                if (ok) {
+                 clear_degraded({ing2.raw_uuid, ing2.output_uuid},
+                                ing2.spec.name);
                  on_version_added(output_uuid,
                                   "update of " + ing2.spec.name);
-               } else if (ing2.attempts < ing2.spec.max_retries &&
+               } else if (ing2.attempts < ing2.retry.max_attempts &&
                           !ing2.pending) {
-                 // Retry the same payload after a backoff.
+                 // Retry the same payload after a (jittered) backoff.
                  ++ing2.attempts;
                  ++retries_;
                  int attempt = ing2.attempts;
-                 loop_.schedule_after(
-                     ing2.spec.retry_backoff, [this, index, attempt] {
-                       Ingestion& ing3 = ingestions_[index];
-                       // Superseded by a newer run or a cancellation.
-                       if (ing3.running || ing3.cancelled) return;
-                       run_ingestion_flow(
-                           index, ing3.current_payload,
-                           "retry " + std::to_string(attempt) + ":" +
-                               ing3.spec.source->url());
-                     });
+                 std::uint64_t gen = ing2.trigger_gen;
+                 SimTime delay = ing2.retry.jittered(attempt, ing2.retry_key);
+                 record_incident(
+                     fabric::IncidentCategory::kRecovery, "retry-scheduled",
+                     ing2.spec.name,
+                     "attempt " + std::to_string(attempt) + " in " +
+                         osprey::util::format_duration(delay));
+                 loop_.schedule_after(delay, [this, index, attempt, gen] {
+                   fire_ingestion_retry(index, attempt, gen);
+                 });
                  return;
+               } else if (!ok) {
+                 if (ing2.pending) {
+                   // The failed payload is obsolete: fresher upstream
+                   // data is queued and takes over below.
+                   ++superseded_triggers_;
+                   record_incident(
+                       fabric::IncidentCategory::kRecovery,
+                       "trigger-superseded", ing2.spec.name,
+                       "failed payload replaced by fresher upstream data");
+                 } else {
+                   ++ingestion_permanent_;
+                   mark_degraded({ing2.output_uuid}, ing2.spec.name,
+                                 "ingestion '" + ing2.spec.name +
+                                     "' exhausted its retry budget");
+                 }
                }
                // Re-run for any upstream update that arrived meanwhile.
-               if (ing2.pending) {
-                 ing2.pending = false;
-                 ing2.attempts = 0;
-                 std::string payload2 = std::move(ing2.pending_payload);
+               Ingestion& ing3 = ingestions_[index];
+               if (ing3.pending) {
+                 if (!ing3.breaker.allow(loop_.now())) {
+                   ++deferred_triggers_;
+                   record_incident(
+                       fabric::IncidentCategory::kDegraded,
+                       "trigger-deferred", ing3.spec.name,
+                       "circuit open; probe at " +
+                           osprey::util::format_sim_time(
+                               ing3.breaker.reopen_at() + 1));
+                   schedule_ingestion_probe(index,
+                                            ing3.breaker.reopen_at() + 1);
+                   return;
+                 }
+                 ing3.pending = false;
+                 ing3.attempts = 0;
+                 ++ing3.trigger_gen;
+                 std::string payload2 = std::move(ing3.pending_payload);
                  run_ingestion_flow(index, std::move(payload2),
                                     "poll(pending):" +
-                                        ing2.spec.source->url());
+                                        ing3.spec.source->url());
                }
              });
+}
+
+void AeroServer::fire_ingestion_retry(std::size_t index, int attempt,
+                                      std::uint64_t gen) {
+  Ingestion& ing = ingestions_[index];
+  if (ing.cancelled) return;
+  if (gen != ing.trigger_gen || ing.running) {
+    // A fresh trigger took over while this retry waited; its payload
+    // will never publish.
+    ++superseded_triggers_;
+    record_incident(fabric::IncidentCategory::kRecovery,
+                    "trigger-superseded", ing.spec.name,
+                    "retry " + std::to_string(attempt) +
+                        " obsolete: newer trigger in flight");
+    return;
+  }
+  if (!ing.breaker.allow(loop_.now())) {
+    // Breaker still open: push the retry past its reopen time without
+    // consuming another attempt.
+    loop_.schedule_at(std::max(ing.breaker.reopen_at() + 1, loop_.now() + 1),
+                      [this, index, attempt, gen] {
+                        fire_ingestion_retry(index, attempt, gen);
+                      });
+    return;
+  }
+  run_ingestion_flow(index, ing.current_payload,
+                     "retry " + std::to_string(attempt) + ":" +
+                         ing.spec.source->url());
+}
+
+void AeroServer::schedule_ingestion_probe(std::size_t index, SimTime at) {
+  loop_.schedule_at(std::max(at, loop_.now() + 1), [this, index] {
+    Ingestion& ing = ingestions_[index];
+    if (ing.cancelled || ing.running || !ing.pending) return;
+    osprey::util::BreakerState before = ing.breaker.state();
+    if (!ing.breaker.allow(loop_.now())) {
+      schedule_ingestion_probe(index, ing.breaker.reopen_at() + 1);
+      return;
+    }
+    if (before == osprey::util::BreakerState::kOpen) {
+      record_incident(fabric::IncidentCategory::kRecovery,
+                      "circuit-half-open", ing.spec.name,
+                      "admitting probe run");
+    }
+    ing.pending = false;
+    ing.attempts = 0;
+    ++ing.trigger_gen;
+    std::string payload = std::move(ing.pending_payload);
+    run_ingestion_flow(index, std::move(payload),
+                       "probe:" + ing.spec.source->url());
+  });
 }
 
 bool AeroServer::analysis_ready(const Analysis& analysis) const {
@@ -366,7 +517,20 @@ void AeroServer::on_version_added(const std::string& uuid,
       analysis.pending_cause = cause;
       continue;
     }
+    if (!analysis.breaker.allow(loop_.now())) {
+      ++deferred_triggers_;
+      analysis.pending = true;
+      analysis.pending_cause = cause;
+      record_incident(fabric::IncidentCategory::kDegraded, "trigger-deferred",
+                      analysis.spec.name,
+                      "circuit open; probe at " +
+                          osprey::util::format_sim_time(
+                              analysis.breaker.reopen_at() + 1));
+      schedule_analysis_probe(i, analysis.breaker.reopen_at() + 1);
+      continue;
+    }
     analysis.attempts = 0;  // fresh trigger
+    ++analysis.trigger_gen;
     run_analysis_flow(i, cause);
   }
 }
@@ -426,9 +590,18 @@ void AeroServer::run_analysis_flow(std::size_t index,
                   return;
                 }
                 Analysis& a2 = analyses_[index];
-                const fabric::StoredObject& obj = a2.spec.staging->get(
-                    a2.spec.staging_collection, staging_path, token_);
-                (*staged)[uuid] = obj.bytes;
+                // The read can fail too (expired token, ACL race); that
+                // must fail the step, not escape into the event loop.
+                try {
+                  const fabric::StoredObject& obj = a2.spec.staging->get(
+                      a2.spec.staging_collection, staging_path, token_);
+                  (*staged)[uuid] = obj.bytes;
+                } catch (const osprey::util::Error& e) {
+                  *failed = true;
+                  done(false, std::string("stage-in read failed: ") +
+                                  e.what());
+                  return;
+                }
                 if (--(*remaining) == 0) done(true, "");
               });
         }
@@ -533,37 +706,172 @@ void AeroServer::run_analysis_flow(std::size_t index,
         db_.finish_run(run_id, ok ? RunStatus::kSucceeded : RunStatus::kFailed,
                        outs, loop_.now());
         a.running = false;
+        note_run_outcome(a.breaker, a.spec.name, ok);
         std::string flow_name = a.spec.name;
         if (ok) {
+          clear_degraded(a.output_uuids, a.spec.name);
           // Announce each output version; may trigger downstream flows.
           std::vector<std::string> produced = a.output_uuids;
           for (const std::string& uuid : produced) {
             on_version_added(uuid, "update of " + flow_name);
           }
-        } else if (a.attempts < a.spec.max_retries && !a.pending) {
+        } else if (a.attempts < a.retry.max_attempts && !a.pending) {
           ++a.attempts;
           ++retries_;
           int attempt = a.attempts;
-          loop_.schedule_after(a.spec.retry_backoff,
-                               [this, index, attempt] {
-                                 Analysis& a3 = analyses_[index];
-                                 if (a3.running) return;
-                                 run_analysis_flow(
-                                     index, "retry " +
-                                                std::to_string(attempt) +
-                                                ":" + a3.spec.name);
-                               });
+          std::uint64_t gen = a.trigger_gen;
+          SimTime delay = a.retry.jittered(attempt, a.retry_key);
+          record_incident(fabric::IncidentCategory::kRecovery,
+                          "retry-scheduled", a.spec.name,
+                          "attempt " + std::to_string(attempt) + " in " +
+                              osprey::util::format_duration(delay));
+          loop_.schedule_after(delay, [this, index, attempt, gen] {
+            fire_analysis_retry(index, attempt, gen);
+          });
           return;
+        } else if (!ok && !a.pending) {
+          ++analysis_permanent_;
+          mark_degraded(a.output_uuids, a.spec.name,
+                        "analysis '" + a.spec.name +
+                            "' exhausted its retry budget");
         }
         Analysis& a2 = analyses_[index];
         if (a2.pending && analysis_ready(a2)) {
+          if (!a2.breaker.allow(loop_.now())) {
+            ++deferred_triggers_;
+            record_incident(fabric::IncidentCategory::kDegraded,
+                            "trigger-deferred", a2.spec.name,
+                            "circuit open; probe at " +
+                                osprey::util::format_sim_time(
+                                    a2.breaker.reopen_at() + 1));
+            schedule_analysis_probe(index, a2.breaker.reopen_at() + 1);
+            return;
+          }
           a2.pending = false;
+          a2.attempts = 0;
+          ++a2.trigger_gen;
           std::string cause = std::move(a2.pending_cause);
           run_analysis_flow(index, cause + " (queued)");
         } else {
           a2.pending = false;
         }
       });
+}
+
+void AeroServer::fire_analysis_retry(std::size_t index, int attempt,
+                                     std::uint64_t gen) {
+  Analysis& a = analyses_[index];
+  // A newer trigger superseded the run this retry was scheduled for;
+  // analysis re-triggering is driven by input versions, so nothing is
+  // lost by dropping it.
+  if (gen != a.trigger_gen || a.running) return;
+  if (!a.breaker.allow(loop_.now())) {
+    loop_.schedule_at(std::max(a.breaker.reopen_at() + 1, loop_.now() + 1),
+                      [this, index, attempt, gen] {
+                        fire_analysis_retry(index, attempt, gen);
+                      });
+    return;
+  }
+  run_analysis_flow(index,
+                    "retry " + std::to_string(attempt) + ":" + a.spec.name);
+}
+
+void AeroServer::schedule_analysis_probe(std::size_t index, SimTime at) {
+  loop_.schedule_at(std::max(at, loop_.now() + 1), [this, index] {
+    Analysis& a = analyses_[index];
+    if (a.running || !a.pending) return;
+    osprey::util::BreakerState before = a.breaker.state();
+    if (!a.breaker.allow(loop_.now())) {
+      schedule_analysis_probe(index, a.breaker.reopen_at() + 1);
+      return;
+    }
+    if (before == osprey::util::BreakerState::kOpen) {
+      record_incident(fabric::IncidentCategory::kRecovery,
+                      "circuit-half-open", a.spec.name,
+                      "admitting probe run");
+    }
+    if (!analysis_ready(a)) {
+      a.pending = false;
+      return;
+    }
+    a.pending = false;
+    a.attempts = 0;
+    ++a.trigger_gen;
+    std::string cause = std::move(a.pending_cause);
+    run_analysis_flow(index, cause + " (probe)");
+  });
+}
+
+void AeroServer::set_fault_plan(fabric::FaultPlan* plan) {
+  plan_ = plan;
+  if (incidents_ == nullptr && plan != nullptr) incidents_ = &plan->log();
+}
+
+AeroServer::ServedEstimate AeroServer::serve_latest(const std::string& uuid) {
+  ServedEstimate est;
+  est.version = db_.latest_version(uuid);
+  auto it = degraded_.find(uuid);
+  if (it != degraded_.end()) {
+    est.stale = true;
+    est.reason = it->second;
+  } else if (!est.version.has_value()) {
+    est.stale = true;
+    est.reason = "no version published yet";
+  }
+  if (est.stale) {
+    ++stale_serves_;
+    record_incident(fabric::IncidentCategory::kDegraded, "stale-serve", uuid,
+                    est.reason);
+  }
+  return est;
+}
+
+void AeroServer::record_incident(fabric::IncidentCategory category,
+                                 const std::string& kind,
+                                 const std::string& site,
+                                 const std::string& detail) {
+  if (incidents_ == nullptr) return;
+  incidents_->record(loop_.now(), category, kind, "aero", site, detail);
+}
+
+void AeroServer::note_run_outcome(osprey::util::CircuitBreaker& breaker,
+                                  const std::string& site, bool ok) {
+  if (!breaker.config().enabled()) return;
+  osprey::util::BreakerState before = breaker.state();
+  if (ok) {
+    breaker.on_success(loop_.now());
+  } else {
+    breaker.on_failure(loop_.now());
+  }
+  osprey::util::BreakerState after = breaker.state();
+  if (after == before) return;
+  if (after == osprey::util::BreakerState::kOpen) {
+    record_incident(fabric::IncidentCategory::kDegraded, "circuit-opened",
+                    site,
+                    "after " + std::to_string(breaker.consecutive_failures()) +
+                        " consecutive failure(s)");
+  } else if (after == osprey::util::BreakerState::kClosed) {
+    record_incident(fabric::IncidentCategory::kRecovery, "circuit-closed",
+                    site, "probe(s) succeeded");
+  }
+}
+
+void AeroServer::mark_degraded(const std::vector<std::string>& uuids,
+                               const std::string& site,
+                               const std::string& reason) {
+  for (const std::string& uuid : uuids) degraded_[uuid] = reason;
+  record_incident(fabric::IncidentCategory::kDegraded, "degraded", site,
+                  reason + "; serving last-good estimates");
+}
+
+void AeroServer::clear_degraded(const std::vector<std::string>& uuids,
+                                const std::string& site) {
+  bool any = false;
+  for (const std::string& uuid : uuids) any |= degraded_.erase(uuid) > 0;
+  if (any) {
+    record_incident(fabric::IncidentCategory::kRecovery, "recovered", site,
+                    "fresh estimate published");
+  }
 }
 
 }  // namespace osprey::aero

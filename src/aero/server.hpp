@@ -21,16 +21,19 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "aero/metadata_db.hpp"
 #include "aero/source.hpp"
 #include "fabric/compute.hpp"
+#include "fabric/fault.hpp"
 #include "fabric/flows.hpp"
 #include "fabric/storage.hpp"
 #include "fabric/timer.hpp"
 #include "fabric/transfer.hpp"
+#include "util/retry.hpp"
 #include "util/value.hpp"
 
 namespace osprey::aero {
@@ -56,8 +59,17 @@ struct IngestionFlowSpec {
   std::string base_path;  // raw -> <base>/raw, transformed -> <base>/transformed
 
   /// Automatic re-runs after a failed flow (transfer/compute faults).
+  /// Legacy knobs: when `retry` below is disabled, an exponential
+  /// policy is synthesized from these (initial = retry_backoff,
+  /// multiplier 2, cap 8x).
   int max_retries = 0;
   SimTime retry_backoff = 5 * osprey::util::kMinute;
+  /// Full retry policy (overrides the legacy knobs when enabled).
+  osprey::util::RetryPolicy retry;
+  /// Optional circuit breaker: after `failure_threshold` consecutive
+  /// failed runs the flow stops being triggered until a half-open probe
+  /// succeeds. Disabled by default.
+  osprey::util::CircuitBreakerConfig breaker;
 };
 
 /// UUIDs returned by ingestion registration.
@@ -88,8 +100,12 @@ struct AnalysisFlowSpec {
   std::vector<std::string> output_names;
 
   /// Automatic re-runs after a failed flow (transfer/compute faults).
+  /// Same semantics as IngestionFlowSpec: legacy knobs plus optional
+  /// full policy and breaker.
   int max_retries = 0;
   SimTime retry_backoff = 5 * osprey::util::kMinute;
+  osprey::util::RetryPolicy retry;
+  osprey::util::CircuitBreakerConfig breaker;
 };
 
 /// The orchestration server.
@@ -123,6 +139,30 @@ class AeroServer {
   /// and provenance remain in the metadata DB.
   bool cancel_ingestion(const std::string& name);
 
+  /// Attach a chaos FaultPlan (non-owning). The server consults it for
+  /// upstream source outages; when no incident log was set explicitly,
+  /// recovery/degradation actions are recorded into the plan's log.
+  void set_fault_plan(fabric::FaultPlan* plan);
+  /// Structured record of recovery and degradation actions (non-owning;
+  /// nullptr detaches).
+  void set_incident_log(fabric::IncidentLog* log) { incidents_ = log; }
+
+  /// Graceful degradation: the last good version of a data object,
+  /// flagged stale when its producing flow is currently failing (or it
+  /// has never published). Stakeholders always get an answer plus an
+  /// honest staleness signal — never an error.
+  struct ServedEstimate {
+    std::optional<DataVersion> version;  // last good, if any
+    bool stale = false;
+    std::string reason;  // why the estimate is stale (empty when fresh)
+  };
+  ServedEstimate serve_latest(const std::string& uuid);
+
+  /// Is this data object currently degraded (producer failing)?
+  bool degraded(const std::string& uuid) const {
+    return degraded_.count(uuid) > 0;
+  }
+
   MetadataDb& db() { return db_; }
   const MetadataDb& db() const { return db_; }
 
@@ -138,6 +178,22 @@ class AeroServer {
   std::uint64_t failed_runs() const { return failed_runs_; }
   std::uint64_t retries() const { return retries_; }
   std::uint64_t fetch_errors() const { return fetch_errors_; }
+  /// Triggers whose retry budget was exhausted (flow gave up).
+  std::uint64_t permanent_failures() const {
+    return ingestion_permanent_ + analysis_permanent_;
+  }
+  std::uint64_t ingestion_permanent_failures() const {
+    return ingestion_permanent_;
+  }
+  std::uint64_t analysis_permanent_failures() const {
+    return analysis_permanent_;
+  }
+  /// Ingestion triggers whose payload was replaced by fresher upstream
+  /// data before it could publish.
+  std::uint64_t superseded_triggers() const { return superseded_triggers_; }
+  /// Triggers deferred because a circuit breaker was open.
+  std::uint64_t deferred_triggers() const { return deferred_triggers_; }
+  std::uint64_t stale_serves() const { return stale_serves_; }
 
  private:
   struct Ingestion {
@@ -153,6 +209,14 @@ class AeroServer {
     fabric::TimerId timer = 0;
     bool paused = false;
     bool cancelled = false;
+    /// Effective retry policy (spec.retry or synthesized from the
+    /// legacy max_retries/retry_backoff knobs).
+    osprey::util::RetryPolicy retry;
+    osprey::util::CircuitBreaker breaker;
+    std::uint64_t retry_key = 0;   // jitter key (hash of the flow name)
+    /// Bumped on every fresh trigger so a stale retry timer (scheduled
+    /// for a previous trigger) can recognize it was superseded.
+    std::uint64_t trigger_gen = 0;
   };
 
   struct Analysis {
@@ -164,6 +228,10 @@ class AeroServer {
     bool pending = false;
     std::string pending_cause;
     int attempts = 0;           // of the current trigger (for retries)
+    osprey::util::RetryPolicy retry;
+    osprey::util::CircuitBreaker breaker;
+    std::uint64_t retry_key = 0;
+    std::uint64_t trigger_gen = 0;
   };
 
   void poll_ingestion(std::size_t index);
@@ -172,6 +240,26 @@ class AeroServer {
   void run_ingestion_flow(std::size_t index, std::string payload,
                           const std::string& trigger);
   void run_analysis_flow(std::size_t index, const std::string& trigger);
+  /// Start the pending ingestion payload once its circuit breaker
+  /// admits a half-open probe.
+  void schedule_ingestion_probe(std::size_t index, SimTime at);
+  void schedule_analysis_probe(std::size_t index, SimTime at);
+  /// Fire a scheduled retry (re-checking breaker and supersession).
+  void fire_ingestion_retry(std::size_t index, int attempt,
+                            std::uint64_t gen);
+  void fire_analysis_retry(std::size_t index, int attempt,
+                           std::uint64_t gen);
+  /// Record a recovery/degradation incident (no-op without a log).
+  void record_incident(fabric::IncidentCategory category,
+                       const std::string& kind, const std::string& site,
+                       const std::string& detail);
+  /// Breaker bookkeeping with circuit-transition incidents.
+  void note_run_outcome(osprey::util::CircuitBreaker& breaker,
+                        const std::string& site, bool ok);
+  void mark_degraded(const std::vector<std::string>& uuids,
+                     const std::string& site, const std::string& reason);
+  void clear_degraded(const std::vector<std::string>& uuids,
+                      const std::string& site);
   /// Called after any data object gains a version; evaluates triggers.
   void on_version_added(const std::string& uuid, const std::string& cause);
   /// Policy evaluation for one analysis flow.
@@ -197,6 +285,16 @@ class AeroServer {
   std::uint64_t failed_runs_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t fetch_errors_ = 0;
+  std::uint64_t ingestion_permanent_ = 0;
+  std::uint64_t analysis_permanent_ = 0;
+  std::uint64_t superseded_triggers_ = 0;
+  std::uint64_t deferred_triggers_ = 0;
+  std::uint64_t stale_serves_ = 0;
+
+  fabric::FaultPlan* plan_ = nullptr;
+  fabric::IncidentLog* incidents_ = nullptr;
+  /// uuid -> reason its producer is currently failing.
+  std::map<std::string, std::string> degraded_;
 };
 
 }  // namespace osprey::aero

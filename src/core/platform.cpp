@@ -17,6 +17,7 @@ fabric::StorageEndpoint& OspreyPlatform::add_storage_endpoint(
                  "storage endpoint already exists: " + name);
   auto ep = std::make_unique<fabric::StorageEndpoint>(name, loop_, auth_);
   fabric::StorageEndpoint& ref = *ep;
+  ref.set_fault_plan(plan_);
   storage_.emplace(name, std::move(ep));
   return ref;
 }
@@ -27,6 +28,7 @@ fabric::BatchScheduler& OspreyPlatform::add_scheduler(const std::string& name,
                  "scheduler already exists: " + name);
   auto s = std::make_unique<fabric::BatchScheduler>(loop_, nodes, name);
   fabric::BatchScheduler& ref = *s;
+  ref.set_fault_plan(plan_);
   schedulers_.emplace(name, std::move(s));
   return ref;
 }
@@ -38,6 +40,7 @@ fabric::ComputeEndpoint& OspreyPlatform::add_login_endpoint(
   auto ep = std::make_unique<fabric::ComputeEndpoint>(name, loop_, auth_,
                                                       slots);
   fabric::ComputeEndpoint& ref = *ep;
+  ref.set_fault_plan(plan_);
   compute_.emplace(name, std::move(ep));
   return ref;
 }
@@ -49,6 +52,7 @@ fabric::ComputeEndpoint& OspreyPlatform::add_batch_endpoint(
   auto ep =
       std::make_unique<fabric::ComputeEndpoint>(name, loop_, auth_, sched);
   fabric::ComputeEndpoint& ref = *ep;
+  ref.set_fault_plan(plan_);
   compute_.emplace(name, std::move(ep));
   return ref;
 }
@@ -86,6 +90,17 @@ fabric::BatchScheduler& OspreyPlatform::scheduler(const std::string& name) {
     throw osprey::util::NotFound("no such scheduler: " + name);
   }
   return *it->second;
+}
+
+void OspreyPlatform::install_fault_plan(fabric::FaultPlan* plan) {
+  plan_ = plan;
+  transfers_.set_fault_plan(plan);
+  flows_.set_fault_plan(plan);
+  auth_.set_fault_plan(plan, &loop_);
+  aero_.set_fault_plan(plan);
+  for (auto& [name, ep] : storage_) ep->set_fault_plan(plan);
+  for (auto& [name, sched] : schedulers_) sched->set_fault_plan(plan);
+  for (auto& [name, ep] : compute_) ep->set_fault_plan(plan);
 }
 
 std::string OspreyPlatform::issue_token(const std::string& identity) {

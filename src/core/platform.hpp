@@ -55,6 +55,12 @@ class OspreyPlatform {
   aero::AeroServer& aero() { return aero_; }
   emews::TaskDb& task_db() { return task_db_; }
 
+  /// Attach a chaos FaultPlan (non-owning) to every fabric service and
+  /// the AERO server — including endpoints/schedulers added later.
+  /// Pass nullptr to detach everywhere.
+  void install_fault_plan(fabric::FaultPlan* plan);
+  fabric::FaultPlan* fault_plan() { return plan_; }
+
   /// Issue a full-scope token for a user identity.
   std::string issue_token(const std::string& identity);
 
@@ -74,6 +80,7 @@ class OspreyPlatform {
   std::map<std::string, std::unique_ptr<fabric::ComputeEndpoint>> compute_;
   aero::AeroServer aero_;
   emews::TaskDb task_db_;
+  fabric::FaultPlan* plan_ = nullptr;
 };
 
 }  // namespace osprey::core

@@ -343,6 +343,8 @@ void WastewaterUseCase::build() {
     ing.storage = &eagle;
     ing.collection = kCollection;
     ing.base_path = "plants/" + std::to_string(p);
+    ing.retry = config_.retry;
+    ing.breaker = config_.breaker;
     ingestion_handles_.push_back(
         platform_.aero().register_ingestion(std::move(ing)));
 
@@ -365,6 +367,8 @@ void WastewaterUseCase::build() {
     ana.collection = kCollection;
     ana.base_path = "rt/" + std::to_string(p);
     ana.output_names = {"rt_summary.csv", "rt_draws.csv", "rt_plot.txt"};
+    ana.retry = config_.retry;
+    ana.breaker = config_.breaker;
     analysis_outputs_.push_back(
         platform_.aero().register_analysis(std::move(ana)));
 
@@ -389,6 +393,8 @@ void WastewaterUseCase::build() {
   agg.collection = kCollection;
   agg.base_path = "aggregate";
   agg.output_names = {"aggregate_rt.csv", "aggregate_plot.txt"};
+  agg.retry = config_.retry;
+  agg.breaker = config_.breaker;
   aggregate_outputs_ = platform_.aero().register_analysis(std::move(agg));
 }
 

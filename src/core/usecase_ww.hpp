@@ -40,6 +40,11 @@ struct WwUseCaseConfig {
   /// Posterior draws serialized for the ensemble aggregation.
   int aggregate_draws = 200;
   epi::WastewaterConfig ww;
+  /// Recovery knobs applied to every registered flow (ingestion,
+  /// analysis, aggregation). Disabled by default, matching the paper's
+  /// happy-path run; the chaos suite turns them on.
+  osprey::util::RetryPolicy retry;
+  osprey::util::CircuitBreakerConfig breaker;
 
   WwUseCaseConfig() {
     goldstein.iterations = 1600;

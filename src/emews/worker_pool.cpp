@@ -16,11 +16,13 @@ constexpr std::int64_t kClaimTimeoutMs = 25;
 }  // namespace
 
 WorkerPool::WorkerPool(TaskDb& db, std::string task_type, ModelFn model,
-                       std::size_t n_workers, std::string pool_name)
+                       std::size_t n_workers, std::string pool_name,
+                       osprey::util::RetryPolicy retry)
     : db_(db),
       type_(std::move(task_type)),
       model_(std::move(model)),
       name_(std::move(pool_name)),
+      retry_(retry),
       busy_ns_(n_workers == 0 ? 1 : n_workers),
       task_counts_(n_workers == 0 ? 1 : n_workers),
       start_ns_(db.clock().now_ns()) {
@@ -46,7 +48,18 @@ void WorkerPool::worker_loop(std::size_t worker_index) {
       osprey::util::Value result = model_(rec.payload);
       db_.complete(id, std::move(result));
     } catch (const std::exception& e) {
-      db_.fail(id, e.what());
+      // Transient model/evaluation faults go back on the queue while
+      // the retry budget lasts; any worker may pick the task up again.
+      if (retry_.enabled() &&
+          rec.requeues < static_cast<std::uint32_t>(retry_.max_attempts) &&
+          db_.requeue(id)) {
+        requeued_.fetch_add(1, std::memory_order_relaxed);
+        OSPREY_LOG_WARN("emews", worker_name << " requeued task " << id
+                                 << " (attempt " << rec.requeues + 1
+                                 << "): " << e.what());
+      } else {
+        db_.fail(id, e.what());
+      }
     }
     std::uint64_t dt = now_ns() - t0;
     busy_ns_[worker_index].fetch_add(dt, std::memory_order_relaxed);

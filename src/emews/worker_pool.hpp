@@ -20,6 +20,7 @@
 #include "emews/task_db.hpp"
 #include "util/annotations.hpp"
 #include "util/mutex.hpp"
+#include "util/retry.hpp"
 #include "util/value.hpp"
 
 namespace osprey::emews {
@@ -38,8 +39,12 @@ class WorkerPool {
  public:
   /// Starts `n_workers` threads immediately; they claim tasks of
   /// `task_type` from `db` until shutdown() (or db.close()).
+  /// When `retry.enabled()`, a task whose model throws is requeued (up
+  /// to retry.max_attempts times, tracked in TaskRecord::requeues)
+  /// instead of failed — any worker may pick up the requeued task.
   WorkerPool(TaskDb& db, std::string task_type, ModelFn model,
-             std::size_t n_workers, std::string pool_name = "pool");
+             std::size_t n_workers, std::string pool_name = "pool",
+             osprey::util::RetryPolicy retry = {});
 
   /// Stops and joins all workers.
   ~WorkerPool();
@@ -62,6 +67,8 @@ class WorkerPool {
   double utilization() const;
 
   std::uint64_t tasks_evaluated() const { return evaluated_.load(); }
+  /// Evaluations that threw and were returned to the queue for retry.
+  std::uint64_t tasks_requeued() const { return requeued_.load(); }
   std::vector<WorkerStats> worker_stats() const;
 
  private:
@@ -72,6 +79,7 @@ class WorkerPool {
   std::string type_;
   ModelFn model_;
   std::string name_;
+  osprey::util::RetryPolicy retry_;
   std::vector<std::atomic<std::uint64_t>> busy_ns_;     // per worker
   std::vector<std::atomic<std::uint64_t>> task_counts_; // per worker
   // WorkerPool models a compute resource and so legitimately owns raw
@@ -79,6 +87,7 @@ class WorkerPool {
   std::vector<std::thread> threads_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> evaluated_{0};
+  std::atomic<std::uint64_t> requeued_{0};
   std::uint64_t start_ns_ = 0;
   std::atomic<std::uint64_t> end_ns_{0};  // set at shutdown
   osprey::util::Mutex join_mutex_;

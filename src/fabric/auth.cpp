@@ -1,5 +1,6 @@
 #include "fabric/auth.hpp"
 
+#include "fabric/event_loop.hpp"
 #include "util/error.hpp"
 
 namespace osprey::fabric {
@@ -31,6 +32,11 @@ void AuthService::revoke(const std::string& token) {
   if (it != tokens_.end()) it->second.revoked = true;
 }
 
+void AuthService::set_fault_plan(FaultPlan* plan, const EventLoop* loop) {
+  plan_ = plan;
+  loop_ = loop;
+}
+
 const TokenInfo& AuthService::validate(
     const std::string& token, const std::string& required_scope) const {
   ++validations_;
@@ -44,6 +50,13 @@ const TokenInfo& AuthService::validate(
   if (!required_scope.empty() &&
       it->second.scopes.count(required_scope) == 0) {
     throw osprey::util::AuthError("token lacks scope: " + required_scope);
+  }
+  if (plan_ != nullptr && loop_ != nullptr && !required_scope.empty() &&
+      plan_->should_inject(FaultKind::kAuthExpiry, "auth", required_scope,
+                           loop_->now())) {
+    // Transient expiry: the token itself stays valid, so the caller's
+    // retry (with the same token) succeeds once the fault passes.
+    throw osprey::util::AuthError("token expired (injected): re-authenticate");
   }
   return it->second;
 }

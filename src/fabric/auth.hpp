@@ -11,9 +11,12 @@
 #include <string>
 #include <vector>
 
+#include "fabric/fault.hpp"
 #include "util/uuid.hpp"
 
 namespace osprey::fabric {
+
+class EventLoop;
 
 /// Well-known scopes used by the fabric services.
 namespace scopes {
@@ -46,6 +49,11 @@ class AuthService {
 
   void revoke(const std::string& token);
 
+  /// Attach a chaos FaultPlan (non-owning; nullptr detaches both). The
+  /// plan can make validate() fail transiently ("token expired"); the
+  /// loop supplies virtual timestamps for the incident log.
+  void set_fault_plan(FaultPlan* plan, const EventLoop* loop);
+
   /// Validate token + scope; throws AuthError on unknown/revoked tokens
   /// or missing scope. Returns the token's info on success.
   const TokenInfo& validate(const std::string& token,
@@ -62,6 +70,8 @@ class AuthService {
   std::map<std::string, TokenInfo> tokens_;
   std::size_t issued_ = 0;
   mutable std::size_t validations_ = 0;
+  FaultPlan* plan_ = nullptr;
+  const EventLoop* loop_ = nullptr;
 };
 
 }  // namespace osprey::fabric

@@ -1,5 +1,7 @@
 #include "fabric/compute.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -60,6 +62,24 @@ ComputeTaskId ComputeEndpoint::execute(const std::string& function_id,
   rec.submitted = loop_.now();
   records_.push_back(rec);
 
+  if (plan_ != nullptr &&
+      plan_->in_window(FaultKind::kEndpointOutage, "compute", name_,
+                       loop_.now())) {
+    // Endpoint unreachable: the submission fails fast after a short
+    // connection timeout instead of queueing into a black hole.
+    Callback cb = std::move(on_done);
+    loop_.schedule_after(10 * osprey::util::kSecond,
+                         [this, id, cb = std::move(cb)] {
+                           ComputeTaskRecord& r = records_[id];
+                           r.status = ComputeTaskStatus::kFailed;
+                           r.error = "endpoint unreachable (outage)";
+                           r.completed = loop_.now();
+                           ++completed_;
+                           if (cb) cb(Value(nullptr), r);
+                         });
+    return id;
+  }
+
   PendingTask task{id, &it->second, std::move(args), std::move(on_done)};
   if (kind_ == EndpointKind::kLoginNode) {
     run_on_login_node(std::move(task));
@@ -98,6 +118,21 @@ SimTime ComputeEndpoint::execute_body(PendingTask& task, SimTime limit) {
                   osprey::util::format_duration(limit) + ")";
       result = Value(nullptr);
       occupy = limit;
+      OSPREY_LOG_WARN("compute", rec.function_name << " " << rec.error);
+    } else if (plan_ != nullptr &&
+               plan_->should_inject(FaultKind::kComputeKill, "compute",
+                                    name_, loop_.now())) {
+      // Injected mid-run kill: the task dies halfway through its
+      // declared cost; outputs never materialize. The shortened
+      // duration is also what the scheduler sees, so the node frees at
+      // the kill time.
+      occupy = std::max<SimTime>(1, occupy / 2);
+      if (limit >= 0) occupy = std::min(occupy, limit);
+      duration = occupy;
+      rec.status = ComputeTaskStatus::kFailed;
+      rec.error = "task killed (injected) after " +
+                  osprey::util::format_duration(occupy);
+      result = Value(nullptr);
       OSPREY_LOG_WARN("compute", rec.function_name << " " << rec.error);
     } else {
       result = task.fn->fn(task.args);

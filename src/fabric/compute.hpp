@@ -24,6 +24,7 @@
 
 #include "fabric/auth.hpp"
 #include "fabric/event_loop.hpp"
+#include "fabric/fault.hpp"
 #include "fabric/scheduler.hpp"
 #include "util/uuid.hpp"
 #include "util/value.hpp"
@@ -67,6 +68,11 @@ class ComputeEndpoint {
 
   const std::string& name() const { return name_; }
   EndpointKind kind() const { return kind_; }
+
+  /// Attach a chaos FaultPlan (non-owning; nullptr detaches). The plan
+  /// can kill tasks mid-run (walltime-style) and declare outage windows
+  /// during which submissions fail fast ("endpoint unreachable").
+  void set_fault_plan(FaultPlan* plan) { plan_ = plan; }
 
   /// Walltime requested for each batch job (batch endpoints only).
   /// Tasks whose declared cost exceeds it are killed by the scheduler
@@ -124,6 +130,7 @@ class ComputeEndpoint {
   int slots_ = 1;
   int busy_slots_ = 0;
   BatchScheduler* scheduler_ = nullptr;
+  FaultPlan* plan_ = nullptr;
   SimTime batch_walltime_ = 4 * osprey::util::kHour;
   osprey::util::UuidFactory uuids_;
   std::map<std::string, Registered> functions_;  // id -> registration

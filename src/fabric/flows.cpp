@@ -59,11 +59,23 @@ void FlowsService::advance(std::shared_ptr<ActiveRun> run) {
     advance(run);
   };
 
-  try {
-    step.fn(run->context, done);
-  } catch (const std::exception& e) {
-    done(false, e.what());
+  auto invoke = [this, run, step_index, done] {
+    const FlowStep& s = run->flow.steps[step_index];
+    try {
+      s.fn(run->context, done);
+    } catch (const std::exception& e) {
+      done(false, e.what());
+    }
+  };
+  if (plan_ != nullptr &&
+      plan_->should_inject(FaultKind::kFlowStall, "flows", rec.flow_name,
+                           loop_.now())) {
+    // The step starts late; the flow itself still completes, so stalls
+    // surface as latency, not failure.
+    loop_.schedule_after(plan_->stall_delay, invoke);
+    return;
   }
+  invoke();
 }
 
 void FlowsService::finish(std::shared_ptr<ActiveRun> run,

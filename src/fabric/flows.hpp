@@ -14,6 +14,7 @@
 
 #include "fabric/auth.hpp"
 #include "fabric/event_loop.hpp"
+#include "fabric/fault.hpp"
 #include "util/value.hpp"
 
 namespace osprey::fabric {
@@ -67,6 +68,10 @@ class FlowsService {
  public:
   FlowsService(EventLoop& loop, AuthService& auth);
 
+  /// Attach a chaos FaultPlan (non-owning; nullptr detaches). The plan
+  /// can delay individual step starts by its stall_delay.
+  void set_fault_plan(FaultPlan* plan) { plan_ = plan; }
+
   using RunCallback = std::function<void(const FlowRunRecord&,
                                          const osprey::util::Value& state)>;
 
@@ -94,6 +99,7 @@ class FlowsService {
 
   EventLoop& loop_;
   AuthService& auth_;
+  FaultPlan* plan_ = nullptr;
   std::vector<FlowRunRecord> records_;
   std::size_t succeeded_ = 0;
 };

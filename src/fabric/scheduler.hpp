@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fabric/event_loop.hpp"
+#include "fabric/fault.hpp"
 
 namespace osprey::fabric {
 
@@ -55,6 +56,11 @@ class BatchScheduler {
   int total_nodes() const { return total_nodes_; }
   int free_nodes() const { return free_nodes_; }
 
+  /// Attach a chaos FaultPlan (non-owning; nullptr detaches). During a
+  /// kEndpointOutage window for this scheduler, queued jobs do not
+  /// start; starts resume automatically when the window ends.
+  void set_fault_plan(FaultPlan* plan) { plan_ = plan; }
+
   JobId submit(JobSpec spec);
   /// Cancel a queued job (running jobs cannot be cancelled in this model).
   bool cancel(JobId id);
@@ -81,6 +87,8 @@ class BatchScheduler {
   int total_nodes_;
   int free_nodes_;
   std::string name_;
+  FaultPlan* plan_ = nullptr;
+  bool outage_recheck_pending_ = false;
   std::deque<QueuedJob> queue_;
   std::vector<JobRecord> records_;
   double busy_node_ms_ = 0.0;

@@ -75,12 +75,24 @@ Permission StorageEndpoint::permission_of(const std::string& collection,
   return it == col.acl.end() ? Permission::kNone : it->second;
 }
 
+void StorageEndpoint::maybe_inject_acl_race(
+    const std::string& collection) const {
+  if (plan_ == nullptr) return;
+  if (plan_->should_inject(FaultKind::kAclRace, "storage", name_,
+                           loop_.now())) {
+    throw osprey::util::AuthError(
+        "ACL propagation race on collection '" + collection +
+        "' (injected): permission not yet visible");
+  }
+}
+
 std::string StorageEndpoint::put(const std::string& collection,
                                  const std::string& path, std::string bytes,
                                  const std::string& token) {
   Collection& col = collection_for(collection);
   require_permission(col, token, Permission::kReadWrite,
                      scopes::kStorageWrite);
+  maybe_inject_acl_race(collection);
   StoredObject& obj = col.objects[path];
   bytes_stored_ += bytes.size();
   bytes_stored_ -= obj.bytes.size();
@@ -97,6 +109,7 @@ const StoredObject& StorageEndpoint::get(const std::string& collection,
                                          const std::string& token) const {
   const Collection& col = collection_for(collection);
   require_permission(col, token, Permission::kRead, scopes::kStorageRead);
+  maybe_inject_acl_race(collection);
   auto it = col.objects.find(path);
   if (it == col.objects.end()) {
     throw osprey::util::NotFound("no such object: " + collection + "/" + path);

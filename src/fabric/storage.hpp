@@ -14,6 +14,7 @@
 
 #include "fabric/auth.hpp"
 #include "fabric/event_loop.hpp"
+#include "fabric/fault.hpp"
 
 namespace osprey::fabric {
 
@@ -34,6 +35,11 @@ class StorageEndpoint {
   StorageEndpoint(std::string name, EventLoop& loop, AuthService& auth);
 
   const std::string& name() const { return name_; }
+
+  /// Attach a chaos FaultPlan (non-owning; nullptr detaches). The plan
+  /// can inject transient ACL propagation races into put/get, which
+  /// surface as AuthError and are retried by the orchestration layer.
+  void set_fault_plan(FaultPlan* plan) { plan_ = plan; }
 
   /// Create a collection owned by the token's identity.
   void create_collection(const std::string& collection,
@@ -87,9 +93,12 @@ class StorageEndpoint {
   void require_permission(const Collection& col, const std::string& token,
                           Permission needed, const std::string& scope) const;
 
+  void maybe_inject_acl_race(const std::string& collection) const;
+
   std::string name_;
   EventLoop& loop_;
   AuthService& auth_;
+  FaultPlan* plan_ = nullptr;
   std::map<std::string, Collection> collections_;
   std::uint64_t bytes_stored_ = 0;
   std::size_t puts_ = 0;

@@ -39,6 +39,23 @@ bool TransferService::should_fail_next() {
   return false;
 }
 
+void TransferService::set_default_timeout(SimTime timeout) {
+  OSPREY_REQUIRE(timeout >= 0, "timeout must be non-negative");
+  timeout_ = timeout;
+}
+
+void TransferService::fail_after(TransferId id, SimTime delay,
+                                 std::string error, const Callback& on_done) {
+  loop_.schedule_after(delay,
+                       [this, id, error = std::move(error), on_done] {
+                         TransferRecord& r = records_[id];
+                         r.status = TransferStatus::kFailed;
+                         r.error = error;
+                         r.completed = loop_.now();
+                         if (on_done) on_done(r);
+                       });
+}
+
 SimTime TransferService::duration_for(std::uint64_t bytes) const {
   double seconds = static_cast<double>(bytes) / bandwidth_;
   return latency_ + static_cast<SimTime>(
@@ -94,33 +111,73 @@ TransferId TransferService::transfer(
   if (should_fail_next()) {
     // Injected network failure: surfaces after the setup latency, like a
     // dropped connection.
-    loop_.schedule_after(latency_, [this, id, on_done] {
-      TransferRecord& r = records_[id];
-      r.status = TransferStatus::kFailed;
-      r.error = "injected network failure";
-      r.completed = loop_.now();
-      if (on_done) on_done(r);
-    });
+    fail_after(id, latency_, "injected network failure", on_done);
     return id;
   }
 
-  SimTime duration = duration_for(rec.bytes);
+  SimTime now = loop_.now();
+  if (plan_ != nullptr &&
+      plan_->should_inject(FaultKind::kTransferDrop, "transfer", dst.name(),
+                           now)) {
+    fail_after(id, latency_, "injected network failure", on_done);
+    return id;
+  }
+
+  SimTime stall = 0;
+  if (plan_ != nullptr &&
+      plan_->should_inject(FaultKind::kTransferStall, "transfer", dst.name(),
+                           now)) {
+    stall = plan_->stall_delay;
+  }
+  SimTime duration = duration_for(rec.bytes) + stall;
+  if (timeout_ > 0 && duration > timeout_) {
+    // The per-operation timeout converts a stalled transfer into a
+    // recoverable failure instead of an indefinitely late completion.
+    fail_after(id, timeout_,
+               "transfer timed out after " +
+                   osprey::util::format_duration(timeout_),
+               on_done);
+    return id;
+  }
+
+  if (plan_ != nullptr &&
+      plan_->should_inject(FaultKind::kTransferCorrupt, "transfer",
+                           dst.name(), now)) {
+    // Flip a bit in flight; the digest check below must catch it.
+    if (bytes.empty()) {
+      bytes.push_back('\x01');
+    } else {
+      bytes[0] = static_cast<char>(bytes[0] ^ 0x01);
+    }
+  }
+
   loop_.schedule_after(
       duration, [this, id, &dst, dst_collection, dst_path, token,
                  bytes = std::move(bytes), checksum, on_done] {
         TransferRecord& r = records_[id];
-        try {
-          std::string written = dst.put(dst_collection, dst_path, bytes, token);
-          if (written != checksum) {
-            // Unreachable by construction, but integrity is checked the
-            // way real Globus transfers verify checksums.
-            throw osprey::util::IntegrityError("checksum mismatch after copy");
-          }
-          r.status = TransferStatus::kSucceeded;
-          ++completed_;
-        } catch (const osprey::util::Error& e) {
+        // Verify the digest of what actually arrived BEFORE the
+        // destination write: a corrupted payload is rejected, never
+        // accepted into storage (the caller re-transfers).
+        std::string digest = osprey::crypto::Sha256::hash_hex(bytes);
+        if (digest != checksum) {
           r.status = TransferStatus::kFailed;
-          r.error = e.what();
+          r.error = "checksum mismatch: payload corrupted in flight";
+          if (plan_ != nullptr) {
+            plan_->log().record(loop_.now(), IncidentCategory::kRecovery,
+                                "corrupt-payload-rejected", "transfer",
+                                r.dst_endpoint,
+                                r.dst_collection + "/" + r.dst_path +
+                                    " rejected before write");
+          }
+        } else {
+          try {
+            dst.put(dst_collection, dst_path, bytes, token);
+            r.status = TransferStatus::kSucceeded;
+            ++completed_;
+          } catch (const osprey::util::Error& e) {
+            r.status = TransferStatus::kFailed;
+            r.error = e.what();
+          }
         }
         r.completed = loop_.now();
         OSPREY_LOG_DEBUG("transfer",

@@ -13,6 +13,7 @@
 
 #include "fabric/auth.hpp"
 #include "fabric/event_loop.hpp"
+#include "fabric/fault.hpp"
 #include "fabric/storage.hpp"
 
 namespace osprey::fabric {
@@ -48,6 +49,17 @@ class TransferService {
   void inject_failures(double rate, std::uint64_t seed);
   std::size_t injected_failures() const { return injected_; }
 
+  /// Attach a chaos FaultPlan (non-owning; nullptr detaches). The plan
+  /// can drop, stall or corrupt transfers; corruption is caught by the
+  /// digest verification before the destination write completes.
+  void set_fault_plan(FaultPlan* plan) { plan_ = plan; }
+
+  /// Per-operation timeout: a transfer whose (possibly stalled) virtual
+  /// duration exceeds it fails at the deadline instead of hanging the
+  /// workflow. 0 disables (the default).
+  void set_default_timeout(SimTime timeout);
+  SimTime default_timeout() const { return timeout_; }
+
   using Callback = std::function<void(const TransferRecord&)>;
 
   /// Start an async copy; `on_done` fires (in virtual time) when the
@@ -79,8 +91,12 @@ class TransferService {
   double failure_rate_ = 0.0;
   std::uint64_t failure_state_ = 0;
   std::size_t injected_ = 0;
+  FaultPlan* plan_ = nullptr;
+  SimTime timeout_ = 0;
 
   bool should_fail_next();
+  void fail_after(TransferId id, SimTime delay, std::string error,
+                  const Callback& on_done);
 };
 
 }  // namespace osprey::fabric

@@ -1,0 +1,125 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace osprey::util {
+
+namespace {
+
+/// splitmix64 finalizer: counter-based, stateless, replayable. Kept
+/// local so util/ stays independent of num/'s RNG streams.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+SimTime RetryPolicy::cap() const {
+  if (max_backoff > 0) return max_backoff;
+  return initial_backoff * 8;
+}
+
+SimTime RetryPolicy::backoff(int attempt) const {
+  OSPREY_REQUIRE(attempt >= 1, "backoff attempts are 1-based");
+  OSPREY_REQUIRE(initial_backoff >= 1, "initial backoff must be positive");
+  OSPREY_REQUIRE(multiplier >= 1.0, "backoff multiplier must be >= 1");
+  // Compute in double to survive large exponents, then clamp to the cap.
+  double raw = static_cast<double>(initial_backoff) *
+               std::pow(multiplier, static_cast<double>(attempt - 1));
+  double capped = std::min(raw, static_cast<double>(cap()));
+  return std::max<SimTime>(1, static_cast<SimTime>(std::llround(capped)));
+}
+
+SimTime RetryPolicy::jittered(int attempt, std::uint64_t key) const {
+  OSPREY_REQUIRE(jitter >= 0.0 && jitter < 1.0, "jitter fraction in [0,1)");
+  SimTime base = backoff(attempt);
+  if (jitter <= 0.0) return base;
+  std::uint64_t bits =
+      mix64(seed ^ mix64(key ^ mix64(static_cast<std::uint64_t>(attempt))));
+  // Factor in [1 - jitter, 1 + jitter].
+  double factor = 1.0 + jitter * (2.0 * uniform01(bits) - 1.0);
+  return std::max<SimTime>(
+      1, static_cast<SimTime>(std::llround(static_cast<double>(base) *
+                                           factor)));
+}
+
+std::uint64_t stable_key(const char* s) {
+  // FNV-1a: stable across runs and platforms, unlike std::hash.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(config) {
+  OSPREY_REQUIRE(config_.failure_threshold >= 0,
+                 "breaker threshold must be non-negative");
+  OSPREY_REQUIRE(config_.open_timeout >= 1, "breaker open timeout too small");
+  OSPREY_REQUIRE(config_.half_open_successes >= 1,
+                 "breaker needs at least one probe success to close");
+}
+
+bool CircuitBreaker::allow(SimTime now) {
+  if (!config_.enabled()) return true;
+  if (state_ == BreakerState::kOpen && now >= reopen_at()) {
+    state_ = BreakerState::kHalfOpen;
+    half_open_successes_ = 0;
+  }
+  return state_ != BreakerState::kOpen;
+}
+
+void CircuitBreaker::trip(SimTime now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  half_open_successes_ = 0;
+  ++times_opened_;
+}
+
+void CircuitBreaker::on_success(SimTime) {
+  if (!config_.enabled()) return;
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    if (++half_open_successes_ >= config_.half_open_successes) {
+      state_ = BreakerState::kClosed;
+    }
+  } else if (state_ == BreakerState::kClosed) {
+    // Nothing else: successes keep a closed breaker closed.
+  }
+}
+
+void CircuitBreaker::on_failure(SimTime now) {
+  if (!config_.enabled()) return;
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen) {
+    trip(now);  // a failed probe re-opens immediately
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      consecutive_failures_ >= config_.failure_threshold) {
+    trip(now);
+  }
+}
+
+}  // namespace osprey::util

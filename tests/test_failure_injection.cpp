@@ -1,6 +1,8 @@
 /// Failure injection: flaky upstream feeds, injected transfer failures,
 /// walltime kills — and the orchestration layer's recovery behaviour
 /// (counted fetch errors, failed-run provenance, AERO retries).
+/// Upstream outages are scripted on a fabric::FaultPlan (source-outage
+/// windows), so the same chaos machinery drives unit and sweep tests.
 
 #include <gtest/gtest.h>
 
@@ -19,27 +21,6 @@ using ou::Value;
 using ou::ValueObject;
 
 namespace {
-
-/// A source whose fetch() throws on scripted virtual days.
-class FlakySource final : public oa::DataSource {
- public:
-  FlakySource(std::string payload, std::vector<int> bad_days)
-      : payload_(std::move(payload)), bad_days_(std::move(bad_days)) {}
-
-  std::string url() const override { return "https://flaky/feed"; }
-
-  std::optional<std::string> fetch(oa::SimTime now) override {
-    int day = static_cast<int>(ou::sim_day(now));
-    for (int bad : bad_days_) {
-      if (day == bad) throw std::runtime_error("upstream 503");
-    }
-    return payload_;
-  }
-
- private:
-  std::string payload_;
-  std::vector<int> bad_days_;
-};
 
 Value identity_transform(const Value& args) {
   ValueObject out;
@@ -105,14 +86,23 @@ class FailureInjectionTest : public ::testing::Test {
 };
 
 TEST_F(FailureInjectionTest, FlakySourceDoesNotKillTheServer) {
-  auto source = std::make_shared<FlakySource>(
-      "payload", std::vector<int>{0, 1, 2});  // first three days down
+  // The upstream feed is down for the first three days — scripted as a
+  // source-outage window on the fault plan (formerly a bespoke
+  // FlakySource that threw on those days).
+  of::FaultPlan plan(7);
+  plan.script_window(of::FaultKind::kSourceOutage, "ing", 0, 3 * kDay);
+  server.set_fault_plan(&plan);
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://flaky/feed",
+      std::vector<std::pair<of::SimTime, std::string>>{{0, "payload"}});
   auto handles = server.register_ingestion(spec_with(source));
   loop.run_until(5 * kDay);
   EXPECT_EQ(server.fetch_errors(), 3u);
   // Day 3's poll succeeded and ingested.
   EXPECT_EQ(server.updates_detected(), 1u);
   EXPECT_EQ(server.db().latest_version_number(handles.output_uuid), 1);
+  // The outage shows up in the structured incident log.
+  EXPECT_GE(plan.log().count(of::IncidentCategory::kFault), 1u);
 }
 
 TEST_F(FailureInjectionTest, InjectedTransferFailureFailsTheRun) {
@@ -306,4 +296,70 @@ TEST(TransferInjection, InvalidRateRejected) {
   of::TransferService transfers(loop, auth);
   EXPECT_THROW(transfers.inject_failures(1.5, 1), ou::InvalidArgument);
   EXPECT_THROW(transfers.inject_failures(-0.1, 1), ou::InvalidArgument);
+}
+
+TEST(TransferInjection, CorruptedObjectIsNotAccepted) {
+  of::EventLoop loop;
+  of::AuthService auth;
+  of::StorageEndpoint a("a", loop, auth), b("b", loop, auth);
+  of::TransferService transfers(loop, auth);
+  of::FaultPlan plan(3);
+  plan.script_nth(of::FaultKind::kTransferCorrupt, "b", 0);
+  transfers.set_fault_plan(&plan);
+  std::string token = auth.issue_full_token("u");
+  a.create_collection("c", token);
+  b.create_collection("c", token);
+  a.put("c", "x", "data", token);
+
+  bool saw_mismatch = false;
+  transfers.transfer(a, "c", "x", b, "c", "y", token,
+                     [&](const of::TransferRecord& rec) {
+                       saw_mismatch =
+                           rec.status == of::TransferStatus::kFailed &&
+                           rec.error.find("checksum mismatch") !=
+                               std::string::npos;
+                     });
+  loop.run_all();
+  EXPECT_TRUE(saw_mismatch);
+  // The corrupted bytes never landed at the destination.
+  EXPECT_THROW(b.get("c", "y", token), ou::NotFound);
+  EXPECT_EQ(plan.injected(of::FaultKind::kTransferCorrupt), 1u);
+  EXPECT_GE(plan.log().count(of::IncidentCategory::kRecovery), 1u);
+
+  // A clean re-transfer of the same object is accepted.
+  bool ok = false;
+  transfers.transfer(a, "c", "x", b, "c", "y", token,
+                     [&](const of::TransferRecord& rec) {
+                       ok = rec.status == of::TransferStatus::kSucceeded;
+                     });
+  loop.run_all();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(b.get("c", "y", token).bytes, "data");
+}
+
+TEST_F(FailureInjectionTest, CorruptedTransferIsRejectedAndRetried) {
+  of::FaultPlan plan(11);
+  // Corrupt the first transfer landing at 'eagle'; the retry's
+  // transfers are clean.
+  plan.script_nth(of::FaultKind::kTransferCorrupt, "eagle", 0);
+  transfers.set_fault_plan(&plan);
+  server.set_fault_plan(&plan);
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://ok/feed", std::vector<std::pair<of::SimTime, std::string>>{
+                             {0, "data"}});
+  auto handles = server.register_ingestion(spec_with(source, /*retries=*/3));
+  loop.run_until(kDay);
+  // Digest verification rejected the corrupted object; the retry landed
+  // the pristine bytes end to end.
+  EXPECT_EQ(server.db().latest_version_number(handles.output_uuid), 1);
+  EXPECT_EQ(eagle.get("data", "ing/transformed", server.token()).bytes,
+            "data");
+  EXPECT_GE(server.retries(), 1u);
+  EXPECT_GE(server.failed_runs(), 1u);
+  EXPECT_EQ(plan.injected(of::FaultKind::kTransferCorrupt), 1u);
+  bool saw_rejection = false;
+  for (const auto& inc : plan.log().incidents()) {
+    if (inc.kind == "corrupt-payload-rejected") saw_rejection = true;
+  }
+  EXPECT_TRUE(saw_rejection);
 }

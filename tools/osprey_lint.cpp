@@ -19,6 +19,11 @@
 //   relative-include  #include "../..." is forbidden — internal headers
 //                     are included as "<module>/<header>.hpp" rooted at
 //                     src/.
+//   fabric-raw-throw  `throw std::runtime_error` is forbidden in
+//                     src/fabric — fabric services fail through typed
+//                     osprey::util errors (util/error.hpp) so the retry
+//                     and fault-injection layers can catch, classify
+//                     and recover; an untyped throw escapes them.
 //   test-registration every tests/test_*.cpp must be listed in
 //                     tests/CMakeLists.txt, or it silently never runs.
 //
@@ -181,6 +186,10 @@ bool rule_raw_thread_applies(const std::string& path) {
 
 bool rule_everywhere(const std::string&) { return true; }
 
+bool rule_fabric_throw_applies(const std::string& path) {
+  return starts_with(path, "src/fabric/");
+}
+
 std::vector<LineRule> make_rules() {
   std::vector<LineRule> rules;
   rules.push_back({
@@ -212,6 +221,14 @@ std::vector<LineRule> make_rules() {
       "at src/",
       &rule_everywhere,
       /*match_raw=*/true,
+  });
+  rules.push_back({
+      "fabric-raw-throw",
+      std::regex(R"(\bthrow\s+std::runtime_error\b)"),
+      "raw std::runtime_error from a fabric service; throw a typed "
+      "osprey::util error (util/error.hpp) so retry/fault layers can "
+      "catch and recover",
+      &rule_fabric_throw_applies,
   });
   return rules;
 }
@@ -345,7 +362,7 @@ int main(int argc, char** argv) {
       json_out = fs::path(argv[i]);
     } else if (arg == "--list-rules") {
       std::cout << "rng\nwall-clock\nraw-thread\nrelative-include\n"
-                   "test-registration\n";
+                   "fabric-raw-throw\ntest-registration\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
