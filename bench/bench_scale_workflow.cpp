@@ -10,6 +10,11 @@
 #include <cstdio>
 
 #include "aero/server.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/file_io.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -47,17 +52,31 @@ int main() {
   std::printf("%s", util::banner(
       "Scale — 20 feeds x 365 days of always-on orchestration").c_str());
 
+  obs::TraceRecorder tracer;
+  obs::MetricsRegistry metrics;
   fabric::EventLoop loop;
   fabric::AuthService auth;
   fabric::TimerService timers(loop, auth);
   fabric::TransferService transfers(loop, auth);
   fabric::FlowsService flows(loop, auth);
-  aero::AeroServer server(loop, auth, timers, transfers, flows);
+  aero::AeroServer server(loop, auth, timers, transfers, flows, "aero",
+                          &metrics);
   fabric::StorageEndpoint eagle("eagle", loop, auth);
   fabric::StorageEndpoint scratch("scratch", loop, auth);
   fabric::BatchScheduler pbs(loop, 8);
   fabric::ComputeEndpoint login("login", loop, auth, 4);
   fabric::ComputeEndpoint compute("compute", loop, auth, pbs);
+  timers.set_tracer(&tracer);
+  transfers.set_tracer(&tracer);
+  transfers.set_metrics(&metrics);
+  flows.set_tracer(&tracer);
+  server.set_tracer(&tracer);
+  pbs.set_tracer(&tracer);
+  pbs.set_metrics(&metrics);
+  login.set_tracer(&tracer);
+  login.set_metrics(&metrics);
+  compute.set_tracer(&tracer);
+  compute.set_metrics(&metrics);
   eagle.create_collection("data", server.token());
   scratch.create_collection("staging", server.token());
   std::string transform_fn =
@@ -155,5 +174,32 @@ int main() {
               "replays in %.1f s of real time —\nthe determinism/testing "
               "payoff of the discrete-event fabric (DESIGN.md).\n",
               wall_ms / 1000.0);
+
+  // --- observability: BENCH_*.json perf snapshot ---------------------
+  std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  obs::CriticalPathReport report = obs::analyze(spans);
+  std::size_t total_runs = static_cast<std::size_t>(server.ingestion_runs()) +
+                           static_cast<std::size_t>(server.analysis_runs());
+  ValueObject bench;
+  bench["bench"] = Value("scale_workflow");
+  bench["virtual_days"] = Value(kDays);
+  bench["feeds"] = Value(kFeeds);
+  bench["span_count"] = Value(spans.size());
+  bench["makespan_ms"] = Value(static_cast<double>(report.makespan_ns) / 1e6);
+  ValueObject category_ms;
+  for (const auto& [cat, ns] : report.category_ns) {
+    category_ms[cat] = Value(static_cast<double>(ns) / 1e6);
+  }
+  bench["category_ms"] = Value(std::move(category_ms));
+  bench["flow_runs"] = Value(total_runs);
+  bench["flow_runs_per_virtual_day"] = Value(
+      static_cast<double>(total_runs) / kDays);
+  bench["wall_ms"] = Value(wall_ms);
+  bench["events_per_wall_second"] = Value(
+      static_cast<double>(loop.events_processed()) / (wall_ms / 1000.0));
+  bench["metrics"] = metrics.snapshot();
+  util::write_text_file("results/BENCH_scale_workflow.json",
+                        Value(std::move(bench)).to_json());
+  std::printf("wrote results/BENCH_scale_workflow.json\n");
   return 0;
 }

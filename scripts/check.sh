@@ -12,6 +12,9 @@
 #           -DOSPREY_THREAD_SAFETY=ON, including the negative
 #           try_compile check (SKIPPED when clang++ is not installed).
 #   tier1   Release build + full ctest suite (the seed gate).
+#   obs     Observability gate: `ctest -L obs` (trace determinism,
+#           exporter round trips, metrics semantics) plus
+#           `osprey_trace --self-check`. See DESIGN.md §"Observability".
 #   asan    address+undefined sanitizer build, full ctest suite.
 #   tsan    thread sanitizer build, concurrency-heavy suites only.
 #   chaos   thread sanitizer build of the chaos suite: the 16-seed
@@ -27,13 +30,13 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-ALL_STAGES=(lint tidy tsa tier1 asan tsan chaos)
+ALL_STAGES=(lint tidy tsa tier1 obs asan tsan chaos)
 declare -A WANTED=()
 SKIP_TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
-    lint|tidy|tsa|tier1|asan|tsan|chaos) WANTED[$arg]=1 ;;
+    lint|tidy|tsa|tier1|obs|asan|tsan|chaos) WANTED[$arg]=1 ;;
     *) echo "unknown argument: $arg" >&2
        echo "usage: scripts/check.sh [--skip-tsan] [stage ...]" >&2
        echo "stages: ${ALL_STAGES[*]}" >&2
@@ -100,6 +103,14 @@ stage_tier1() {
   (cd build && ctest --output-on-failure -j "$JOBS")
 }
 
+stage_obs() {
+  cmake -B build -S . >/dev/null &&
+  cmake --build build -j "$JOBS" \
+      --target test_obs_trace test_obs_metrics osprey_trace &&
+  (cd build && ctest --output-on-failure -j "$JOBS" -L obs) &&
+  ./build/tools/osprey_trace --self-check
+}
+
 stage_asan() {
   cmake -B build-asan -S . -DOSPREY_SANITIZE=address,undefined >/dev/null &&
   cmake --build build-asan -j "$JOBS" &&
@@ -135,6 +146,7 @@ run_stage lint  stage_lint
 [[ $FAILED -eq 0 ]] && run_stage tidy  stage_tidy
 [[ $FAILED -eq 0 ]] && run_stage tsa   stage_tsa
 [[ $FAILED -eq 0 ]] && run_stage tier1 stage_tier1
+[[ $FAILED -eq 0 ]] && run_stage obs   stage_obs
 [[ $FAILED -eq 0 ]] && run_stage asan  stage_asan
 [[ $FAILED -eq 0 ]] && run_stage tsan  stage_tsan
 [[ $FAILED -eq 0 ]] && run_stage chaos stage_chaos

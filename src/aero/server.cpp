@@ -38,14 +38,51 @@ osprey::util::RetryPolicy effective_policy(const AnalysisFlowSpec& spec) {
 AeroServer::AeroServer(fabric::EventLoop& loop, fabric::AuthService& auth,
                        fabric::TimerService& timers,
                        fabric::TransferService& transfers,
-                       fabric::FlowsService& flows, std::string identity)
+                       fabric::FlowsService& flows, std::string identity,
+                       obs::MetricsRegistry* metrics)
     : loop_(loop),
       auth_(auth),
       timers_(timers),
       transfers_(transfers),
       flows_(flows),
       identity_(std::move(identity)),
-      token_(auth.issue_full_token(identity_)) {}
+      token_(auth.issue_full_token(identity_)) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  polls_ = &metrics->counter("aero_polls_total",
+                             "upstream source polls performed");
+  updates_detected_ = &metrics->counter(
+      "aero_updates_detected_total", "polls whose payload checksum changed");
+  ingestion_runs_ = &metrics->counter("aero_ingestion_runs_total",
+                                      "ingestion flow runs started");
+  analysis_triggers_ = &metrics->counter(
+      "aero_analysis_triggers_total", "analysis trigger evaluations that fired");
+  analysis_runs_ = &metrics->counter("aero_analysis_runs_total",
+                                     "analysis flow runs started");
+  failed_runs_ = &metrics->counter("aero_failed_runs_total",
+                                   "ingestion or analysis runs that failed");
+  retries_ = &metrics->counter("aero_retries_total",
+                               "retry runs scheduled after a failure");
+  fetch_errors_ = &metrics->counter("aero_fetch_errors_total",
+                                    "upstream fetches that raised");
+  ingestion_permanent_ = &metrics->counter(
+      "aero_ingestion_permanent_failures_total",
+      "ingestion triggers that exhausted their retry budget");
+  analysis_permanent_ = &metrics->counter(
+      "aero_analysis_permanent_failures_total",
+      "analysis triggers that exhausted their retry budget");
+  superseded_triggers_ = &metrics->counter(
+      "aero_superseded_triggers_total",
+      "triggers whose payload was replaced by fresher upstream data");
+  deferred_triggers_ = &metrics->counter(
+      "aero_deferred_triggers_total",
+      "triggers deferred because a circuit breaker was open");
+  stale_serves_ = &metrics->counter("aero_stale_serves_total",
+                                    "serve_latest calls answered stale");
+}
 
 IngestionHandles AeroServer::register_ingestion(IngestionFlowSpec spec) {
   OSPREY_REQUIRE(spec.source != nullptr, "ingestion needs a data source");
@@ -166,13 +203,13 @@ std::vector<std::string> AeroServer::register_analysis(AnalysisFlowSpec spec) {
 
 void AeroServer::poll_ingestion(std::size_t index) {
   Ingestion& ing = ingestions_[index];
-  ++polls_;
+  polls_->inc();
   // Injected upstream outage: the source is unreachable for the whole
   // window, so every poll inside it is one failed fetch.
   if (plan_ != nullptr &&
       plan_->in_window(fabric::FaultKind::kSourceOutage, "aero",
                        ing.spec.name, loop_.now())) {
-    ++fetch_errors_;
+    fetch_errors_->inc();
     OSPREY_LOG_WARN("aero", "fetch failed for '" << ing.spec.name
                             << "': upstream outage (injected)");
     return;
@@ -183,7 +220,7 @@ void AeroServer::poll_ingestion(std::size_t index) {
   try {
     payload = ing.spec.source->fetch(loop_.now());
   } catch (const std::exception& e) {
-    ++fetch_errors_;
+    fetch_errors_->inc();
     OSPREY_LOG_WARN("aero", "fetch failed for '" << ing.spec.name
                             << "': " << e.what());
     return;
@@ -192,14 +229,19 @@ void AeroServer::poll_ingestion(std::size_t index) {
   std::string checksum = osprey::crypto::Sha256::hash_hex(*payload);
   if (checksum == ing.last_checksum) return;  // no upstream change
 
-  ++updates_detected_;
+  updates_detected_->inc();
   ing.last_checksum = checksum;
+  if (tracer_ != nullptr) {
+    tracer_->instant(obs::Category::kAero, "update:" + ing.spec.name,
+                     obs::sim_ns(loop_.now()), obs::kNoSpan,
+                     "checksum " + checksum.substr(0, 12));
+  }
   OSPREY_LOG_INFO("aero", "update detected for '" << ing.spec.name << "' at "
                           << osprey::util::format_sim_time(loop_.now()));
   if (ing.running) {
     // A new upstream version arrived mid-run; remember the freshest one.
     if (ing.pending) {
-      ++superseded_triggers_;
+      superseded_triggers_->inc();
       record_incident(fabric::IncidentCategory::kRecovery,
                       "trigger-superseded", ing.spec.name,
                       "queued payload replaced by fresher upstream data");
@@ -211,9 +253,9 @@ void AeroServer::poll_ingestion(std::size_t index) {
   if (!ing.breaker.allow(loop_.now())) {
     // Circuit open: park the payload and probe when the breaker is
     // willing to admit traffic again.
-    ++deferred_triggers_;
+    deferred_triggers_->inc();
     if (ing.pending) {
-      ++superseded_triggers_;
+      superseded_triggers_->inc();
       record_incident(fabric::IncidentCategory::kRecovery,
                       "trigger-superseded", ing.spec.name,
                       "deferred payload replaced by fresher upstream data");
@@ -237,7 +279,15 @@ void AeroServer::run_ingestion_flow(std::size_t index, std::string payload,
   Ingestion& ing = ingestions_[index];
   ing.running = true;
   ing.current_payload = payload;  // kept in case the run must be retried
-  ++ingestion_runs_;
+  ingestion_runs_->inc();
+  if (tracer_ != nullptr) {
+    // Top-level span for the whole ingest run; the wrapped flow and its
+    // steps (and their transfers/compute tasks) nest underneath.
+    ing.span = tracer_->begin_span(obs::Category::kAero,
+                                   "ingest:" + ing.spec.name,
+                                   obs::sim_ns(loop_.now()), obs::kNoSpan,
+                                   trigger);
+  }
 
   const IngestionFlowSpec& spec = ing.spec;
   std::string raw_path = spec.base_path + "/raw";
@@ -342,11 +392,25 @@ void AeroServer::run_ingestion_flow(std::size_t index, std::string payload,
         done(true, "");
       }});
 
+  // The flow span (and everything the steps submit) nests under the
+  // ingest span.
+  obs::CurrentSpanGuard ingest_guard(ing.span);
   flows_.run(flow, token_,
              [this, index, run_id](const fabric::FlowRunRecord& rec,
                                    const Value&) {
                Ingestion& ing2 = ingestions_[index];
                bool ok = rec.status == fabric::FlowRunStatus::kSucceeded;
+               // Incidents recorded below correlate with this run's span.
+               obs::CurrentSpanGuard run_guard(ing2.span);
+               if (tracer_ != nullptr) {
+                 std::string err;
+                 for (const fabric::StepRecord& sr : rec.steps) {
+                   if (!sr.ok && !sr.error.empty()) err = sr.error;
+                 }
+                 tracer_->end_span(ing2.span, obs::sim_ns(loop_.now()), ok,
+                                   err);
+                 ing2.span = obs::kNoSpan;
+               }
                std::vector<VersionRef> outputs;
                if (ok) {
                  outputs.push_back(VersionRef{
@@ -355,7 +419,7 @@ void AeroServer::run_ingestion_flow(std::size_t index, std::string payload,
                      VersionRef{ing2.output_uuid,
                                 db_.latest_version_number(ing2.output_uuid)});
                } else {
-                 ++failed_runs_;
+                 failed_runs_->inc();
                }
                db_.finish_run(run_id,
                               ok ? RunStatus::kSucceeded : RunStatus::kFailed,
@@ -372,7 +436,7 @@ void AeroServer::run_ingestion_flow(std::size_t index, std::string payload,
                           !ing2.pending) {
                  // Retry the same payload after a (jittered) backoff.
                  ++ing2.attempts;
-                 ++retries_;
+                 retries_->inc();
                  int attempt = ing2.attempts;
                  std::uint64_t gen = ing2.trigger_gen;
                  SimTime delay = ing2.retry.jittered(attempt, ing2.retry_key);
@@ -389,13 +453,13 @@ void AeroServer::run_ingestion_flow(std::size_t index, std::string payload,
                  if (ing2.pending) {
                    // The failed payload is obsolete: fresher upstream
                    // data is queued and takes over below.
-                   ++superseded_triggers_;
+                   superseded_triggers_->inc();
                    record_incident(
                        fabric::IncidentCategory::kRecovery,
                        "trigger-superseded", ing2.spec.name,
                        "failed payload replaced by fresher upstream data");
                  } else {
-                   ++ingestion_permanent_;
+                   ingestion_permanent_->inc();
                    mark_degraded({ing2.output_uuid}, ing2.spec.name,
                                  "ingestion '" + ing2.spec.name +
                                      "' exhausted its retry budget");
@@ -405,7 +469,7 @@ void AeroServer::run_ingestion_flow(std::size_t index, std::string payload,
                Ingestion& ing3 = ingestions_[index];
                if (ing3.pending) {
                  if (!ing3.breaker.allow(loop_.now())) {
-                   ++deferred_triggers_;
+                   deferred_triggers_->inc();
                    record_incident(
                        fabric::IncidentCategory::kDegraded,
                        "trigger-deferred", ing3.spec.name,
@@ -434,7 +498,7 @@ void AeroServer::fire_ingestion_retry(std::size_t index, int attempt,
   if (gen != ing.trigger_gen || ing.running) {
     // A fresh trigger took over while this retry waited; its payload
     // will never publish.
-    ++superseded_triggers_;
+    superseded_triggers_->inc();
     record_incident(fabric::IncidentCategory::kRecovery,
                     "trigger-superseded", ing.spec.name,
                     "retry " + std::to_string(attempt) +
@@ -511,14 +575,14 @@ void AeroServer::on_version_added(const std::string& uuid,
     }
     if (!is_input) continue;
     if (!analysis_ready(analysis)) continue;
-    ++analysis_triggers_;
+    analysis_triggers_->inc();
     if (analysis.running) {
       analysis.pending = true;
       analysis.pending_cause = cause;
       continue;
     }
     if (!analysis.breaker.allow(loop_.now())) {
-      ++deferred_triggers_;
+      deferred_triggers_->inc();
       analysis.pending = true;
       analysis.pending_cause = cause;
       record_incident(fabric::IncidentCategory::kDegraded, "trigger-deferred",
@@ -539,7 +603,12 @@ void AeroServer::run_analysis_flow(std::size_t index,
                                    const std::string& trigger) {
   Analysis& analysis = analyses_[index];
   analysis.running = true;
-  ++analysis_runs_;
+  analysis_runs_->inc();
+  if (tracer_ != nullptr) {
+    analysis.span = tracer_->begin_span(
+        obs::Category::kAero, "analyze:" + analysis.spec.name,
+        obs::sim_ns(loop_.now()), obs::kNoSpan, trigger);
+  }
 
   const AnalysisFlowSpec& spec = analysis.spec;
 
@@ -690,18 +759,29 @@ void AeroServer::run_analysis_flow(std::size_t index,
         done(true, "");
       }});
 
+  obs::CurrentSpanGuard analyze_guard(analysis.span);
   flows_.run(
       flow, token_,
       [this, index, run_id](const fabric::FlowRunRecord& rec, const Value&) {
         Analysis& a = analyses_[index];
         bool ok = rec.status == fabric::FlowRunStatus::kSucceeded;
+        // Incidents recorded below correlate with this run's span.
+        obs::CurrentSpanGuard run_guard(a.span);
+        if (tracer_ != nullptr) {
+          std::string err;
+          for (const fabric::StepRecord& sr : rec.steps) {
+            if (!sr.ok && !sr.error.empty()) err = sr.error;
+          }
+          tracer_->end_span(a.span, obs::sim_ns(loop_.now()), ok, err);
+          a.span = obs::kNoSpan;
+        }
         std::vector<VersionRef> outs;
         if (ok) {
           for (const std::string& uuid : a.output_uuids) {
             outs.push_back(VersionRef{uuid, db_.latest_version_number(uuid)});
           }
         } else {
-          ++failed_runs_;
+          failed_runs_->inc();
         }
         db_.finish_run(run_id, ok ? RunStatus::kSucceeded : RunStatus::kFailed,
                        outs, loop_.now());
@@ -717,7 +797,7 @@ void AeroServer::run_analysis_flow(std::size_t index,
           }
         } else if (a.attempts < a.retry.max_attempts && !a.pending) {
           ++a.attempts;
-          ++retries_;
+          retries_->inc();
           int attempt = a.attempts;
           std::uint64_t gen = a.trigger_gen;
           SimTime delay = a.retry.jittered(attempt, a.retry_key);
@@ -730,7 +810,7 @@ void AeroServer::run_analysis_flow(std::size_t index,
           });
           return;
         } else if (!ok && !a.pending) {
-          ++analysis_permanent_;
+          analysis_permanent_->inc();
           mark_degraded(a.output_uuids, a.spec.name,
                         "analysis '" + a.spec.name +
                             "' exhausted its retry budget");
@@ -738,7 +818,7 @@ void AeroServer::run_analysis_flow(std::size_t index,
         Analysis& a2 = analyses_[index];
         if (a2.pending && analysis_ready(a2)) {
           if (!a2.breaker.allow(loop_.now())) {
-            ++deferred_triggers_;
+            deferred_triggers_->inc();
             record_incident(fabric::IncidentCategory::kDegraded,
                             "trigger-deferred", a2.spec.name,
                             "circuit open; probe at " +
@@ -819,7 +899,7 @@ AeroServer::ServedEstimate AeroServer::serve_latest(const std::string& uuid) {
     est.reason = "no version published yet";
   }
   if (est.stale) {
-    ++stale_serves_;
+    stale_serves_->inc();
     record_incident(fabric::IncidentCategory::kDegraded, "stale-serve", uuid,
                     est.reason);
   }
@@ -830,6 +910,15 @@ void AeroServer::record_incident(fabric::IncidentCategory category,
                                  const std::string& kind,
                                  const std::string& site,
                                  const std::string& detail) {
+  if (tracer_ != nullptr) {
+    // The instant's parent is the in-flight run span (when recorded from
+    // a run completion callback), correlating IncidentLog entries with
+    // trace spans. IncidentLog itself is untouched: chaos replay tests
+    // compare its rendered bytes.
+    tracer_->instant(obs::Category::kAero, "incident:" + kind,
+                     obs::sim_ns(loop_.now()), obs::kInheritParent,
+                     site + ": " + detail);
+  }
   if (incidents_ == nullptr) return;
   incidents_->record(loop_.now(), category, kind, "aero", site, detail);
 }

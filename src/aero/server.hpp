@@ -33,6 +33,8 @@
 #include "fabric/storage.hpp"
 #include "fabric/timer.hpp"
 #include "fabric/transfer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/retry.hpp"
 #include "util/value.hpp"
 
@@ -113,10 +115,13 @@ class AeroServer {
  public:
   /// The server authenticates to the fabric as `identity` (a full-scope
   /// token is issued at construction). Collections the flows touch must
-  /// be readable/writable by this identity.
+  /// be readable/writable by this identity. The Figure-1 counters live
+  /// in `metrics` (non-owning); when nullptr the server owns a private
+  /// registry, so standalone construction keeps working.
   AeroServer(fabric::EventLoop& loop, fabric::AuthService& auth,
              fabric::TimerService& timers, fabric::TransferService& transfers,
-             fabric::FlowsService& flows, std::string identity = "aero");
+             fabric::FlowsService& flows, std::string identity = "aero",
+             obs::MetricsRegistry* metrics = nullptr);
 
   AeroServer(const AeroServer&) = delete;
   AeroServer& operator=(const AeroServer&) = delete;
@@ -147,6 +152,17 @@ class AeroServer {
   /// nullptr detaches).
   void set_incident_log(fabric::IncidentLog* log) { incidents_ = log; }
 
+  /// Attach a trace recorder (non-owning; nullptr detaches). Every
+  /// ingestion/analysis run becomes an "ingest:"/"analyze:" span (the
+  /// wrapped flow and its steps nest underneath), update detections and
+  /// incidents become instant events correlated by parent span id.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
+  /// The registry holding the server's counters (owned fallback or the
+  /// one passed at construction).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
   /// Graceful degradation: the last good version of a data object,
   /// flagged stale when its producing flow is currently failing (or it
   /// has never published). Stakeholders always get an answer plus an
@@ -169,31 +185,38 @@ class AeroServer {
   const std::string& identity() const { return identity_; }
   const std::string& token() const { return token_; }
 
-  // --- counters for the Figure-1 trace tables ---
-  std::uint64_t polls() const { return polls_; }
-  std::uint64_t updates_detected() const { return updates_detected_; }
-  std::uint64_t ingestion_runs() const { return ingestion_runs_; }
-  std::uint64_t analysis_triggers() const { return analysis_triggers_; }
-  std::uint64_t analysis_runs() const { return analysis_runs_; }
-  std::uint64_t failed_runs() const { return failed_runs_; }
-  std::uint64_t retries() const { return retries_; }
-  std::uint64_t fetch_errors() const { return fetch_errors_; }
+  // --- counters for the Figure-1 trace tables (backed by the
+  // MetricsRegistry under aero_* metric names) ---
+  std::uint64_t polls() const { return polls_->value(); }
+  std::uint64_t updates_detected() const { return updates_detected_->value(); }
+  std::uint64_t ingestion_runs() const { return ingestion_runs_->value(); }
+  std::uint64_t analysis_triggers() const {
+    return analysis_triggers_->value();
+  }
+  std::uint64_t analysis_runs() const { return analysis_runs_->value(); }
+  std::uint64_t failed_runs() const { return failed_runs_->value(); }
+  std::uint64_t retries() const { return retries_->value(); }
+  std::uint64_t fetch_errors() const { return fetch_errors_->value(); }
   /// Triggers whose retry budget was exhausted (flow gave up).
   std::uint64_t permanent_failures() const {
-    return ingestion_permanent_ + analysis_permanent_;
+    return ingestion_permanent_->value() + analysis_permanent_->value();
   }
   std::uint64_t ingestion_permanent_failures() const {
-    return ingestion_permanent_;
+    return ingestion_permanent_->value();
   }
   std::uint64_t analysis_permanent_failures() const {
-    return analysis_permanent_;
+    return analysis_permanent_->value();
   }
   /// Ingestion triggers whose payload was replaced by fresher upstream
   /// data before it could publish.
-  std::uint64_t superseded_triggers() const { return superseded_triggers_; }
+  std::uint64_t superseded_triggers() const {
+    return superseded_triggers_->value();
+  }
   /// Triggers deferred because a circuit breaker was open.
-  std::uint64_t deferred_triggers() const { return deferred_triggers_; }
-  std::uint64_t stale_serves() const { return stale_serves_; }
+  std::uint64_t deferred_triggers() const {
+    return deferred_triggers_->value();
+  }
+  std::uint64_t stale_serves() const { return stale_serves_->value(); }
 
  private:
   struct Ingestion {
@@ -217,6 +240,8 @@ class AeroServer {
     /// Bumped on every fresh trigger so a stale retry timer (scheduled
     /// for a previous trigger) can recognize it was superseded.
     std::uint64_t trigger_gen = 0;
+    /// Span of the in-flight "ingest:<name>" run (kNoSpan when idle).
+    obs::SpanId span = obs::kNoSpan;
   };
 
   struct Analysis {
@@ -232,6 +257,8 @@ class AeroServer {
     osprey::util::CircuitBreaker breaker;
     std::uint64_t retry_key = 0;
     std::uint64_t trigger_gen = 0;
+    /// Span of the in-flight "analyze:<name>" run (kNoSpan when idle).
+    obs::SpanId span = obs::kNoSpan;
   };
 
   void poll_ingestion(std::size_t index);
@@ -277,19 +304,26 @@ class AeroServer {
   std::vector<Ingestion> ingestions_;
   std::vector<Analysis> analyses_;
 
-  std::uint64_t polls_ = 0;
-  std::uint64_t updates_detected_ = 0;
-  std::uint64_t ingestion_runs_ = 0;
-  std::uint64_t analysis_triggers_ = 0;
-  std::uint64_t analysis_runs_ = 0;
-  std::uint64_t failed_runs_ = 0;
-  std::uint64_t retries_ = 0;
-  std::uint64_t fetch_errors_ = 0;
-  std::uint64_t ingestion_permanent_ = 0;
-  std::uint64_t analysis_permanent_ = 0;
-  std::uint64_t superseded_triggers_ = 0;
-  std::uint64_t deferred_triggers_ = 0;
-  std::uint64_t stale_serves_ = 0;
+  /// Fallback registry when none is injected at construction.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
+
+  // Figure-1 counters, bound once in the constructor. Non-owning; the
+  // registry outlives them by construction.
+  obs::Counter* polls_ = nullptr;
+  obs::Counter* updates_detected_ = nullptr;
+  obs::Counter* ingestion_runs_ = nullptr;
+  obs::Counter* analysis_triggers_ = nullptr;
+  obs::Counter* analysis_runs_ = nullptr;
+  obs::Counter* failed_runs_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* fetch_errors_ = nullptr;
+  obs::Counter* ingestion_permanent_ = nullptr;
+  obs::Counter* analysis_permanent_ = nullptr;
+  obs::Counter* superseded_triggers_ = nullptr;
+  obs::Counter* deferred_triggers_ = nullptr;
+  obs::Counter* stale_serves_ = nullptr;
 
   fabric::FaultPlan* plan_ = nullptr;
   fabric::IncidentLog* incidents_ = nullptr;

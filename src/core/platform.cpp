@@ -9,7 +9,14 @@ OspreyPlatform::OspreyPlatform()
       timers_(loop_, auth_),
       transfers_(loop_, auth_),
       flows_(loop_, auth_),
-      aero_(loop_, auth_, timers_, transfers_, flows_) {}
+      aero_(loop_, auth_, timers_, transfers_, flows_, "aero", &metrics_) {
+  timers_.set_tracer(&tracer_);
+  transfers_.set_tracer(&tracer_);
+  transfers_.set_metrics(&metrics_);
+  flows_.set_tracer(&tracer_);
+  aero_.set_tracer(&tracer_);
+  task_db_.set_tracer(&tracer_);
+}
 
 fabric::StorageEndpoint& OspreyPlatform::add_storage_endpoint(
     const std::string& name) {
@@ -29,6 +36,8 @@ fabric::BatchScheduler& OspreyPlatform::add_scheduler(const std::string& name,
   auto s = std::make_unique<fabric::BatchScheduler>(loop_, nodes, name);
   fabric::BatchScheduler& ref = *s;
   ref.set_fault_plan(plan_);
+  ref.set_tracer(&tracer_);
+  ref.set_metrics(&metrics_);
   schedulers_.emplace(name, std::move(s));
   return ref;
 }
@@ -41,6 +50,8 @@ fabric::ComputeEndpoint& OspreyPlatform::add_login_endpoint(
                                                       slots);
   fabric::ComputeEndpoint& ref = *ep;
   ref.set_fault_plan(plan_);
+  ref.set_tracer(&tracer_);
+  ref.set_metrics(&metrics_);
   compute_.emplace(name, std::move(ep));
   return ref;
 }
@@ -53,6 +64,8 @@ fabric::ComputeEndpoint& OspreyPlatform::add_batch_endpoint(
       std::make_unique<fabric::ComputeEndpoint>(name, loop_, auth_, sched);
   fabric::ComputeEndpoint& ref = *ep;
   ref.set_fault_plan(plan_);
+  ref.set_tracer(&tracer_);
+  ref.set_metrics(&metrics_);
   compute_.emplace(name, std::move(ep));
   return ref;
 }

@@ -20,6 +20,8 @@
 #include "fabric/storage.hpp"
 #include "fabric/timer.hpp"
 #include "fabric/transfer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace osprey::core {
 
@@ -55,6 +57,16 @@ class OspreyPlatform {
   aero::AeroServer& aero() { return aero_; }
   emews::TaskDb& task_db() { return task_db_; }
 
+  // --- observability ---
+  /// The platform-wide trace recorder. Every fabric service, the AERO
+  /// server and the EMEWS task database record into it; timestamps are
+  /// simulated time, so replays of the same seed yield identical traces.
+  obs::TraceRecorder& tracer() { return tracer_; }
+  const obs::TraceRecorder& tracer() const { return tracer_; }
+  /// The platform-wide metrics registry (fabric_* and aero_* metrics).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   /// Attach a chaos FaultPlan (non-owning) to every fabric service and
   /// the AERO server — including endpoints/schedulers added later.
   /// Pass nullptr to detach everywhere.
@@ -70,6 +82,10 @@ class OspreyPlatform {
   void run_until(fabric::SimTime t);
 
  private:
+  // Declared before the services so it outlives everything tracing
+  // into it (and so aero_ can take &metrics_ at construction).
+  obs::TraceRecorder tracer_;
+  obs::MetricsRegistry metrics_;
   fabric::EventLoop loop_;
   fabric::AuthService auth_;
   fabric::TimerService timers_;

@@ -48,7 +48,13 @@ GsaUseCaseResult GsaUseCase::run() {
     instances.push_back(coop);
     driver.add(coop);
   }
+  // One span covers the interleaved ME drive; task spans (recorded by
+  // the TaskDb on the same clock) fall inside it.
+  obs::SpanId run_span = platform_.tracer().begin_span(
+      obs::Category::kGsa, "gsa:music-run", db.clock().now_ns(),
+      obs::kNoSpan, std::to_string(config_.n_replicates) + " replicate(s)");
   driver.run();
+  platform_.tracer().end_span(run_span, db.clock().now_ns());
 
   // --- finalization: close the queue, stop the worker pool ---
   GsaUseCaseResult result;

@@ -396,12 +396,21 @@ void WastewaterUseCase::build() {
   agg.retry = config_.retry;
   agg.breaker = config_.breaker;
   aggregate_outputs_ = platform_.aero().register_analysis(std::move(agg));
+
+  platform_.tracer().instant(
+      obs::Category::kOther, "usecase:ww-built",
+      obs::sim_ns(platform_.loop().now()), obs::kNoSpan,
+      std::to_string(plants.size()) + " plant(s), " +
+          std::to_string(config_.horizon_days) + " day horizon");
 }
 
 void WastewaterUseCase::run_to_end() {
   OSPREY_REQUIRE(built_, "run before build()");
   // One extra day absorbs queue waits and the aggregation tail.
   platform_.run_days(config_.horizon_days + 2);
+  platform_.tracer().instant(obs::Category::kOther, "usecase:ww-done",
+                             obs::sim_ns(platform_.loop().now()),
+                             obs::kNoSpan);
 }
 
 rt::RtSeries WastewaterUseCase::read_series(const std::string& uuid) const {

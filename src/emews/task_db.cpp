@@ -40,6 +40,11 @@ TaskId TaskDb::submit(const std::string& type, osprey::util::Value payload,
   rec.payload = std::move(payload);
   rec.priority = priority;
   rec.submitted_ns = clock_->now_ns();
+  if (tracer_ != nullptr) {
+    tracer_->instant(obs::Category::kEmews, "submit:" + type,
+                     rec.submitted_ns, obs::kNoSpan,
+                     "task " + std::to_string(id));
+  }
   tasks_.push_back(std::move(rec));
   queues_[type][priority].push_back(id);
   queue_cv_.notify_one();
@@ -59,6 +64,11 @@ std::optional<TaskId> TaskDb::claim_locked(const std::string& type,
   rec.status = TaskStatus::kRunning;
   rec.worker = worker;
   rec.started_ns = clock_->now_ns();
+  if (tracer_ != nullptr) {
+    rec.trace_span = tracer_->begin_span(
+        obs::Category::kEmews, "task:" + rec.type, rec.started_ns,
+        obs::kNoSpan, "task " + std::to_string(id) + " on " + worker);
+  }
   return id;
 }
 
@@ -104,6 +114,15 @@ void TaskDb::finish_locked(TaskId id, TaskStatus status) {
   TaskRecord& rec = record_locked(id);
   rec.status = status;
   rec.completed_ns = clock_->now_ns();
+  if (tracer_ != nullptr && rec.trace_span != obs::kNoSpan) {
+    tracer_->end_span(rec.trace_span, rec.completed_ns,
+                      status == TaskStatus::kComplete,
+                      status == TaskStatus::kComplete
+                          ? std::string()
+                          : (rec.error.empty() ? task_status_name(status)
+                                               : rec.error));
+    rec.trace_span = obs::kNoSpan;
+  }
   ++finished_;
   done_cv_.notify_all();
 }
@@ -152,6 +171,11 @@ bool TaskDb::requeue(TaskId id) {
   if (closed_) return false;
   TaskRecord& rec = record_locked(id);
   if (rec.status != TaskStatus::kRunning) return false;
+  if (tracer_ != nullptr && rec.trace_span != obs::kNoSpan) {
+    // The attempt's span closes here; the next claim opens a fresh one.
+    tracer_->end_span(rec.trace_span, clock_->now_ns(), false, "requeued");
+    rec.trace_span = obs::kNoSpan;
+  }
   rec.status = TaskStatus::kQueued;
   rec.worker.clear();
   rec.started_ns = 0;
@@ -240,6 +264,16 @@ void TaskDb::close() {
 bool TaskDb::closed() const {
   MutexLock lock(mutex_);
   return closed_;
+}
+
+void TaskDb::set_tracer(obs::TraceRecorder* tracer) {
+  MutexLock lock(mutex_);
+  tracer_ = tracer;
+}
+
+obs::TraceRecorder* TaskDb::tracer() const {
+  MutexLock lock(mutex_);
+  return tracer_;
 }
 
 }  // namespace osprey::emews

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/annotations.hpp"
 #include "util/clock.hpp"
 #include "util/mutex.hpp"
@@ -53,6 +54,8 @@ struct TaskRecord {
   std::uint64_t submitted_ns = 0;
   std::uint64_t started_ns = 0;
   std::uint64_t completed_ns = 0;
+  /// Lifecycle span from claim to completion (kNoSpan without a tracer).
+  obs::SpanId trace_span = obs::kNoSpan;
 };
 
 /// The task database.
@@ -123,6 +126,13 @@ class TaskDb {
   void close();
   bool closed() const;
 
+  /// Attach a trace recorder (non-owning; nullptr detaches). Submissions
+  /// become "submit:<type>" instants; each claim opens a "task:<type>"
+  /// span that closes on complete/fail/requeue. Timestamps come from
+  /// this database's injected clock.
+  void set_tracer(obs::TraceRecorder* tracer);
+  obs::TraceRecorder* tracer() const;
+
  private:
   TaskRecord& record_locked(TaskId id) OSPREY_REQUIRES(mutex_);
   const TaskRecord& record_locked(TaskId id) const OSPREY_REQUIRES(mutex_);
@@ -143,6 +153,7 @@ class TaskDb {
       queues_ OSPREY_GUARDED_BY(mutex_);
   std::uint64_t finished_ OSPREY_GUARDED_BY(mutex_) = 0;
   bool closed_ OSPREY_GUARDED_BY(mutex_) = false;
+  obs::TraceRecorder* tracer_ OSPREY_GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace osprey::emews

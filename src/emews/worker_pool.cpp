@@ -27,6 +27,12 @@ WorkerPool::WorkerPool(TaskDb& db, std::string task_type, ModelFn model,
       task_counts_(n_workers == 0 ? 1 : n_workers),
       start_ns_(db.clock().now_ns()) {
   if (n_workers == 0) n_workers = 1;
+  if (obs::TraceRecorder* tracer = db_.tracer()) {
+    tracer->instant(obs::Category::kEmews, "pool-start:" + name_, start_ns_,
+                    obs::kNoSpan,
+                    std::to_string(n_workers) + " worker(s) on '" + type_ +
+                        "'");
+  }
   threads_.reserve(n_workers);
   for (std::size_t i = 0; i < n_workers; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -96,6 +102,11 @@ void WorkerPool::shutdown() {
     if (t.joinable()) t.join();
   }
   end_ns_.store(now_ns());
+  if (obs::TraceRecorder* tracer = db_.tracer()) {
+    tracer->instant(obs::Category::kEmews, "pool-stop:" + name_,
+                    end_ns_.load(), obs::kNoSpan,
+                    std::to_string(evaluated_.load()) + " task(s) evaluated");
+  }
   OSPREY_LOG_INFO("emews", "worker pool '" << name_ << "' stopped after "
                            << evaluated_.load() << " task(s)");
 }

@@ -46,6 +46,40 @@ bool ComputeEndpoint::has_function(const std::string& function_id) const {
   return functions_.count(function_id) > 0;
 }
 
+void ComputeEndpoint::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_succeeded_ = nullptr;
+    m_failed_ = nullptr;
+    m_latency_ = nullptr;
+    return;
+  }
+  m_succeeded_ = &metrics->counter("fabric_compute_tasks_succeeded_total",
+                                   "compute tasks that ran to completion");
+  m_failed_ = &metrics->counter(
+      "fabric_compute_tasks_failed_total",
+      "compute tasks that failed (outage, kill, walltime, error)");
+  m_latency_ = &metrics->histogram(
+      "fabric_compute_task_latency_ms",
+      {1e3, 10e3, 60e3, 600e3, 3.6e6, 14.4e6},
+      "submission-to-completion virtual latency per compute task (ms)");
+}
+
+void ComputeEndpoint::finish_obs(const ComputeTaskRecord& rec) {
+  const bool ok = rec.status == ComputeTaskStatus::kSucceeded;
+  if (tracer_ != nullptr) {
+    tracer_->end_span(rec.trace_span, obs::sim_ns(rec.completed), ok,
+                      rec.error);
+  }
+  if (ok) {
+    if (m_succeeded_ != nullptr) m_succeeded_->inc();
+  } else if (m_failed_ != nullptr) {
+    m_failed_->inc();
+  }
+  if (m_latency_ != nullptr && rec.completed >= rec.submitted) {
+    m_latency_->observe(static_cast<double>(rec.completed - rec.submitted));
+  }
+}
+
 ComputeTaskId ComputeEndpoint::execute(const std::string& function_id,
                                        Value args, const std::string& token,
                                        Callback on_done) {
@@ -61,6 +95,12 @@ ComputeTaskId ComputeEndpoint::execute(const std::string& function_id,
   rec.endpoint = name_;
   rec.submitted = loop_.now();
   records_.push_back(rec);
+  if (tracer_ != nullptr) {
+    records_[id].trace_span = tracer_->begin_span(
+        obs::Category::kCompute, "compute:" + records_[id].function_name,
+        obs::sim_ns(rec.submitted), obs::kInheritParent,
+        name_ + (kind_ == EndpointKind::kBatch ? " (batch)" : " (login)"));
+  }
 
   if (plan_ != nullptr &&
       plan_->in_window(FaultKind::kEndpointOutage, "compute", name_,
@@ -75,6 +115,7 @@ ComputeTaskId ComputeEndpoint::execute(const std::string& function_id,
                            r.error = "endpoint unreachable (outage)";
                            r.completed = loop_.now();
                            ++completed_;
+                           finish_obs(r);
                            if (cb) cb(Value(nullptr), r);
                          });
     return id;
@@ -156,6 +197,7 @@ SimTime ComputeEndpoint::execute_body(PendingTask& task, SimTime limit) {
                          ComputeTaskRecord& r = records_[id];
                          r.completed = loop_.now();
                          ++completed_;
+                         finish_obs(r);
                          if (cb) cb(result, r);
                        });
   return duration;

@@ -26,6 +26,8 @@
 #include "fabric/event_loop.hpp"
 #include "fabric/fault.hpp"
 #include "fabric/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/uuid.hpp"
 #include "util/value.hpp"
 
@@ -51,6 +53,7 @@ struct ComputeTaskRecord {
   SimTime completed = -1;
   ComputeTaskStatus status = ComputeTaskStatus::kPending;
   std::string error;
+  obs::SpanId trace_span = obs::kNoSpan;
 };
 
 enum class EndpointKind { kLoginNode, kBatch };
@@ -73,6 +76,15 @@ class ComputeEndpoint {
   /// can kill tasks mid-run (walltime-style) and declare outage windows
   /// during which submissions fail fast ("endpoint unreachable").
   void set_fault_plan(FaultPlan* plan) { plan_ = plan; }
+
+  /// Attach a trace recorder (non-owning; nullptr detaches). Each task
+  /// becomes a span from submission to completion (queue wait included),
+  /// parented to the submitting thread's current span.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
+  /// Bind task counters and the end-to-end latency histogram to
+  /// `metrics` (non-owning; nullptr detaches).
+  void set_metrics(obs::MetricsRegistry* metrics);
 
   /// Walltime requested for each batch job (batch endpoints only).
   /// Tasks whose declared cost exceeds it are killed by the scheduler
@@ -136,7 +148,15 @@ class ComputeEndpoint {
   std::map<std::string, Registered> functions_;  // id -> registration
   std::vector<ComputeTaskRecord> records_;
   std::deque<PendingTask> login_queue_;
+  // osprey-lint: allow(adhoc-counter) grandfathered pre-obs counter
   std::size_t completed_ = 0;
+  obs::TraceRecorder* tracer_ = nullptr;
+  obs::Counter* m_succeeded_ = nullptr;
+  obs::Counter* m_failed_ = nullptr;
+  obs::Histogram* m_latency_ = nullptr;
+
+  /// Ends the span and bumps metrics when a task record completes.
+  void finish_obs(const ComputeTaskRecord& rec);
 };
 
 }  // namespace osprey::fabric

@@ -62,6 +62,7 @@ class EventLoop {
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  // osprey-lint: allow(adhoc-counter) grandfathered pre-obs counter
   std::uint64_t processed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
   // Live callbacks; cancellation erases the entry, leaving a tombstone in

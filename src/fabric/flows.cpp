@@ -21,6 +21,10 @@ FlowRunId FlowsService::run(const FlowDefinition& flow,
   rec.flow_name = flow.name;
   rec.started = loop_.now();
   records_.push_back(rec);
+  if (tracer_ != nullptr) {
+    records_[id].trace_span = tracer_->begin_span(
+        obs::Category::kFlow, "flow:" + flow.name, obs::sim_ns(rec.started));
+  }
 
   auto active = std::make_shared<ActiveRun>();
   active->flow = flow;
@@ -40,7 +44,13 @@ void FlowsService::advance(std::shared_ptr<ActiveRun> run) {
   }
   std::size_t step_index = run->next_step++;
   const FlowStep& step = run->flow.steps[step_index];
-  rec.steps.push_back(StepRecord{step.name, loop_.now(), -1, false, ""});
+  rec.steps.push_back(
+      StepRecord{step.name, loop_.now(), -1, false, "", obs::kNoSpan});
+  if (tracer_ != nullptr) {
+    rec.steps.back().trace_span = tracer_->begin_span(
+        obs::Category::kFlow, "step:" + step.name, obs::sim_ns(loop_.now()),
+        rec.trace_span, rec.flow_name);
+  }
   OSPREY_LOG_DEBUG("flows", rec.flow_name << " step '" << step.name << "'");
 
   // The completion continuation may fire later in virtual time.
@@ -50,6 +60,9 @@ void FlowsService::advance(std::shared_ptr<ActiveRun> run) {
     sr.ended = loop_.now();
     sr.ok = ok;
     sr.error = error;
+    if (tracer_ != nullptr) {
+      tracer_->end_span(sr.trace_span, obs::sim_ns(sr.ended), ok, error);
+    }
     if (!ok) {
       OSPREY_LOG_WARN("flows", r.flow_name << " step '" << sr.name
                                            << "' failed: " << error);
@@ -61,6 +74,9 @@ void FlowsService::advance(std::shared_ptr<ActiveRun> run) {
 
   auto invoke = [this, run, step_index, done] {
     const FlowStep& s = run->flow.steps[step_index];
+    // Transfers/compute submitted by the step body nest under its span.
+    obs::CurrentSpanGuard span_guard(
+        records_[run->context.run_id].steps[step_index].trace_span);
     try {
       s.fn(run->context, done);
     } catch (const std::exception& e) {
@@ -83,6 +99,10 @@ void FlowsService::finish(std::shared_ptr<ActiveRun> run,
   FlowRunRecord& rec = records_[run->context.run_id];
   rec.status = status;
   rec.ended = loop_.now();
+  if (tracer_ != nullptr) {
+    tracer_->end_span(rec.trace_span, obs::sim_ns(rec.ended),
+                      status == FlowRunStatus::kSucceeded);
+  }
   if (status == FlowRunStatus::kSucceeded) ++succeeded_;
   if (run->on_done) run->on_done(rec, run->context.state);
 }

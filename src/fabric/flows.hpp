@@ -15,6 +15,7 @@
 #include "fabric/auth.hpp"
 #include "fabric/event_loop.hpp"
 #include "fabric/fault.hpp"
+#include "obs/trace.hpp"
 #include "util/value.hpp"
 
 namespace osprey::fabric {
@@ -29,6 +30,7 @@ struct StepRecord {
   SimTime ended = -1;
   bool ok = false;
   std::string error;
+  obs::SpanId trace_span = obs::kNoSpan;
 };
 
 struct FlowRunRecord {
@@ -38,6 +40,7 @@ struct FlowRunRecord {
   SimTime ended = -1;
   FlowRunStatus status = FlowRunStatus::kRunning;
   std::vector<StepRecord> steps;
+  obs::SpanId trace_span = obs::kNoSpan;
 };
 
 /// Mutable state shared by the steps of one flow run.
@@ -72,6 +75,11 @@ class FlowsService {
   /// can delay individual step starts by its stall_delay.
   void set_fault_plan(FaultPlan* plan) { plan_ = plan; }
 
+  /// Attach a trace recorder (non-owning; nullptr detaches). Each run
+  /// becomes a span with one child span per step; operations submitted
+  /// inside a step (transfers, compute) nest under the step's span.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
   using RunCallback = std::function<void(const FlowRunRecord&,
                                          const osprey::util::Value& state)>;
 
@@ -100,7 +108,9 @@ class FlowsService {
   EventLoop& loop_;
   AuthService& auth_;
   FaultPlan* plan_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
   std::vector<FlowRunRecord> records_;
+  // osprey-lint: allow(adhoc-counter) grandfathered pre-obs counter
   std::size_t succeeded_ = 0;
 };
 

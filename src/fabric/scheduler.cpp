@@ -27,6 +27,17 @@ BatchScheduler::BatchScheduler(EventLoop& loop, int total_nodes,
   OSPREY_REQUIRE(total_nodes > 0, "scheduler needs at least one node");
 }
 
+void BatchScheduler::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_queue_wait_ = nullptr;
+    return;
+  }
+  m_queue_wait_ = &metrics->histogram(
+      "fabric_job_queue_wait_ms",
+      {1e3, 60e3, 600e3, 3.6e6, 14.4e6, 86.4e6},
+      "virtual queue wait per started batch job (ms)");
+}
+
 JobId BatchScheduler::submit(JobSpec spec) {
   OSPREY_REQUIRE(spec.nodes >= 1, "job needs at least one node");
   OSPREY_REQUIRE(spec.nodes <= total_nodes_,
@@ -39,6 +50,12 @@ JobId BatchScheduler::submit(JobSpec spec) {
   rec.nodes = spec.nodes;
   rec.submitted = loop_.now();
   records_.push_back(rec);
+  if (tracer_ != nullptr) {
+    records_[id].trace_span = tracer_->begin_span(
+        obs::Category::kCompute, "job:" + records_[id].name,
+        obs::sim_ns(rec.submitted), obs::kInheritParent,
+        name_ + ", " + std::to_string(rec.nodes) + " node(s)");
+  }
   if (first_submit_ < 0) first_submit_ = loop_.now();
   queue_.push_back(QueuedJob{id, std::move(spec)});
   // Start eligible jobs on the next tick so submission order within one
@@ -53,6 +70,10 @@ bool BatchScheduler::cancel(JobId id) {
       queue_.erase(it);
       records_[id].state = JobState::kCancelled;
       records_[id].ended = loop_.now();
+      if (tracer_ != nullptr) {
+        tracer_->end_span(records_[id].trace_span,
+                          obs::sim_ns(records_[id].ended), false, "cancelled");
+      }
       return true;
     }
   }
@@ -91,10 +112,16 @@ void BatchScheduler::try_start_jobs() {
     JobRecord& rec = records_[id];
     rec.state = JobState::kRunning;
     rec.started = loop_.now();
+    if (m_queue_wait_ != nullptr) {
+      m_queue_wait_->observe(static_cast<double>(rec.queue_wait()));
+    }
     OSPREY_LOG_DEBUG("pbs", "job " << id << " '" << rec.name << "' started on "
                                    << spec.nodes << " node(s)");
 
-    // The work executes inline at start time and declares its duration.
+    // The work executes inline at start time and declares its duration;
+    // the guard parents the compute task's span under the job's span.
+    obs::CurrentSpanGuard span_guard(tracer_ != nullptr ? rec.trace_span
+                                                        : obs::current_span());
     SimTime duration = spec.run();
     OSPREY_CHECK(duration >= 0, "job reported negative duration");
     bool timed_out = duration > spec.walltime;
@@ -109,6 +136,12 @@ void BatchScheduler::finish_job(JobId id, JobState state) {
   JobRecord& rec = records_[id];
   rec.state = state;
   rec.ended = loop_.now();
+  if (tracer_ != nullptr) {
+    tracer_->end_span(rec.trace_span, obs::sim_ns(rec.ended),
+                      state == JobState::kComplete,
+                      state == JobState::kComplete ? std::string()
+                                                   : job_state_name(state));
+  }
   free_nodes_ += rec.nodes;
   busy_node_ms_ += static_cast<double>(rec.nodes) *
                    static_cast<double>(rec.ended - rec.started);

@@ -15,6 +15,8 @@
 
 #include "fabric/event_loop.hpp"
 #include "fabric/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace osprey::fabric {
 
@@ -42,6 +44,7 @@ struct JobRecord {
   SimTime started = -1;
   SimTime ended = -1;
   JobState state = JobState::kQueued;
+  obs::SpanId trace_span = obs::kNoSpan;
 
   SimTime queue_wait() const { return started < 0 ? -1 : started - submitted; }
 };
@@ -60,6 +63,14 @@ class BatchScheduler {
   /// kEndpointOutage window for this scheduler, queued jobs do not
   /// start; starts resume automatically when the window ends.
   void set_fault_plan(FaultPlan* plan) { plan_ = plan; }
+
+  /// Attach a trace recorder (non-owning; nullptr detaches). Each job
+  /// becomes a span from submission to its terminal state, so queue
+  /// wait is visible as the gap before the nested compute span.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
+  /// Bind the queue-wait histogram to `metrics` (nullptr detaches).
+  void set_metrics(obs::MetricsRegistry* metrics);
 
   JobId submit(JobSpec spec);
   /// Cancel a queued job (running jobs cannot be cancelled in this model).
@@ -88,6 +99,8 @@ class BatchScheduler {
   int free_nodes_;
   std::string name_;
   FaultPlan* plan_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
+  obs::Histogram* m_queue_wait_ = nullptr;
   bool outage_recheck_pending_ = false;
   std::deque<QueuedJob> queue_;
   std::vector<JobRecord> records_;

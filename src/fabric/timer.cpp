@@ -27,6 +27,13 @@ void TimerService::arm(TimerId id, SimTime at) {
     auto it = timers_.find(id);
     if (it == timers_.end()) return;  // cancelled meanwhile
     ++fires_;
+    if (tracer_ != nullptr) {
+      tracer_->instant(
+          obs::Category::kFlow,
+          "timer:" + (it->second.name.empty() ? std::to_string(id)
+                                              : it->second.name),
+          obs::sim_ns(loop_.now()), obs::kNoSpan);
+    }
     // Re-arm before invoking so the callback may cancel the timer.
     SimTime next = at + it->second.period;
     std::function<void()> fn = it->second.fn;  // copy: cancel() may erase

@@ -12,6 +12,7 @@
 
 #include "fabric/auth.hpp"
 #include "fabric/event_loop.hpp"
+#include "obs/trace.hpp"
 
 namespace osprey::fabric {
 
@@ -28,6 +29,10 @@ class TimerService {
 
   /// Cancel; returns false for unknown/finished timers.
   bool cancel(TimerId id);
+
+  /// Attach a trace recorder (non-owning; nullptr detaches). Every
+  /// firing becomes an instant event ("timer:<name>").
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
 
   std::size_t active_count() const { return timers_.size(); }
   std::uint64_t total_fires() const { return fires_; }
@@ -46,7 +51,9 @@ class TimerService {
   AuthService& auth_;
   std::map<TimerId, Timer> timers_;
   TimerId next_id_ = 0;
+  // osprey-lint: allow(adhoc-counter) grandfathered pre-obs counter
   std::uint64_t fires_ = 0;
+  obs::TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace osprey::fabric

@@ -44,6 +44,39 @@ void TransferService::set_default_timeout(SimTime timeout) {
   timeout_ = timeout;
 }
 
+void TransferService::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_completed_ = nullptr;
+    m_failed_ = nullptr;
+    m_bytes_ = nullptr;
+    return;
+  }
+  m_completed_ = &metrics->counter("fabric_transfers_completed_total",
+                                   "transfers whose destination write "
+                                   "completed and verified");
+  m_failed_ = &metrics->counter("fabric_transfers_failed_total",
+                                "transfers that ended in a terminal failure");
+  m_bytes_ = &metrics->histogram(
+      "fabric_transfer_bytes", {1e3, 1e4, 1e5, 1e6, 1e7, 1e8},
+      "payload size per completed transfer (bytes)");
+}
+
+void TransferService::finish_obs(const TransferRecord& rec) {
+  const bool ok = rec.status == TransferStatus::kSucceeded;
+  if (tracer_ != nullptr) {
+    tracer_->end_span(rec.trace_span, obs::sim_ns(rec.completed), ok,
+                      rec.error);
+  }
+  if (ok) {
+    if (m_completed_ != nullptr) m_completed_->inc();
+    if (m_bytes_ != nullptr) {
+      m_bytes_->observe(static_cast<double>(rec.bytes));
+    }
+  } else if (m_failed_ != nullptr) {
+    m_failed_->inc();
+  }
+}
+
 void TransferService::fail_after(TransferId id, SimTime delay,
                                  std::string error, const Callback& on_done) {
   loop_.schedule_after(delay,
@@ -52,6 +85,7 @@ void TransferService::fail_after(TransferId id, SimTime delay,
                          r.status = TransferStatus::kFailed;
                          r.error = error;
                          r.completed = loop_.now();
+                         finish_obs(r);
                          if (on_done) on_done(r);
                        });
 }
@@ -97,11 +131,19 @@ TransferId TransferService::transfer(
   rec.bytes = bytes.size();
   rec.checksum = checksum;
   records_.push_back(rec);
+  if (tracer_ != nullptr) {
+    records_[id].trace_span = tracer_->begin_span(
+        obs::Category::kTransfer,
+        "transfer:" + rec.src_endpoint + "->" + rec.dst_endpoint,
+        obs::sim_ns(rec.submitted), obs::kInheritParent,
+        std::to_string(rec.bytes) + " B " + dst_collection + "/" + dst_path);
+  }
 
   if (!read_ok) {
     records_[id].status = TransferStatus::kFailed;
     records_[id].error = error;
     records_[id].completed = loop_.now();
+    finish_obs(records_[id]);
     if (on_done) {
       loop_.schedule_after(0, [this, id, on_done] { on_done(records_[id]); });
     }
@@ -180,6 +222,7 @@ TransferId TransferService::transfer(
           }
         }
         r.completed = loop_.now();
+        finish_obs(r);
         OSPREY_LOG_DEBUG("transfer",
                          r.src_endpoint << "/" << r.src_path << " -> "
                                         << r.dst_endpoint << "/" << r.dst_path

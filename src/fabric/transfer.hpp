@@ -15,6 +15,8 @@
 #include "fabric/event_loop.hpp"
 #include "fabric/fault.hpp"
 #include "fabric/storage.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace osprey::fabric {
 
@@ -32,6 +34,7 @@ struct TransferRecord {
   SimTime completed = 0;
   TransferStatus status = TransferStatus::kInFlight;
   std::string error;
+  obs::SpanId trace_span = obs::kNoSpan;
 };
 
 /// Cost model and async execution of copies between StorageEndpoints.
@@ -53,6 +56,15 @@ class TransferService {
   /// can drop, stall or corrupt transfers; corruption is caught by the
   /// digest verification before the destination write completes.
   void set_fault_plan(FaultPlan* plan) { plan_ = plan; }
+
+  /// Attach a trace recorder (non-owning; nullptr detaches). Each
+  /// transfer becomes a span from submission to completion, parented
+  /// to the submitting thread's current span.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
+  /// Bind completion counters and the payload-size histogram to
+  /// `metrics` (non-owning; nullptr detaches).
+  void set_metrics(obs::MetricsRegistry* metrics);
 
   /// Per-operation timeout: a transfer whose (possibly stalled) virtual
   /// duration exceeds it fails at the deadline instead of hanging the
@@ -85,18 +97,27 @@ class TransferService {
   SimTime latency_;
   double bandwidth_;
   std::vector<TransferRecord> records_;
+  // osprey-lint: allow(adhoc-counter) grandfathered pre-obs counter
   std::size_t completed_ = 0;
   // Failure injection state (simple xorshift-free counter hash keeps the
   // fabric library independent of num/).
   double failure_rate_ = 0.0;
   std::uint64_t failure_state_ = 0;
+  // osprey-lint: allow(adhoc-counter) grandfathered pre-obs counter
   std::size_t injected_ = 0;
   FaultPlan* plan_ = nullptr;
   SimTime timeout_ = 0;
+  obs::TraceRecorder* tracer_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_failed_ = nullptr;
+  obs::Histogram* m_bytes_ = nullptr;
 
   bool should_fail_next();
   void fail_after(TransferId id, SimTime delay, std::string error,
                   const Callback& on_done);
+  /// Ends the span and bumps metrics once a record reaches a terminal
+  /// status (every completion path funnels through this).
+  void finish_obs(const TransferRecord& rec);
 };
 
 }  // namespace osprey::fabric

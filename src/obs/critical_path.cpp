@@ -1,0 +1,207 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "util/sim_time.hpp"
+#include "util/table.hpp"
+
+namespace osprey::obs {
+
+using osprey::util::Value;
+using osprey::util::ValueArray;
+using osprey::util::ValueObject;
+
+namespace {
+
+std::string ns_to_text(std::uint64_t ns) {
+  // Trace times are virtual SimTime milliseconds scaled to ns.
+  return osprey::util::format_duration(
+      static_cast<osprey::util::SimTime>(ns / 1'000'000ull));
+}
+
+}  // namespace
+
+CriticalPathReport analyze(std::vector<SpanRecord> spans, std::size_t top_k) {
+  CriticalPathReport report;
+  const std::vector<SpanRecord> canon = canonical_spans(std::move(spans));
+
+  std::vector<SpanRecord> closed;
+  closed.reserve(canon.size());
+  for (const SpanRecord& s : canon) {
+    if (s.instant) {
+      ++report.instant_count;
+      continue;
+    }
+    if (s.open) {
+      ++report.open_count;
+      continue;
+    }
+    closed.push_back(s);
+  }
+  report.span_count = closed.size();
+  if (closed.empty()) return report;
+
+  report.trace_begin_ns = closed.front().begin_ns;
+  for (const SpanRecord& s : closed) {
+    const std::string cat = category_name(s.category);
+    report.category_ns[cat] += s.duration_ns();
+    report.category_spans[cat] += 1;
+    report.trace_begin_ns = std::min(report.trace_begin_ns, s.begin_ns);
+    report.trace_end_ns = std::max(report.trace_end_ns, s.end_ns);
+  }
+  report.makespan_ns = report.trace_end_ns - report.trace_begin_ns;
+
+  // Longest chain of non-overlapping spans: sort by end time, then for
+  // each span take the best chain among spans ending at or before its
+  // begin (prefix maximum over the end-sorted order).
+  std::vector<std::size_t> order(closed.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::tie(closed[a].end_ns, closed[a].begin_ns, closed[a].id) <
+           std::tie(closed[b].end_ns, closed[b].begin_ns, closed[b].id);
+  });
+  std::vector<std::uint64_t> ends(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ends[i] = closed[order[i]].end_ns;
+  }
+  std::vector<std::uint64_t> chain(order.size(), 0);
+  // prefix_best[i]: position (in `order`) of the best chain among the
+  // first i+1 spans; kNone when none.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> prefix_best(order.size(), kNone);
+  std::vector<std::size_t> pred(order.size(), kNone);
+  std::size_t best_pos = kNone;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const SpanRecord& s = closed[order[i]];
+    // Spans ending at or before s.begin_ns occupy ends[0..j).
+    const auto it = std::upper_bound(ends.begin(), ends.begin() +
+                                         static_cast<std::ptrdiff_t>(i),
+                                     s.begin_ns);
+    const std::size_t j = static_cast<std::size_t>(it - ends.begin());
+    std::uint64_t base = 0;
+    if (j > 0 && prefix_best[j - 1] != kNone) {
+      pred[i] = prefix_best[j - 1];
+      base = chain[prefix_best[j - 1]];
+    }
+    chain[i] = base + s.duration_ns();
+    prefix_best[i] =
+        (i > 0 && prefix_best[i - 1] != kNone &&
+         chain[prefix_best[i - 1]] >= chain[i])
+            ? prefix_best[i - 1]
+            : i;
+    if (best_pos == kNone || chain[i] > chain[best_pos]) best_pos = i;
+  }
+  for (std::size_t pos = best_pos; pos != kNone; pos = pred[pos]) {
+    report.path.push_back(closed[order[pos]]);
+  }
+  std::reverse(report.path.begin(), report.path.end());
+  report.path_ns = chain[best_pos];
+
+  std::vector<SpanRecord> by_duration = closed;
+  std::sort(by_duration.begin(), by_duration.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              const std::uint64_t da = a.duration_ns();
+              const std::uint64_t db = b.duration_ns();
+              if (da != db) return da > db;
+              return std::tie(a.begin_ns, a.name, a.id) <
+                     std::tie(b.begin_ns, b.name, b.id);
+            });
+  if (by_duration.size() > top_k) by_duration.resize(top_k);
+  report.top_spans = std::move(by_duration);
+  return report;
+}
+
+std::string render_report(const CriticalPathReport& report) {
+  std::string out;
+  out += osprey::util::banner("trace summary");
+  out += "spans: " + std::to_string(report.span_count) +
+         " closed, " + std::to_string(report.open_count) + " open, " +
+         std::to_string(report.instant_count) + " instants\n";
+  if (report.span_count == 0) return out;
+  out += "trace begin: " + ns_to_text(report.trace_begin_ns) +
+         "   end: " + ns_to_text(report.trace_end_ns) + "\n";
+  out += "makespan: " + ns_to_text(report.makespan_ns) + "\n";
+  out += "critical path: " + std::to_string(report.path.size()) +
+         " span(s), " + ns_to_text(report.path_ns) + " (" +
+         osprey::util::TextTable::num(
+             report.makespan_ns == 0
+                 ? 0.0
+                 : 100.0 * static_cast<double>(report.path_ns) /
+                       static_cast<double>(report.makespan_ns),
+             1) +
+         "% of makespan)\n";
+
+  out += osprey::util::banner("per-category time");
+  {
+    osprey::util::TextTable table({"category", "spans", "total"});
+    for (const auto& [cat, ns] : report.category_ns) {
+      table.add_row({cat, std::to_string(report.category_spans.at(cat)),
+                     ns_to_text(ns)});
+    }
+    out += table.render();
+  }
+
+  out += osprey::util::banner("critical path");
+  {
+    osprey::util::TextTable table(
+        {"begin", "duration", "category", "name", "ok"});
+    for (const SpanRecord& s : report.path) {
+      table.add_row({ns_to_text(s.begin_ns), ns_to_text(s.duration_ns()),
+                     category_name(s.category), s.name, s.ok ? "yes" : "NO"});
+    }
+    out += table.render();
+  }
+
+  out += osprey::util::banner("top spans by duration");
+  {
+    osprey::util::TextTable table(
+        {"duration", "begin", "category", "name", "detail"});
+    for (const SpanRecord& s : report.top_spans) {
+      table.add_row({ns_to_text(s.duration_ns()), ns_to_text(s.begin_ns),
+                     category_name(s.category), s.name, s.detail});
+    }
+    out += table.render();
+  }
+  return out;
+}
+
+Value report_json(const CriticalPathReport& report) {
+  ValueObject out;
+  out["span_count"] = report.span_count;
+  out["open_count"] = report.open_count;
+  out["instant_count"] = report.instant_count;
+  out["trace_begin_ms"] =
+      static_cast<std::int64_t>(report.trace_begin_ns / 1'000'000ull);
+  out["trace_end_ms"] =
+      static_cast<std::int64_t>(report.trace_end_ns / 1'000'000ull);
+  out["makespan_ms"] =
+      static_cast<std::int64_t>(report.makespan_ns / 1'000'000ull);
+  out["critical_path_ms"] =
+      static_cast<std::int64_t>(report.path_ns / 1'000'000ull);
+  ValueObject categories;
+  for (const auto& [cat, ns] : report.category_ns) {
+    ValueObject entry;
+    entry["spans"] = report.category_spans.at(cat);
+    entry["total_ms"] = static_cast<std::int64_t>(ns / 1'000'000ull);
+    categories[cat] = std::move(entry);
+  }
+  out["categories"] = std::move(categories);
+  ValueArray path;
+  for (const SpanRecord& s : report.path) {
+    ValueObject entry;
+    entry["name"] = s.name;
+    entry["category"] = category_name(s.category);
+    entry["begin_ms"] = static_cast<std::int64_t>(s.begin_ns / 1'000'000ull);
+    entry["duration_ms"] =
+        static_cast<std::int64_t>(s.duration_ns() / 1'000'000ull);
+    entry["ok"] = s.ok;
+    path.emplace_back(std::move(entry));
+  }
+  out["critical_path"] = std::move(path);
+  return out;
+}
+
+}  // namespace osprey::obs

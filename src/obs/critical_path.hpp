@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file critical_path.hpp
+/// Critical-path analysis over a recorded (or imported) span set — the
+/// machine-checked version of the paper's Figure-1 timeline reading:
+/// which dependency chain of operations determined the workflow's
+/// makespan, where did the time go per category, and which individual
+/// spans dominated.
+///
+/// The dependency model is temporal: span B depends on span A when A
+/// ended no later than B began (the fabric's event loop only starts an
+/// operation when its prerequisites completed, so happens-before in
+/// virtual time subsumes the explicit parent/child links). The critical
+/// path is the maximum-duration chain of pairwise non-overlapping
+/// spans, computed by a prefix-max DP over end-time order (O(n log n)).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/value.hpp"
+
+namespace osprey::obs {
+
+struct CriticalPathReport {
+  // Extent of the trace over closed, non-instant spans.
+  std::uint64_t trace_begin_ns = 0;
+  std::uint64_t trace_end_ns = 0;
+  /// trace_end_ns - trace_begin_ns: the workflow's end-to-end time.
+  std::uint64_t makespan_ns = 0;
+
+  /// The critical path, in time order; path_ns sums its durations.
+  std::vector<SpanRecord> path;
+  std::uint64_t path_ns = 0;
+
+  /// Per-category totals over all closed spans (keys: category names,
+  /// sorted). Totals can exceed the makespan when spans overlap.
+  std::map<std::string, std::uint64_t> category_ns;
+  std::map<std::string, std::uint64_t> category_spans;
+
+  /// Top-k spans by duration (ties broken by begin time, then name).
+  std::vector<SpanRecord> top_spans;
+
+  std::size_t span_count = 0;     // closed, non-instant spans analyzed
+  std::size_t open_count = 0;     // spans still open (excluded)
+  std::size_t instant_count = 0;  // instant events (excluded)
+};
+
+/// Analyze a span set (canonicalized internally, so the result is
+/// deterministic regardless of recording order).
+CriticalPathReport analyze(std::vector<SpanRecord> spans,
+                           std::size_t top_k = 10);
+
+/// Human-readable report (makespan, critical path table, per-category
+/// breakdown, top-k spans).
+std::string render_report(const CriticalPathReport& report);
+
+/// JSON form (used by the BENCH_*.json snapshots and osprey_trace
+/// --json).
+osprey::util::Value report_json(const CriticalPathReport& report);
+
+}  // namespace osprey::obs

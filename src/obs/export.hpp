@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file export.hpp
+/// Trace and metrics exporters:
+///  - chrome_trace_json: Chrome `trace_event` JSON (loadable in
+///    about:tracing / https://ui.perfetto.dev). Spans are emitted as
+///    "X" complete events and instants as "i" events; the µs `ts`/`dur`
+///    fields come from the virtual nanosecond timestamps. Before
+///    emission the spans are sorted into a canonical order and their
+///    ids renumbered, so the exported bytes are identical across
+///    replays of the same seed even when thread interleaving varied
+///    the recording order.
+///  - parse_chrome_trace: inverse of chrome_trace_json (consumed by
+///    tools/osprey_trace).
+///  - prometheus_text: Prometheus text exposition format (# HELP /
+///    # TYPE / samples), metric names in sorted order.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace osprey::obs {
+
+/// Canonical form of a span set: sorted by (begin, end, category,
+/// name, detail), ids renumbered 1..n in that order, parents remapped.
+std::vector<SpanRecord> canonical_spans(std::vector<SpanRecord> spans);
+
+/// Chrome trace_event JSON for `spans` (canonicalized internally).
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans);
+std::string chrome_trace_json(const TraceRecorder& recorder);
+
+/// Parse a chrome_trace_json document back into span records (ids
+/// ascending). Throws util::InvalidArgument on malformed input.
+std::vector<SpanRecord> parse_chrome_trace(const std::string& json);
+
+/// Prometheus text exposition of every instrument in `registry`.
+std::string prometheus_text(const MetricsRegistry& registry);
+
+}  // namespace osprey::obs

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <utility>
 
 #include "util/mutex.hpp"
 
@@ -9,8 +10,10 @@ namespace osprey::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-// Serializes writes to stderr so interleaved component lines stay whole.
+// Serializes sink invocations (stderr by default) so interleaved
+// component lines stay whole and sink swaps are race-free.
 Mutex g_mutex;
+LogSink g_sink OSPREY_GUARDED_BY(g_mutex);  // empty: default stderr writer
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -32,9 +35,20 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+LogSink set_log_sink(LogSink sink) {
+  MutexLock lock(g_mutex);
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
+
 void log_line(LogLevel level, const std::string& component,
               const std::string& message) {
   MutexLock lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, component, message);
+    return;
+  }
   std::fprintf(stderr, "[%-5s] %-12s %s\n", level_name(level),
                component.c_str(), message.c_str());
 }

@@ -4,6 +4,7 @@
 /// Minimal thread-safe leveled logger. Components tag their lines so the
 /// interleaved output of the simulated platform remains readable.
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -20,6 +21,19 @@ void log_line(LogLevel level, const std::string& component,
               const std::string& message);
 
 const char* level_name(LogLevel level);
+
+/// Pluggable destination for log_line. Sinks are invoked under the
+/// logger's internal mutex (lines stay whole, ordering is total), so a
+/// sink must not call log_line or install/remove sinks itself.
+using LogSink =
+    std::function<void(LogLevel, const std::string& component,
+                       const std::string& message)>;
+
+/// Install `sink` as the log destination, replacing the default stderr
+/// writer; passing nullptr restores the default. Returns the previously
+/// installed sink (nullptr if the default was active) so callers can
+/// swap temporarily and restore. Thread-safe.
+LogSink set_log_sink(LogSink sink);
 
 }  // namespace osprey::util
 

@@ -1,0 +1,145 @@
+/// obs::MetricsRegistry semantics: counter/gauge basics, histogram
+/// bucketing and quantile edge cases, deterministic snapshot ordering,
+/// kind collisions, and the Prometheus text exposition format.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace obs = osprey::obs;
+namespace ou = osprey::util;
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("requests_total", "requests");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&reg.counter("requests_total"), &c);
+}
+
+TEST(Gauge, SetAndAdd) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("queue_depth", "depth");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(5.0);
+  g.add(-2.0);
+  EXPECT_EQ(g.value(), 3.0);
+}
+
+TEST(Histogram, EmptyHistogram) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("lat", {1.0, 10.0}, "latency");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);  // 2 bounds + overflow
+  for (std::uint64_t b : buckets) EXPECT_EQ(b, 0u);
+}
+
+TEST(Histogram, SingleObservation) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("lat", {1.0, 10.0}, "latency");
+  h.observe(3.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 3.0);
+  EXPECT_EQ(h.min(), 3.0);
+  EXPECT_EQ(h.max(), 3.0);
+  // All quantiles of a single-point distribution are that point.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, BoundaryValuesAreLeInclusive) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("lat", {1.0, 10.0}, "latency");
+  h.observe(1.0);   // lands in the le=1 bucket (Prometheus semantics)
+  h.observe(10.0);  // lands in the le=10 bucket
+  h.observe(11.0);  // overflow
+  std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+}
+
+TEST(Histogram, QuantilesInterpolateAndClamp) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("lat", {10.0, 20.0, 30.0}, "latency");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i % 30) + 1.0);
+  double q0 = h.quantile(0.0);
+  double q50 = h.quantile(0.5);
+  double q100 = h.quantile(1.0);
+  EXPECT_LE(q0, q50);
+  EXPECT_LE(q50, q100);
+  EXPECT_GE(q0, h.min());
+  EXPECT_LE(q100, h.max());
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  obs::MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("bad", {10.0, 1.0}, "x"), ou::InvalidArgument);
+  EXPECT_THROW(reg.histogram("empty", {}, "x"), ou::InvalidArgument);
+}
+
+TEST(Registry, KindCollisionThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("x", "a counter");
+  EXPECT_THROW(reg.gauge("x"), ou::InvalidArgument);
+  EXPECT_THROW(reg.histogram("x", {1.0}), ou::InvalidArgument);
+}
+
+TEST(Registry, SnapshotOrderingIsDeterministic) {
+  obs::MetricsRegistry reg;
+  // Register in non-sorted order; names come back sorted.
+  reg.counter("zeta_total");
+  reg.counter("alpha_total");
+  reg.gauge("mid_gauge");
+  std::vector<std::string> names = reg.counter_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha_total");
+  EXPECT_EQ(names[1], "zeta_total");
+
+  ou::Value snap = reg.snapshot();
+  std::string json = snap.to_json();
+  // Key order in Value objects is lexicographic, so two snapshots of
+  // identical state serialize identically.
+  EXPECT_EQ(json, reg.snapshot().to_json());
+  EXPECT_LT(json.find("alpha_total"), json.find("zeta_total"));
+}
+
+TEST(Prometheus, TextExpositionFormat) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("aero_polls_total", "upstream polls");
+  c.inc(7);
+  reg.gauge("fabric_queue_depth", "queued jobs").set(3.0);
+  obs::Histogram& h =
+      reg.histogram("task_ms", {10.0, 100.0}, "task latency (ms)");
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);
+
+  std::string text = obs::prometheus_text(reg);
+  EXPECT_NE(text.find("# HELP aero_polls_total upstream polls"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE aero_polls_total counter"), std::string::npos);
+  EXPECT_NE(text.find("aero_polls_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fabric_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE task_ms histogram"), std::string::npos);
+  // Cumulative buckets: le="10" has 1, le="100" has 2, +Inf has all 3.
+  EXPECT_NE(text.find("task_ms_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("task_ms_bucket{le=\"100\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("task_ms_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("task_ms_count 3"), std::string::npos);
+  // Deterministic: a second export is byte-identical.
+  EXPECT_EQ(text, obs::prometheus_text(reg));
+}

@@ -101,3 +101,31 @@ TEST(TextTable, RowWidthMismatchThrows) {
   ou::TextTable t({"a", "b"});
   EXPECT_THROW(t.add_row({"1"}), osprey::util::InvalidArgument);
 }
+
+// --- pluggable log sink (util/log.hpp) ---
+
+#include "util/log.hpp"
+
+TEST(LogSink, SwapCapturesLinesAndRestoreReturnsPrevious) {
+  ou::LogLevel old_level = ou::log_level();
+  ou::set_log_level(ou::LogLevel::kInfo);
+  std::vector<std::string> captured;
+  ou::LogSink previous = ou::set_log_sink(
+      [&captured](ou::LogLevel level, const std::string& component,
+                  const std::string& message) {
+        captured.push_back(ou::level_name(level) + std::string(":") +
+                           component + ":" + message);
+      });
+  OSPREY_LOG_INFO("test", "hello " << 42);
+  OSPREY_LOG_WARN("other", "warned");
+  // Restore the default stderr sink; the previous sink comes back so
+  // callers can re-install an outer sink they displaced.
+  ou::LogSink displaced = ou::set_log_sink(std::move(previous));
+  EXPECT_TRUE(static_cast<bool>(displaced));
+  OSPREY_LOG_INFO("test", "not captured");
+  ou::set_log_level(old_level);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "INFO:test:hello 42");
+  EXPECT_EQ(captured[1], "WARN:other:warned");
+}

@@ -24,6 +24,11 @@
 //                     osprey::util errors (util/error.hpp) so the retry
 //                     and fault-injection layers can catch, classify
 //                     and recover; an untyped throw escapes them.
+//   adhoc-counter     new `std::size_t foo_count_ = 0;`-style counter
+//                     members are forbidden in src/fabric — counters
+//                     belong in obs::MetricsRegistry so they show up in
+//                     snapshots and the Prometheus export. Pre-obs
+//                     counters are grandfathered via allow().
 //   test-registration every tests/test_*.cpp must be listed in
 //                     tests/CMakeLists.txt, or it silently never runs.
 //
@@ -230,6 +235,17 @@ std::vector<LineRule> make_rules() {
       "catch and recover",
       &rule_fabric_throw_applies,
   });
+  rules.push_back({
+      "adhoc-counter",
+      std::regex(
+          R"(^\s*(?:mutable\s+)?(?:std::)?(?:size_t|uint64_t)\s+)"
+          R"([a-z0-9_]*(?:count|counts|completed|failed|succeeded|fires|)"
+          R"(injected|processed|total)[a-z0-9_]*_\s*[={;])"),
+      "ad-hoc counter member in src/fabric; register an obs::Counter on "
+      "the service's MetricsRegistry instead so the value reaches "
+      "snapshots and the Prometheus export",
+      &rule_fabric_throw_applies,
+  });
   return rules;
 }
 
@@ -362,7 +378,7 @@ int main(int argc, char** argv) {
       json_out = fs::path(argv[i]);
     } else if (arg == "--list-rules") {
       std::cout << "rng\nwall-clock\nraw-thread\nrelative-include\n"
-                   "fabric-raw-throw\ntest-registration\n";
+                   "fabric-raw-throw\nadhoc-counter\ntest-registration\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);

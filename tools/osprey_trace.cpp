@@ -1,0 +1,132 @@
+/// \file osprey_trace.cpp
+/// Critical-path analyzer for OSPREY Chrome traces.
+///
+///   osprey_trace <trace.json>          render the critical-path report
+///   osprey_trace --json <trace.json>   emit the report as JSON
+///   osprey_trace --topk N <trace.json> change the top-spans table size
+///   osprey_trace --self-check          exercise the pipeline end to end
+///
+/// The input is the JSON written by obs::chrome_trace_json (what
+/// bench_fig1_workflow dumps as results/trace_fig1.json); the output is
+/// the longest dependency chain that determined the makespan, the
+/// per-category time breakdown, and the top-k spans by duration.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace osprey;
+
+int usage() {
+  std::cerr << "usage: osprey_trace [--json] [--topk N] <trace.json>\n"
+               "       osprey_trace --self-check\n";
+  return 2;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Build a small synthetic trace, round-trip it through the exporter and
+/// parser, and check the analyzer's invariants. Returns 0 on success.
+int self_check() {
+  obs::TraceRecorder rec;
+  // A three-stage chain with one overlapping sibling:
+  //   ingest [0,10ms] -> transfer [10,25ms] -> compute [25,60ms]
+  //   flow   [5,20ms] overlaps and is NOT on the critical path.
+  obs::SpanId a = rec.begin_span(obs::Category::kAero, "ingest:a",
+                                 obs::sim_ns(0), obs::kNoSpan);
+  rec.end_span(a, obs::sim_ns(10));
+  obs::SpanId f = rec.begin_span(obs::Category::kFlow, "flow:side",
+                                 obs::sim_ns(5), obs::kNoSpan);
+  rec.end_span(f, obs::sim_ns(20));
+  obs::SpanId t = rec.begin_span(obs::Category::kTransfer, "transfer:a",
+                                 obs::sim_ns(10), a);
+  rec.end_span(t, obs::sim_ns(25));
+  obs::SpanId c = rec.begin_span(obs::Category::kCompute, "compute:a",
+                                 obs::sim_ns(25), t);
+  rec.end_span(c, obs::sim_ns(60));
+  rec.instant(obs::Category::kAero, "update:a", obs::sim_ns(0),
+              obs::kNoSpan);
+
+  std::string json = obs::chrome_trace_json(rec);
+  std::vector<obs::SpanRecord> parsed = obs::parse_chrome_trace(json);
+  std::string json2 = obs::chrome_trace_json(parsed);
+  if (json != json2) {
+    std::cerr << "self-check FAILED: export/parse round trip not "
+                 "byte-identical\n";
+    return 1;
+  }
+
+  obs::CriticalPathReport report = obs::analyze(parsed);
+  if (report.makespan_ns != obs::sim_ns(60)) {
+    std::cerr << "self-check FAILED: makespan " << report.makespan_ns
+              << " != " << obs::sim_ns(60) << "\n";
+    return 1;
+  }
+  if (report.path.size() != 3 || report.path_ns != obs::sim_ns(60)) {
+    std::cerr << "self-check FAILED: critical path has "
+              << report.path.size() << " span(s), " << report.path_ns
+              << " ns\n";
+    return 1;
+  }
+  if (report.path_ns > report.makespan_ns) {
+    std::cerr << "self-check FAILED: path exceeds makespan\n";
+    return 1;
+  }
+  if (report.instant_count != 1 || report.span_count != 4) {
+    std::cerr << "self-check FAILED: span/instant counts off\n";
+    return 1;
+  }
+  std::cout << "osprey_trace self-check OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool as_json = false;
+  std::size_t top_k = 10;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-check") == 0) return self_check();
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (std::strcmp(argv[i], "--topk") == 0 && i + 1 < argc) {
+      top_k = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) return usage();
+
+  try {
+    std::vector<obs::SpanRecord> spans =
+        obs::parse_chrome_trace(read_text_file(path));
+    obs::CriticalPathReport report = obs::analyze(std::move(spans), top_k);
+    if (as_json) {
+      std::cout << obs::report_json(report).to_json() << "\n";
+    } else {
+      std::cout << obs::render_report(report);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "osprey_trace: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
