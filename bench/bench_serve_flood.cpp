@@ -1,0 +1,222 @@
+/// Serving-tier flood bench: can the cache-fronted read path stand in
+/// front of dashboard-scale traffic? ROADMAP item 1 asks for millions
+/// of users reading the latest R(t); this bench populates a 24-plant
+/// surveillance deployment (ingestion + per-plant QoI analyses), then
+/// drives a seeded million-request Zipf trace through serve::FrontEnd —
+/// a steady phase below capacity plus a tight burst that forces
+/// admission control to shed — and reports requests/sec, cache hit
+/// ratio, and p50/p99 latency into results/BENCH_serve_flood.json.
+/// Everything is counter-based and seeded: the same binary replays the
+/// same trace bit-identically.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "aero/server.hpp"
+#include "obs/metrics.hpp"
+#include "serve/cache.hpp"
+#include "serve/frontend.hpp"
+#include "serve/zipf.hpp"
+#include "util/file_io.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+using namespace osprey;
+using util::Value;
+using util::ValueObject;
+using util::kDay;
+using util::kMinute;
+using util::kSecond;
+
+namespace {
+
+constexpr int kFeeds = 24;
+constexpr int kWarmupDays = 30;          // populate versions before the flood
+constexpr int kFloodDays = 14;           // polls keep bumping versions under load
+constexpr std::uint64_t kRequests = 1'000'000;
+constexpr std::uint64_t kBurstStart = 900'000;  // last 100k arrive as a burst
+constexpr double kZipfExponent = 1.0;
+constexpr std::uint64_t kSeed = 0x5EEDF00DULL;
+
+Value transform(const Value& args) {
+  ValueObject out;
+  out["output"] = args.at("input");
+  return Value(std::move(out));
+}
+
+Value qoi_analysis(const Value& args) {
+  ValueObject outputs;
+  outputs["rt"] = Value("rt:" + std::to_string(args.at("inputs").size()));
+  outputs["cases"] = Value("cases:" +
+                           std::to_string(args.at("inputs").size()));
+  ValueObject out;
+  out["outputs"] = Value(std::move(outputs));
+  return Value(std::move(out));
+}
+
+/// Arrival time of request i: steady ~1.2s spacing for the first 900k
+/// (below the hit-path capacity), then 10 requests/ms for the last 100k
+/// — far past capacity, so the bounded queue must shed.
+fabric::SimTime arrival_time(std::uint64_t i) {
+  constexpr fabric::SimTime kFloodStart =
+      static_cast<fabric::SimTime>(kWarmupDays) * kDay;
+  if (i < kBurstStart) return kFloodStart + static_cast<fabric::SimTime>(i) * 1200;
+  fabric::SimTime burst_begin =
+      kFloodStart + static_cast<fabric::SimTime>(kBurstStart) * 1200;
+  return burst_begin + static_cast<fabric::SimTime>((i - kBurstStart) / 10);
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::kError);
+  std::printf("%s", util::banner(
+      "Serve flood — 1M Zipf reads against the cache-fronted tier").c_str());
+
+  obs::MetricsRegistry metrics;
+  fabric::EventLoop loop;
+  fabric::AuthService auth;
+  fabric::TimerService timers(loop, auth);
+  fabric::TransferService transfers(loop, auth);
+  fabric::FlowsService flows(loop, auth);
+  aero::AeroServer server(loop, auth, timers, transfers, flows, "aero",
+                          &metrics);
+  fabric::StorageEndpoint eagle("eagle", loop, auth);
+  fabric::StorageEndpoint scratch("scratch", loop, auth);
+  fabric::ComputeEndpoint login("login", loop, auth, 4);
+  eagle.create_collection("data", server.token());
+  scratch.create_collection("staging", server.token());
+  std::string transform_fn =
+      login.register_function("transform", transform, 30 * kSecond);
+  std::string qoi_fn =
+      login.register_function("qoi", qoi_analysis, kMinute);
+
+  // 24 plants: each feed updates every ~3 days (staggered), and a
+  // per-plant analysis derives two QoIs from the transformed data.
+  std::vector<std::string> objects;
+  for (int f = 0; f < kFeeds; ++f) {
+    std::vector<std::pair<fabric::SimTime, std::string>> timeline;
+    for (int day = f % 3; day < kWarmupDays + kFloodDays; day += 3) {
+      timeline.emplace_back(static_cast<fabric::SimTime>(day) * kDay,
+                            "plant" + std::to_string(f) + "-day" +
+                                std::to_string(day));
+    }
+    aero::IngestionFlowSpec ing;
+    ing.name = "plant-" + std::to_string(f);
+    ing.source = std::make_shared<aero::ScriptedSource>(
+        "https://plants/" + std::to_string(f), std::move(timeline));
+    ing.poll_period = kDay;
+    ing.compute = &login;
+    ing.function_id = transform_fn;
+    ing.staging = &scratch;
+    ing.staging_collection = "staging";
+    ing.storage = &eagle;
+    ing.collection = "data";
+    ing.base_path = "plant/" + std::to_string(f);
+    auto handles = server.register_ingestion(std::move(ing));
+    objects.push_back(handles.raw_uuid);
+    objects.push_back(handles.output_uuid);
+
+    aero::AnalysisFlowSpec qoi;
+    qoi.name = "qoi-" + std::to_string(f);
+    qoi.input_uuids = {handles.output_uuid};
+    qoi.policy = aero::TriggerPolicy::kAny;
+    qoi.compute = &login;
+    qoi.function_id = qoi_fn;
+    qoi.staging = &scratch;
+    qoi.staging_collection = "staging";
+    qoi.storage = &eagle;
+    qoi.collection = "data";
+    qoi.base_path = "qoi/" + std::to_string(f);
+    qoi.output_names = {"rt", "cases"};
+    for (std::string& uuid : server.register_analysis(std::move(qoi))) {
+      objects.push_back(std::move(uuid));
+    }
+  }
+
+  serve::ResultCache cache(server, metrics);
+  serve::FrontEndConfig config;
+  config.max_queue_depth = 256;
+  serve::FrontEnd frontend(loop, auth, cache, metrics, config);
+  std::string reader = auth.issue_token("dashboards", {fabric::scopes::kServe});
+
+  serve::ZipfTrace zipf(objects.size(), kZipfExponent, kSeed);
+
+  // Self-scheduling pump: one outstanding event submits request i and
+  // re-arms for request i+1 — 1M requests without 1M queued closures.
+  std::uint64_t next = 0;
+  std::function<void()> pump = [&] {
+    frontend.submit({objects[zipf.item(next)], reader, "dashboards"}, {});
+    ++next;
+    if (next < kRequests) loop.schedule_at(arrival_time(next), pump);
+  };
+  loop.schedule_at(arrival_time(0), pump);
+
+  auto t0 = std::chrono::steady_clock::now();
+  loop.run_until(static_cast<fabric::SimTime>(kWarmupDays + kFloodDays + 1) *
+                 kDay);
+  auto t1 = std::chrono::steady_clock::now();
+  double wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  const std::uint64_t hits = cache.hits();
+  const std::uint64_t misses = cache.misses();
+  const std::uint64_t revalidates = cache.revalidates();
+  const std::uint64_t lookups = hits + misses + revalidates;
+  const double hit_ratio =
+      lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  obs::Histogram& latency =
+      metrics.histogram("serve_latency_ms", {1}, "");  // existing instance
+  const double p50 = latency.quantile(0.50);
+  const double p99 = latency.quantile(0.99);
+  const double requests_per_sec =
+      static_cast<double>(kRequests) / (wall_ms / 1000.0);
+
+  util::TextTable table({"metric", "value"});
+  table.add_row({"data objects", std::to_string(objects.size())});
+  table.add_row({"requests", std::to_string(kRequests)});
+  table.add_row({"served", std::to_string(frontend.served())});
+  table.add_row({"shed", std::to_string(frontend.shed())});
+  table.add_row({"cache hits", std::to_string(hits)});
+  table.add_row({"cache misses", std::to_string(misses)});
+  table.add_row({"cache revalidates", std::to_string(revalidates)});
+  table.add_row({"invalidations", std::to_string(cache.invalidations())});
+  table.add_row({"hit ratio", util::TextTable::num(hit_ratio * 100.0, 2) + "%"});
+  table.add_row({"p50 latency", util::TextTable::num(p50, 1) + " ms"});
+  table.add_row({"p99 latency", util::TextTable::num(p99, 1) + " ms"});
+  table.add_row({"stale serves (origin)",
+                 std::to_string(server.stale_serves())});
+  table.add_row({"event-loop events", std::to_string(loop.events_processed())});
+  table.add_row({"wall time", util::TextTable::num(wall_ms, 0) + " ms"});
+  table.add_row({"requests/wall-sec",
+                 util::TextTable::num(requests_per_sec, 0)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("%.0f requests/s through auth + admission + cache; hits skip "
+              "the metadata db\nentirely, which is what makes the "
+              "dashboard-scale north star reachable.\n", requests_per_sec);
+
+  ValueObject bench;
+  bench["bench"] = Value("serve_flood");
+  bench["seed"] = Value(static_cast<std::uint64_t>(kSeed));
+  bench["zipf_exponent"] = Value(kZipfExponent);
+  bench["data_objects"] = Value(objects.size());
+  bench["requests"] = Value(static_cast<std::uint64_t>(kRequests));
+  bench["requests_per_sec"] = Value(requests_per_sec);
+  bench["hit_ratio"] = Value(hit_ratio);
+  bench["p50_ms"] = Value(p50);
+  bench["p99_ms"] = Value(p99);
+  bench["served"] = Value(frontend.served());
+  bench["shed"] = Value(frontend.shed());
+  bench["hits"] = Value(hits);
+  bench["misses"] = Value(misses);
+  bench["revalidates"] = Value(revalidates);
+  bench["invalidations"] = Value(cache.invalidations());
+  bench["wall_ms"] = Value(wall_ms);
+  bench["metrics"] = metrics.snapshot();
+  util::write_text_file("results/BENCH_serve_flood.json",
+                        Value(std::move(bench)).to_json());
+  std::printf("wrote results/BENCH_serve_flood.json\n");
+  return 0;
+}

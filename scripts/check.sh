@@ -20,6 +20,10 @@
 #   chaos   thread sanitizer build of the chaos suite: the 16-seed
 #           fault-injection sweep (ctest -L chaos) plus the
 #           retry/backoff property tests. See DESIGN.md §"Fault model".
+#   serve   serving-tier gate: thread sanitizer build of the cache /
+#           front-end suite, then `ctest -L serve` (invalidation,
+#           stale-reason propagation, 16-seed flood replay). See
+#           DESIGN.md §"Serving tier".
 #
 # Usage: scripts/check.sh [--skip-tsan] [stage ...]
 #   No stage arguments = run all stages in order. Naming stages runs
@@ -30,13 +34,13 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-ALL_STAGES=(lint tidy tsa tier1 obs asan tsan chaos)
+ALL_STAGES=(lint tidy tsa tier1 obs asan tsan chaos serve)
 declare -A WANTED=()
 SKIP_TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
-    lint|tidy|tsa|tier1|obs|asan|tsan|chaos) WANTED[$arg]=1 ;;
+    lint|tidy|tsa|tier1|obs|asan|tsan|chaos|serve) WANTED[$arg]=1 ;;
     *) echo "unknown argument: $arg" >&2
        echo "usage: scripts/check.sh [--skip-tsan] [stage ...]" >&2
        echo "stages: ${ALL_STAGES[*]}" >&2
@@ -142,6 +146,16 @@ stage_chaos() {
   (cd build-tsan && ctest --output-on-failure -R '^test_retry_policy$')
 }
 
+stage_serve() {
+  if [[ "$SKIP_TSAN" == "1" ]]; then
+    echo "skipped (--skip-tsan)"
+    return 99
+  fi
+  cmake -B build-tsan -S . -DOSPREY_SANITIZE=thread >/dev/null &&
+  cmake --build build-tsan -j "$JOBS" --target test_serve_cache &&
+  (cd build-tsan && ctest --output-on-failure -j "$JOBS" -L serve)
+}
+
 run_stage lint  stage_lint
 [[ $FAILED -eq 0 ]] && run_stage tidy  stage_tidy
 [[ $FAILED -eq 0 ]] && run_stage tsa   stage_tsa
@@ -150,6 +164,7 @@ run_stage lint  stage_lint
 [[ $FAILED -eq 0 ]] && run_stage asan  stage_asan
 [[ $FAILED -eq 0 ]] && run_stage tsan  stage_tsan
 [[ $FAILED -eq 0 ]] && run_stage chaos stage_chaos
+[[ $FAILED -eq 0 ]] && run_stage serve stage_serve
 
 echo
 echo "== summary =="

@@ -54,7 +54,9 @@ const DataVersion& MetadataDb::add_version(
   v.path = path;
   it->second.versions.push_back(std::move(v));
   ++updates_;
-  return it->second.versions.back();
+  const DataVersion& added = it->second.versions.back();
+  if (version_listener_) version_listener_(uuid, added.version);
+  return added;
 }
 
 std::optional<DataVersion> MetadataDb::latest_version(

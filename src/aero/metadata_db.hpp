@@ -8,6 +8,7 @@
 /// never passes through the AERO server, only the metadata".
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -120,6 +121,17 @@ class MetadataDb {
   std::uint64_t query_count() const { return queries_; }
   std::uint64_t update_count() const { return updates_; }
 
+  /// Hook fired at the end of every add_version() with the object's uuid
+  /// and the new version number. This is how the serving tier learns
+  /// about version bumps without polling: AeroServer forwards it to its
+  /// update listeners. Single listener; pass an empty function to
+  /// detach.
+  using VersionListener =
+      std::function<void(const std::string& uuid, int version)>;
+  void set_version_listener(VersionListener listener) {
+    version_listener_ = std::move(listener);
+  }
+
   /// GraphViz DOT rendering of the provenance graph
   /// (objects ← runs ← objects).
   std::string provenance_dot() const;
@@ -152,6 +164,7 @@ class MetadataDb {
   std::vector<RunRecord> runs_;
   mutable std::uint64_t queries_ = 0;
   std::uint64_t updates_ = 0;
+  VersionListener version_listener_;
 };
 
 }  // namespace osprey::aero

@@ -33,6 +33,19 @@ osprey::util::RetryPolicy effective_policy(const AnalysisFlowSpec& spec) {
   return policy;
 }
 
+/// Degradation reason recorded while an upstream source outage window
+/// is active. Matched verbatim when the source answers again so only
+/// outage-caused degradation is lifted by a successful fetch.
+constexpr const char* kOutageReason = "upstream source outage";
+
+/// Probe time after a breaker denies a trigger: one tick past its
+/// reopen time. The breaker is open by construction here (allow() just
+/// returned false with the breaker enabled), so reopen_at() is engaged;
+/// fall back to the next tick if that invariant ever changes.
+SimTime probe_time(const osprey::util::CircuitBreaker& breaker, SimTime now) {
+  return breaker.reopen_at().value_or(now) + 1;
+}
+
 }  // namespace
 
 AeroServer::AeroServer(fabric::EventLoop& loop, fabric::AuthService& auth,
@@ -82,6 +95,11 @@ AeroServer::AeroServer(fabric::EventLoop& loop, fabric::AuthService& auth,
       "triggers deferred because a circuit breaker was open");
   stale_serves_ = &metrics->counter("aero_stale_serves_total",
                                     "serve_latest calls answered stale");
+  // Every version bump — flow-published or registered directly on the
+  // db — flows through to the serving-tier update listeners, so a cache
+  // can never keep serving a superseded version as a hit.
+  db_.set_version_listener(
+      [this](const std::string& uuid, int) { notify_updated(uuid); });
 }
 
 IngestionHandles AeroServer::register_ingestion(IngestionFlowSpec spec) {
@@ -212,6 +230,15 @@ void AeroServer::poll_ingestion(std::size_t index) {
     fetch_errors_->inc();
     OSPREY_LOG_WARN("aero", "fetch failed for '" << ing.spec.name
                             << "': upstream outage (injected)");
+    // An unreachable upstream means the last-good estimates may lag
+    // reality: flag the flow's data products stale until the source
+    // answers again, so the serving tier never labels them fresh.
+    // Guarded so a multi-day outage degrades once, not once per poll,
+    // and never overwrites a stronger reason (retry exhaustion).
+    if (degraded_.find(ing.output_uuid) == degraded_.end()) {
+      mark_degraded({ing.raw_uuid, ing.output_uuid}, ing.spec.name,
+                    kOutageReason);
+    }
     return;
   }
   // A flaky upstream must not take the whole server down; failed
@@ -224,6 +251,12 @@ void AeroServer::poll_ingestion(std::size_t index) {
     OSPREY_LOG_WARN("aero", "fetch failed for '" << ing.spec.name
                             << "': " << e.what());
     return;
+  }
+  // The source answered: lift outage-caused degradation. Other reasons
+  // (an exhausted retry budget) stand until a fresh version publishes.
+  auto deg = degraded_.find(ing.output_uuid);
+  if (deg != degraded_.end() && deg->second == kOutageReason) {
+    clear_degraded({ing.raw_uuid, ing.output_uuid}, ing.spec.name);
   }
   if (!payload.has_value()) return;
   std::string checksum = osprey::crypto::Sha256::hash_hex(*payload);
@@ -262,11 +295,11 @@ void AeroServer::poll_ingestion(std::size_t index) {
     }
     ing.pending = true;
     ing.pending_payload = std::move(*payload);
+    SimTime probe = probe_time(ing.breaker, loop_.now());
     record_incident(fabric::IncidentCategory::kDegraded, "trigger-deferred",
                     ing.spec.name, "circuit open; probe at " +
-                        osprey::util::format_sim_time(
-                            ing.breaker.reopen_at() + 1));
-    schedule_ingestion_probe(index, ing.breaker.reopen_at() + 1);
+                        osprey::util::format_sim_time(probe));
+    schedule_ingestion_probe(index, probe);
     return;
   }
   ing.attempts = 0;  // fresh trigger
@@ -470,14 +503,13 @@ void AeroServer::run_ingestion_flow(std::size_t index, std::string payload,
                if (ing3.pending) {
                  if (!ing3.breaker.allow(loop_.now())) {
                    deferred_triggers_->inc();
+                   SimTime probe = probe_time(ing3.breaker, loop_.now());
                    record_incident(
                        fabric::IncidentCategory::kDegraded,
                        "trigger-deferred", ing3.spec.name,
                        "circuit open; probe at " +
-                           osprey::util::format_sim_time(
-                               ing3.breaker.reopen_at() + 1));
-                   schedule_ingestion_probe(index,
-                                            ing3.breaker.reopen_at() + 1);
+                           osprey::util::format_sim_time(probe));
+                   schedule_ingestion_probe(index, probe);
                    return;
                  }
                  ing3.pending = false;
@@ -508,7 +540,8 @@ void AeroServer::fire_ingestion_retry(std::size_t index, int attempt,
   if (!ing.breaker.allow(loop_.now())) {
     // Breaker still open: push the retry past its reopen time without
     // consuming another attempt.
-    loop_.schedule_at(std::max(ing.breaker.reopen_at() + 1, loop_.now() + 1),
+    loop_.schedule_at(std::max(probe_time(ing.breaker, loop_.now()),
+                               loop_.now() + 1),
                       [this, index, attempt, gen] {
                         fire_ingestion_retry(index, attempt, gen);
                       });
@@ -525,7 +558,7 @@ void AeroServer::schedule_ingestion_probe(std::size_t index, SimTime at) {
     if (ing.cancelled || ing.running || !ing.pending) return;
     osprey::util::BreakerState before = ing.breaker.state();
     if (!ing.breaker.allow(loop_.now())) {
-      schedule_ingestion_probe(index, ing.breaker.reopen_at() + 1);
+      schedule_ingestion_probe(index, probe_time(ing.breaker, loop_.now()));
       return;
     }
     if (before == osprey::util::BreakerState::kOpen) {
@@ -585,12 +618,12 @@ void AeroServer::on_version_added(const std::string& uuid,
       deferred_triggers_->inc();
       analysis.pending = true;
       analysis.pending_cause = cause;
+      SimTime probe = probe_time(analysis.breaker, loop_.now());
       record_incident(fabric::IncidentCategory::kDegraded, "trigger-deferred",
                       analysis.spec.name,
                       "circuit open; probe at " +
-                          osprey::util::format_sim_time(
-                              analysis.breaker.reopen_at() + 1));
-      schedule_analysis_probe(i, analysis.breaker.reopen_at() + 1);
+                          osprey::util::format_sim_time(probe));
+      schedule_analysis_probe(i, probe);
       continue;
     }
     analysis.attempts = 0;  // fresh trigger
@@ -819,12 +852,12 @@ void AeroServer::run_analysis_flow(std::size_t index,
         if (a2.pending && analysis_ready(a2)) {
           if (!a2.breaker.allow(loop_.now())) {
             deferred_triggers_->inc();
+            SimTime probe = probe_time(a2.breaker, loop_.now());
             record_incident(fabric::IncidentCategory::kDegraded,
                             "trigger-deferred", a2.spec.name,
                             "circuit open; probe at " +
-                                osprey::util::format_sim_time(
-                                    a2.breaker.reopen_at() + 1));
-            schedule_analysis_probe(index, a2.breaker.reopen_at() + 1);
+                                osprey::util::format_sim_time(probe));
+            schedule_analysis_probe(index, probe);
             return;
           }
           a2.pending = false;
@@ -846,7 +879,8 @@ void AeroServer::fire_analysis_retry(std::size_t index, int attempt,
   // lost by dropping it.
   if (gen != a.trigger_gen || a.running) return;
   if (!a.breaker.allow(loop_.now())) {
-    loop_.schedule_at(std::max(a.breaker.reopen_at() + 1, loop_.now() + 1),
+    loop_.schedule_at(std::max(probe_time(a.breaker, loop_.now()),
+                               loop_.now() + 1),
                       [this, index, attempt, gen] {
                         fire_analysis_retry(index, attempt, gen);
                       });
@@ -862,7 +896,7 @@ void AeroServer::schedule_analysis_probe(std::size_t index, SimTime at) {
     if (a.running || !a.pending) return;
     osprey::util::BreakerState before = a.breaker.state();
     if (!a.breaker.allow(loop_.now())) {
-      schedule_analysis_probe(index, a.breaker.reopen_at() + 1);
+      schedule_analysis_probe(index, probe_time(a.breaker, loop_.now()));
       return;
     }
     if (before == osprey::util::BreakerState::kOpen) {
@@ -893,10 +927,12 @@ AeroServer::ServedEstimate AeroServer::serve_latest(const std::string& uuid) {
   auto it = degraded_.find(uuid);
   if (it != degraded_.end()) {
     est.stale = true;
-    est.reason = it->second;
+    // Contract: reason is empty iff fresh. A degraded entry recorded
+    // without a reason must still say *something*.
+    est.reason = it->second.empty() ? "degraded" : it->second;
   } else if (!est.version.has_value()) {
     est.stale = true;
-    est.reason = "no version published yet";
+    est.reason = "never-published";
   }
   if (est.stale) {
     stale_serves_->inc();
@@ -951,15 +987,39 @@ void AeroServer::mark_degraded(const std::vector<std::string>& uuids,
   for (const std::string& uuid : uuids) degraded_[uuid] = reason;
   record_incident(fabric::IncidentCategory::kDegraded, "degraded", site,
                   reason + "; serving last-good estimates");
+  // Degradation flips the staleness of the served answer, so caches
+  // must revalidate even though no new version appeared.
+  for (const std::string& uuid : uuids) notify_updated(uuid);
 }
 
 void AeroServer::clear_degraded(const std::vector<std::string>& uuids,
                                 const std::string& site) {
   bool any = false;
-  for (const std::string& uuid : uuids) any |= degraded_.erase(uuid) > 0;
+  for (const std::string& uuid : uuids) {
+    if (degraded_.erase(uuid) > 0) {
+      any = true;
+      notify_updated(uuid);
+    }
+  }
   if (any) {
     record_incident(fabric::IncidentCategory::kRecovery, "recovered", site,
                     "fresh estimate published");
+  }
+}
+
+std::uint64_t AeroServer::add_update_listener(UpdateListener listener) {
+  std::uint64_t id = next_listener_id_++;
+  update_listeners_[id] = std::move(listener);
+  return id;
+}
+
+void AeroServer::remove_update_listener(std::uint64_t id) {
+  update_listeners_.erase(id);
+}
+
+void AeroServer::notify_updated(const std::string& uuid) {
+  for (const auto& [id, listener] : update_listeners_) {
+    if (listener) listener(uuid);
   }
 }
 

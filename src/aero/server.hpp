@@ -19,6 +19,7 @@
 ///    storage endpoints via the transfer service.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -170,7 +171,7 @@ class AeroServer {
   struct ServedEstimate {
     std::optional<DataVersion> version;  // last good, if any
     bool stale = false;
-    std::string reason;  // why the estimate is stale (empty when fresh)
+    std::string reason;  // why the estimate is stale (empty iff fresh)
   };
   ServedEstimate serve_latest(const std::string& uuid);
 
@@ -178,6 +179,16 @@ class AeroServer {
   bool degraded(const std::string& uuid) const {
     return degraded_.count(uuid) > 0;
   }
+
+  /// Serving-tier invalidation hook: fires whenever an object's served
+  /// answer may have changed — a new DataVersion was registered (any
+  /// path into the metadata db) or its degradation state flipped.
+  /// serve::ResultCache registers here to invalidate entries. Returns a
+  /// key for remove_update_listener; listeners must outlive the server
+  /// or unregister first.
+  using UpdateListener = std::function<void(const std::string& uuid)>;
+  std::uint64_t add_update_listener(UpdateListener listener);
+  void remove_update_listener(std::uint64_t id);
 
   MetadataDb& db() { return db_; }
   const MetadataDb& db() const { return db_; }
@@ -287,6 +298,8 @@ class AeroServer {
                      const std::string& site, const std::string& reason);
   void clear_degraded(const std::vector<std::string>& uuids,
                       const std::string& site);
+  /// Invoke every registered update listener for `uuid`.
+  void notify_updated(const std::string& uuid);
   /// Called after any data object gains a version; evaluates triggers.
   void on_version_added(const std::string& uuid, const std::string& cause);
   /// Policy evaluation for one analysis flow.
@@ -329,6 +342,10 @@ class AeroServer {
   fabric::IncidentLog* incidents_ = nullptr;
   /// uuid -> reason its producer is currently failing.
   std::map<std::string, std::string> degraded_;
+  /// Serving-tier update listeners, keyed by registration id (ordered
+  /// map: notification order is deterministic).
+  std::map<std::uint64_t, UpdateListener> update_listeners_;
+  std::uint64_t next_listener_id_ = 1;
 };
 
 }  // namespace osprey::aero

@@ -24,7 +24,7 @@ std::string AuthService::issue_full_token(const std::string& identity) {
   return issue_token(identity,
                      {scopes::kStorageRead, scopes::kStorageWrite,
                       scopes::kTransfer, scopes::kCompute, scopes::kFlows,
-                      scopes::kTimers});
+                      scopes::kTimers, scopes::kServe});
 }
 
 void AuthService::revoke(const std::string& token) {

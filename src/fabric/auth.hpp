@@ -26,6 +26,8 @@ inline const char* kTransfer = "transfer";
 inline const char* kCompute = "compute";
 inline const char* kFlows = "flows";
 inline const char* kTimers = "timers";
+/// Serving-tier reads (serve::FrontEnd admission).
+inline const char* kServe = "serve";
 }  // namespace scopes
 
 struct TokenInfo {

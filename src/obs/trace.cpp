@@ -19,6 +19,7 @@ const char* category_name(Category category) {
     case Category::kAero:     return "aero";
     case Category::kEmews:    return "emews";
     case Category::kGsa:      return "gsa";
+    case Category::kServe:    return "serve";
     case Category::kOther:    return "other";
   }
   return "other";

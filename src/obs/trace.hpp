@@ -44,10 +44,11 @@ enum class Category {
   kAero,
   kEmews,
   kGsa,
+  kServe,
   kOther,
 };
 
-inline constexpr int kNumCategories = 7;
+inline constexpr int kNumCategories = 8;
 
 const char* category_name(Category category);
 /// Inverse of category_name (kOther for unknown names).

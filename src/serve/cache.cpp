@@ -1,0 +1,63 @@
+#include "serve/cache.hpp"
+
+namespace osprey::serve {
+
+const char* cache_outcome_name(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kHit:        return "hit";
+    case CacheOutcome::kMiss:       return "miss";
+    case CacheOutcome::kRevalidate: return "revalidate";
+  }
+  return "?";
+}
+
+ResultCache::ResultCache(aero::AeroServer& server,
+                         obs::MetricsRegistry& metrics)
+    : server_(server) {
+  hits_ = &metrics.counter("serve_cache_hits_total",
+                           "lookups answered from a validated entry");
+  misses_ = &metrics.counter("serve_cache_misses_total",
+                             "lookups with no entry (origin fetched)");
+  revalidates_ = &metrics.counter(
+      "serve_cache_revalidates_total",
+      "lookups whose entry was invalidated (origin re-fetched)");
+  invalidations_ = &metrics.counter(
+      "serve_cache_invalidations_total",
+      "entries invalidated by version bumps or degradation flips");
+  listener_id_ = server_.add_update_listener(
+      [this](const std::string& uuid) { invalidate(uuid); });
+}
+
+ResultCache::~ResultCache() { server_.remove_update_listener(listener_id_); }
+
+ResultCache::Result ResultCache::lookup(const std::string& uuid) {
+  auto it = entries_.find(uuid);
+  if (it != entries_.end() && it->second.valid) {
+    hits_->inc();
+    return Result{CacheOutcome::kHit, it->second.estimate};
+  }
+  CacheOutcome outcome =
+      it == entries_.end() ? CacheOutcome::kMiss : CacheOutcome::kRevalidate;
+  (outcome == CacheOutcome::kMiss ? misses_ : revalidates_)->inc();
+  Entry& entry = entries_[uuid];
+  entry.estimate = fetch_origin(uuid);
+  entry.valid = true;
+  return Result{outcome, entry.estimate};
+}
+
+void ResultCache::invalidate(const std::string& uuid) {
+  auto it = entries_.find(uuid);
+  if (it != entries_.end() && it->second.valid) {
+    it->second.valid = false;
+    invalidations_->inc();
+  }
+}
+
+aero::AeroServer::ServedEstimate ResultCache::fetch_origin(
+    const std::string& uuid) {
+  // The cache is the serving tier's one sanctioned origin client; all
+  // other serve-tier code must go through lookup().
+  return server_.serve_latest(uuid);  // osprey-lint: allow(serve-direct-origin)
+}
+
+}  // namespace osprey::serve

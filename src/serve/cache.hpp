@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file cache.hpp
+/// Version-keyed result cache fronting AeroServer::serve_latest().
+/// Lookup states follow Apache Traffic Server's cache model:
+///
+///   hit        — a validated entry exists; answered without touching
+///                the origin (no metadata query, no serve_latest call).
+///   miss       — no entry for the uuid; fetched from the origin and
+///                cached.
+///   revalidate — an entry exists but was invalidated by an update
+///                notification; re-fetched from the origin (the entry's
+///                last-good body is still available to degraded reads).
+///
+/// Entries are keyed by (uuid, DataVersion) semantically: the cached
+/// body is the ServedEstimate for one specific version, and the entry
+/// is invalidated — never silently reused — when AERO registers a new
+/// version OR flips the object's degradation state. Degradation matters
+/// as much as version bumps: a producer failure changes the honest
+/// answer (stale=true + reason) even though no new version appeared, so
+/// the cache revalidates and serves the last-good estimate WITH the
+/// staleness reason attached. A stale answer can therefore never be
+/// laundered into a fresh-looking hit.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "aero/server.hpp"
+#include "obs/metrics.hpp"
+
+namespace osprey::serve {
+
+enum class CacheOutcome { kHit, kMiss, kRevalidate };
+
+const char* cache_outcome_name(CacheOutcome outcome);
+
+class ResultCache {
+ public:
+  /// Registers an update listener on `server` for invalidation; the
+  /// cache must be destroyed (it unregisters itself) before the server.
+  /// Counters land in `metrics` under serve_cache_* names.
+  ResultCache(aero::AeroServer& server, obs::MetricsRegistry& metrics);
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  struct Result {
+    CacheOutcome outcome = CacheOutcome::kMiss;
+    aero::AeroServer::ServedEstimate estimate;
+  };
+
+  /// Serve `uuid` from cache, fetching from the origin on miss or
+  /// revalidate. The returned estimate carries AERO's staleness signal
+  /// verbatim (reason empty iff fresh).
+  Result lookup(const std::string& uuid);
+
+  /// Mark `uuid`'s entry for revalidation (no-op when absent or already
+  /// invalid). Wired to AeroServer's update listener; public so tests
+  /// can exercise invalidation directly.
+  void invalidate(const std::string& uuid);
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_->value(); }
+  std::uint64_t misses() const { return misses_->value(); }
+  std::uint64_t revalidates() const { return revalidates_->value(); }
+  std::uint64_t invalidations() const { return invalidations_->value(); }
+
+ private:
+  aero::AeroServer::ServedEstimate fetch_origin(const std::string& uuid);
+
+  struct Entry {
+    bool valid = false;  // false => next lookup revalidates
+    aero::AeroServer::ServedEstimate estimate;
+  };
+
+  aero::AeroServer& server_;
+  std::uint64_t listener_id_ = 0;
+  std::map<std::string, Entry> entries_;
+
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* revalidates_ = nullptr;
+  obs::Counter* invalidations_ = nullptr;
+};
+
+}  // namespace osprey::serve

@@ -9,6 +9,7 @@
 /// is exactly replayable.
 
 #include <cstdint>
+#include <optional>
 
 #include "util/sim_time.hpp"
 
@@ -37,16 +38,24 @@ struct RetryPolicy {
 
   bool enabled() const { return max_attempts > 0; }
 
-  /// Effective cap (resolves the <=0 default).
+  /// Effective cap (resolves the <=0 default). Saturates instead of
+  /// overflowing when `initial_backoff` is within 8x of the SimTime
+  /// ceiling.
   SimTime cap() const;
 
   /// Un-jittered backoff before retry `attempt` (1-based). Monotone
-  /// non-decreasing in `attempt`, clamped to [1, cap()].
+  /// non-decreasing in `attempt`, clamped to [1, cap()]. The growth is
+  /// computed in floating point and explicitly saturated at cap(), so
+  /// huge attempt counts (or extreme multipliers) can never overflow
+  /// SimTime. Non-positive `attempt` values are clamped to 1: a retry
+  /// scheduler with a bookkeeping bug gets the initial backoff, not a
+  /// crash in the recovery path.
   SimTime backoff(int attempt) const;
 
   /// Backoff with deterministic jitter; `key` distinguishes independent
   /// consumers (hash of a flow name, task id, ...). Always within
   /// [backoff*(1-jitter), backoff*(1+jitter)] and at least 1 ms.
+  /// `attempt` is clamped like backoff().
   SimTime jittered(int attempt, std::uint64_t key = 0) const;
 };
 
@@ -91,9 +100,14 @@ class CircuitBreaker {
   void on_failure(SimTime now);
 
   BreakerState state() const { return state_; }
-  /// When an open breaker will next admit a probe (only meaningful in
-  /// the open state).
-  SimTime reopen_at() const { return opened_at_ + config_.open_timeout; }
+  /// When an open breaker will next admit a probe. nullopt unless the
+  /// breaker is currently open: a breaker that never tripped (or has
+  /// since half-opened/closed) has no reopen time, and the old
+  /// `opened_at_ + open_timeout` answer for those states was bogus.
+  std::optional<SimTime> reopen_at() const {
+    if (state_ != BreakerState::kOpen) return std::nullopt;
+    return opened_at_ + config_.open_timeout;
+  }
 
   int consecutive_failures() const { return consecutive_failures_; }
   std::uint64_t times_opened() const { return times_opened_; }

@@ -285,3 +285,74 @@ TEST_F(AeroServerTest, MetadataNeverStoresPayloads) {
   EXPECT_EQ(ver->path.find("SECRET"), std::string::npos);
   EXPECT_EQ(ver->size_bytes, 14u);
 }
+
+// ---------------------------------------------------------------------------
+// Graceful-degradation contract: a ServedEstimate's reason is empty iff
+// the estimate is fresh — in every reachable serving state.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void expect_reason_iff_stale(const oa::AeroServer::ServedEstimate& est,
+                             const std::string& context) {
+  EXPECT_EQ(est.stale, !est.reason.empty())
+      << context << ": reason must be empty iff fresh (stale=" << est.stale
+      << " reason='" << est.reason << "')";
+}
+
+}  // namespace
+
+TEST_F(AeroServerTest, ServeLatestNeverPublishedIsStaleWithReason) {
+  // Regression: an object whose producer failed before ever publishing
+  // used to report stale=true with an empty reason, letting a consumer
+  // (or cache) mistake it for fresh under the "reason iff stale" rule.
+  std::string uuid = server.db().register_object("orphan", "doomed-flow");
+  oa::AeroServer::ServedEstimate est = server.serve_latest(uuid);
+  EXPECT_FALSE(est.version.has_value());
+  EXPECT_TRUE(est.stale);
+  EXPECT_EQ(est.reason, "never-published");
+  expect_reason_iff_stale(est, "never-published");
+  EXPECT_EQ(server.stale_serves(), 1u);
+}
+
+TEST_F(AeroServerTest, ServeLatestReasonEmptyIffFreshAcrossStates) {
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://feed/a", std::vector<std::pair<of::SimTime, std::string>>{
+                            {0, "hello"}});
+  auto handles = server.register_ingestion(ingestion_spec("flow-a", source));
+
+  // Before the first poll completes: never published -> stale + reason.
+  expect_reason_iff_stale(server.serve_latest(handles.output_uuid),
+                          "pre-publish");
+  loop.run_until(kHour);
+
+  // Published and healthy: fresh, no reason.
+  oa::AeroServer::ServedEstimate fresh = server.serve_latest(handles.output_uuid);
+  ASSERT_TRUE(fresh.version.has_value());
+  EXPECT_FALSE(fresh.stale);
+  expect_reason_iff_stale(fresh, "fresh");
+}
+
+TEST_F(AeroServerTest, UpdateListenersFireOnVersionsAndDegradationFlips) {
+  std::vector<std::string> notified;
+  std::uint64_t id = server.add_update_listener(
+      [&](const std::string& uuid) { notified.push_back(uuid); });
+
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://feed/a", std::vector<std::pair<of::SimTime, std::string>>{
+                            {0, "hello"}});
+  auto handles = server.register_ingestion(ingestion_spec("flow-a", source));
+  loop.run_until(kHour);
+
+  // Both the raw and transformed objects gained a version.
+  EXPECT_EQ(std::count(notified.begin(), notified.end(), handles.raw_uuid), 1);
+  EXPECT_EQ(std::count(notified.begin(), notified.end(), handles.output_uuid),
+            1);
+
+  // After removal the listener must stay silent.
+  server.remove_update_listener(id);
+  std::size_t seen = notified.size();
+  server.db().add_version(handles.raw_uuid, std::string(64, 'a'), 1,
+                          loop.now(), "eagle", "data", "flow-a/raw");
+  EXPECT_EQ(notified.size(), seen);
+}

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <optional>
 #include <vector>
 
 #include "fabric/event_loop.hpp"
@@ -115,7 +117,6 @@ TEST(RetryPolicy, JitterIsDeterministicPerSeedAndSpreadsAcrossKeys) {
 
 TEST(RetryPolicy, InvalidParametersAreRejected) {
   RetryPolicy policy;
-  EXPECT_THROW(policy.backoff(0), ou::InvalidArgument);
   policy.initial_backoff = 0;
   EXPECT_THROW(policy.backoff(1), ou::InvalidArgument);
   policy.initial_backoff = kMinute;
@@ -126,6 +127,59 @@ TEST(RetryPolicy, InvalidParametersAreRejected) {
   EXPECT_THROW(policy.jittered(1), ou::InvalidArgument);
   policy.jitter = -0.1;
   EXPECT_THROW(policy.jittered(1), ou::InvalidArgument);
+}
+
+TEST(RetryPolicy, NonPositiveAttemptsClampToTheInitialBackoff) {
+  // Regression: backoff(0)/backoff(-1) used to throw from deep inside
+  // the recovery path. A scheduler bookkeeping bug now degrades to the
+  // initial backoff instead of killing the server.
+  RetryPolicy policy;
+  policy.initial_backoff = 10 * kMinute;
+  policy.jitter = 0.25;
+  EXPECT_EQ(policy.backoff(0), policy.backoff(1));
+  EXPECT_EQ(policy.backoff(-7), policy.backoff(1));
+  EXPECT_EQ(policy.jittered(0, 42), policy.jittered(1, 42));
+  EXPECT_EQ(policy.jittered(-3, 42), policy.jittered(1, 42));
+}
+
+TEST(RetryPolicy, HugeAttemptCountsSaturateAtTheCapWithoutOverflow) {
+  // Regression: initial * multiplier^(attempt-1) overflowed SimTime
+  // before the cap clamp for large attempt counts. The schedule must
+  // saturate exactly at cap() for arbitrarily large attempts.
+  RetryPolicy policy;
+  policy.initial_backoff = 5 * kMinute;
+  policy.multiplier = 2.0;
+  policy.max_backoff = kHour;
+  for (int attempt : {60, 63, 64, 100, 1000, 1 << 30}) {
+    EXPECT_EQ(policy.backoff(attempt), kHour) << "attempt " << attempt;
+  }
+  // Jitter on a saturated base must stay within SimTime too.
+  policy.jitter = 0.5;
+  for (int attempt : {100, 1 << 30}) {
+    SimTime j = policy.jittered(attempt, 7);
+    EXPECT_GE(j, static_cast<SimTime>(kHour * 0.5) - 1);
+    EXPECT_LE(j, static_cast<SimTime>(kHour * 1.5) + 1);
+  }
+}
+
+TEST(RetryPolicy, CapSaturatesNearTheSimTimeCeiling) {
+  // Regression: the default 8x cap computed initial_backoff * 8 in
+  // SimTime and wrapped negative for huge initial backoffs.
+  constexpr SimTime kMax = std::numeric_limits<SimTime>::max();
+  RetryPolicy policy;
+  policy.initial_backoff = kMax / 2;
+  EXPECT_EQ(policy.cap(), kMax);
+  EXPECT_GT(policy.backoff(1), 0);
+  EXPECT_LE(policy.backoff(1), kMax);
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    SimTime b = policy.backoff(attempt);
+    EXPECT_GT(b, 0) << "attempt " << attempt;
+    EXPECT_LE(b, policy.cap());
+  }
+  EXPECT_EQ(policy.backoff(8), kMax);
+  // An explicit cap at the ceiling round-trips unharmed as well.
+  policy.max_backoff = kMax;
+  EXPECT_EQ(policy.backoff(64), kMax);
 }
 
 TEST(RetryPolicy, StableKeyIsStable) {
@@ -245,6 +299,31 @@ TEST(CircuitBreaker, ProbeSuccessCounterResetsOnEachHalfOpenEntry) {
   EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
   breaker.on_success(3 * kHour);
   EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, ReopenAtIsEngagedOnlyWhileOpen) {
+  // Regression: reopen_at() used to return opened_at_ + open_timeout
+  // unconditionally — a bogus "reopens at 30min" for a breaker that
+  // never tripped. It now answers only for the open state.
+  CircuitBreaker breaker(breaker_config(1, kHour, 1));
+  EXPECT_EQ(breaker.reopen_at(), std::nullopt) << "never opened";
+
+  breaker.on_failure(5 * kMinute);
+  ASSERT_TRUE(breaker.reopen_at().has_value());
+  EXPECT_EQ(*breaker.reopen_at(), 5 * kMinute + kHour);
+
+  EXPECT_TRUE(breaker.allow(5 * kMinute + kHour));  // -> half-open
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.reopen_at(), std::nullopt) << "half-open has no reopen";
+
+  breaker.on_success(5 * kMinute + kHour);  // -> closed
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.reopen_at(), std::nullopt) << "closed has no reopen";
+
+  // A disabled breaker never opens, so never has a reopen time.
+  CircuitBreaker disabled;
+  disabled.on_failure(0);
+  EXPECT_EQ(disabled.reopen_at(), std::nullopt);
 }
 
 TEST(CircuitBreaker, StateNamesAndValidation) {

@@ -29,6 +29,13 @@
 //                     belong in obs::MetricsRegistry so they show up in
 //                     snapshots and the Prometheus export. Pre-obs
 //                     counters are grandfathered via allow().
+//   serve-direct-origin
+//                     calling AeroServer::serve_latest() is forbidden in
+//                     src/serve — serving-tier reads go through
+//                     serve::ResultCache::lookup() so every read gets
+//                     hit/miss/revalidate accounting and invalidation;
+//                     the cache's single origin-fetch site carries the
+//                     allow().
 //   test-registration every tests/test_*.cpp must be listed in
 //                     tests/CMakeLists.txt, or it silently never runs.
 //
@@ -195,6 +202,10 @@ bool rule_fabric_throw_applies(const std::string& path) {
   return starts_with(path, "src/fabric/");
 }
 
+bool rule_serve_origin_applies(const std::string& path) {
+  return starts_with(path, "src/serve/");
+}
+
 std::vector<LineRule> make_rules() {
   std::vector<LineRule> rules;
   rules.push_back({
@@ -245,6 +256,15 @@ std::vector<LineRule> make_rules() {
       "the service's MetricsRegistry instead so the value reaches "
       "snapshots and the Prometheus export",
       &rule_fabric_throw_applies,
+  });
+  rules.push_back({
+      "serve-direct-origin",
+      std::regex(R"(\bserve_latest\s*\()"),
+      "direct serve_latest() from serve-tier code; go through "
+      "serve::ResultCache::lookup() so every read gets hit/miss/"
+      "revalidate accounting and invalidation (the cache's own origin "
+      "fetch carries an allow)",
+      &rule_serve_origin_applies,
   });
   return rules;
 }
@@ -378,7 +398,8 @@ int main(int argc, char** argv) {
       json_out = fs::path(argv[i]);
     } else if (arg == "--list-rules") {
       std::cout << "rng\nwall-clock\nraw-thread\nrelative-include\n"
-                   "fabric-raw-throw\nadhoc-counter\ntest-registration\n";
+                   "fabric-raw-throw\nadhoc-counter\nserve-direct-origin\n"
+                   "test-registration\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
