@@ -3,9 +3,10 @@
 # cheapest-first so style/invariant breakage fails before any sanitizer
 # build starts:
 #
-#   lint    tools/osprey_lint over src/ tests/ bench/ (determinism &
-#           concurrency invariants; see DESIGN.md §"Concurrency &
-#           determinism invariants").
+#   lint    tools/osprey_lint over src/ tests/ bench/ tools/ — the
+#           whole-program analyzer: token rules, module-layering DAG,
+#           include cycles, determinism-taint reachability. See
+#           DESIGN.md §"Static analysis architecture".
 #   tidy    clang-tidy with the repo .clang-tidy (SKIPPED when
 #           clang-tidy is not installed).
 #   tsa     Clang -Wthread-safety -Werror=thread-safety build via
@@ -16,6 +17,8 @@
 #           exporter round trips, metrics semantics) plus
 #           `osprey_trace --self-check`. See DESIGN.md §"Observability".
 #   asan    address+undefined sanitizer build, full ctest suite.
+#   ubsan   standalone undefined-behavior sanitizer build, full ctest
+#           suite (catches UB that ASan's instrumentation masks).
 #   tsan    thread sanitizer build, concurrency-heavy suites only.
 #   chaos   thread sanitizer build of the chaos suite: the 16-seed
 #           fault-injection sweep (ctest -L chaos) plus the
@@ -34,13 +37,13 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-ALL_STAGES=(lint tidy tsa tier1 obs asan tsan chaos serve)
+ALL_STAGES=(lint tidy tsa tier1 obs asan ubsan tsan chaos serve)
 declare -A WANTED=()
 SKIP_TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
-    lint|tidy|tsa|tier1|obs|asan|tsan|chaos|serve) WANTED[$arg]=1 ;;
+    lint|tidy|tsa|tier1|obs|asan|ubsan|tsan|chaos|serve) WANTED[$arg]=1 ;;
     *) echo "unknown argument: $arg" >&2
        echo "usage: scripts/check.sh [--skip-tsan] [stage ...]" >&2
        echo "stages: ${ALL_STAGES[*]}" >&2
@@ -77,7 +80,7 @@ stage_lint() {
   cmake -B build -S . >/dev/null &&
   cmake --build build --target osprey_lint -j "$JOBS" &&
   ./build/tools/osprey_lint --root . --json build/osprey_lint.json \
-      src tests bench
+      src tests bench tools
 }
 
 stage_tidy() {
@@ -121,6 +124,12 @@ stage_asan() {
   (cd build-asan && ctest --output-on-failure -j "$JOBS")
 }
 
+stage_ubsan() {
+  cmake -B build-ubsan -S . -DOSPREY_SANITIZE=undefined >/dev/null &&
+  cmake --build build-ubsan -j "$JOBS" &&
+  (cd build-ubsan && ctest --output-on-failure -j "$JOBS")
+}
+
 stage_tsan() {
   if [[ "$SKIP_TSAN" == "1" ]]; then
     echo "skipped (--skip-tsan)"
@@ -162,6 +171,7 @@ run_stage lint  stage_lint
 [[ $FAILED -eq 0 ]] && run_stage tier1 stage_tier1
 [[ $FAILED -eq 0 ]] && run_stage obs   stage_obs
 [[ $FAILED -eq 0 ]] && run_stage asan  stage_asan
+[[ $FAILED -eq 0 ]] && run_stage ubsan stage_ubsan
 [[ $FAILED -eq 0 ]] && run_stage tsan  stage_tsan
 [[ $FAILED -eq 0 ]] && run_stage chaos stage_chaos
 [[ $FAILED -eq 0 ]] && run_stage serve stage_serve

@@ -21,7 +21,7 @@ scripts/check.sh tier1 obs
 
 if [[ "$MODE" == "full" ]]; then
   echo "=== ci: sanitizer stages ==="
-  scripts/check.sh asan tsan chaos serve
+  scripts/check.sh asan ubsan tsan chaos serve
 fi
 
 echo "=== ci: done ==="

@@ -1,8 +1,8 @@
-#include "gsa/music_coop.hpp"
+#include "core/music_coop.hpp"
 
 #include "util/error.hpp"
 
-namespace osprey::gsa {
+namespace osprey::core {
 
 using osprey::emews::PollResult;
 using osprey::util::Value;
@@ -88,4 +88,4 @@ PollResult MusicCoop::poll() {
   return PollResult::kProgress;
 }
 
-}  // namespace osprey::gsa
+}  // namespace osprey::core

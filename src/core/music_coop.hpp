@@ -17,7 +17,15 @@
 #include "emews/task_api.hpp"
 #include "gsa/music.hpp"
 
-namespace osprey::gsa {
+namespace osprey::core {
+
+// The science (MusicEngine) lives in gsa; only this EMEWS adapter sits
+// in core, which is the one module allowed to couple the two layers.
+using osprey::gsa::Matrix;
+using osprey::gsa::MusicConfig;
+using osprey::gsa::MusicEngine;
+using osprey::gsa::MusicResult;
+using osprey::gsa::Vector;
 
 class MusicCoop final : public osprey::emews::CoopAlgorithm {
  public:
@@ -58,4 +66,4 @@ class MusicCoop final : public osprey::emews::CoopAlgorithm {
   bool finished_ = false;
 };
 
-}  // namespace osprey::gsa
+}  // namespace osprey::core

@@ -10,10 +10,13 @@ OspreyPlatform::OspreyPlatform()
       transfers_(loop_, auth_),
       flows_(loop_, auth_),
       aero_(loop_, auth_, timers_, transfers_, flows_, "aero", &metrics_) {
+  loop_.set_metrics(&metrics_);
   timers_.set_tracer(&tracer_);
+  timers_.set_metrics(&metrics_);
   transfers_.set_tracer(&tracer_);
   transfers_.set_metrics(&metrics_);
   flows_.set_tracer(&tracer_);
+  flows_.set_metrics(&metrics_);
   aero_.set_tracer(&tracer_);
   task_db_.set_tracer(&tracer_);
 }

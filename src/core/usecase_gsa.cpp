@@ -39,11 +39,11 @@ GsaUseCaseResult GsaUseCase::run() {
 
   // --- the interleaved MUSIC instances, one per replicate ---
   emews::InterleavedDriver driver(db);
-  std::vector<std::shared_ptr<gsa::MusicCoop>> instances;
+  std::vector<std::shared_ptr<MusicCoop>> instances;
   for (std::size_t r = 0; r < config_.n_replicates; ++r) {
     gsa::MusicConfig mc = config_.music;
     mc.seed = config_.music.seed + r;  // distinct designs per instance
-    auto coop = std::make_shared<gsa::MusicCoop>(
+    auto coop = std::make_shared<MusicCoop>(
         "music-rep" + std::to_string(r), queue, mc, r);
     instances.push_back(coop);
     driver.add(coop);

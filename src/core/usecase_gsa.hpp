@@ -14,7 +14,7 @@
 #include "core/platform.hpp"
 #include "emews/pool_launcher.hpp"
 #include "gsa/music.hpp"
-#include "gsa/music_coop.hpp"
+#include "core/music_coop.hpp"
 
 namespace osprey::core {
 

@@ -48,8 +48,8 @@ bool ComputeEndpoint::has_function(const std::string& function_id) const {
 
 void ComputeEndpoint::set_metrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
-    m_succeeded_ = nullptr;
-    m_failed_ = nullptr;
+    m_succeeded_ = &own_succeeded_;
+    m_failed_ = &own_failed_;
     m_latency_ = nullptr;
     return;
   }
@@ -71,8 +71,8 @@ void ComputeEndpoint::finish_obs(const ComputeTaskRecord& rec) {
                       rec.error);
   }
   if (ok) {
-    if (m_succeeded_ != nullptr) m_succeeded_->inc();
-  } else if (m_failed_ != nullptr) {
+    m_succeeded_->inc();
+  } else {
     m_failed_->inc();
   }
   if (m_latency_ != nullptr && rec.completed >= rec.submitted) {
@@ -114,7 +114,6 @@ ComputeTaskId ComputeEndpoint::execute(const std::string& function_id,
                            r.status = ComputeTaskStatus::kFailed;
                            r.error = "endpoint unreachable (outage)";
                            r.completed = loop_.now();
-                           ++completed_;
                            finish_obs(r);
                            if (cb) cb(Value(nullptr), r);
                          });
@@ -196,7 +195,6 @@ SimTime ComputeEndpoint::execute_body(PendingTask& task, SimTime limit) {
                         result = std::move(result)] {
                          ComputeTaskRecord& r = records_[id];
                          r.completed = loop_.now();
-                         ++completed_;
                          finish_obs(r);
                          if (cb) cb(result, r);
                        });

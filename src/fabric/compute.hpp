@@ -110,7 +110,10 @@ class ComputeEndpoint {
 
   const ComputeTaskRecord& task(ComputeTaskId id) const;
   const std::vector<ComputeTaskRecord>& tasks() const { return records_; }
-  std::size_t completed_count() const { return completed_; }
+  std::size_t completed_count() const {
+    return static_cast<std::size_t>(m_succeeded_->value() +
+                                    m_failed_->value());
+  }
 
  private:
   struct Registered {
@@ -148,11 +151,13 @@ class ComputeEndpoint {
   std::map<std::string, Registered> functions_;  // id -> registration
   std::vector<ComputeTaskRecord> records_;
   std::deque<PendingTask> login_queue_;
-  // osprey-lint: allow(adhoc-counter) grandfathered pre-obs counter
-  std::size_t completed_ = 0;
   obs::TraceRecorder* tracer_ = nullptr;
-  obs::Counter* m_succeeded_ = nullptr;
-  obs::Counter* m_failed_ = nullptr;
+  // Task counters always point at a live obs::Counter: the owned
+  // fallbacks until set_metrics binds a registry, so completed_count()
+  // works unwired. The histogram stays optional.
+  obs::Counter own_succeeded_, own_failed_;
+  obs::Counter* m_succeeded_ = &own_succeeded_;
+  obs::Counter* m_failed_ = &own_failed_;
   obs::Histogram* m_latency_ = nullptr;
 
   /// Ends the span and bumps metrics when a task record completes.

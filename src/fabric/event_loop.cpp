@@ -20,6 +20,15 @@ EventId EventLoop::schedule_after(SimTime dt, Callback cb) {
 
 bool EventLoop::cancel(EventId id) { return callbacks_.erase(id) > 0; }
 
+void EventLoop::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    processed_ = &own_processed_;
+    return;
+  }
+  processed_ = &metrics->counter("fabric_events_processed_total",
+                                 "events fired by the virtual-time loop");
+}
+
 bool EventLoop::fire_next() {
   while (!queue_.empty()) {
     Entry entry = queue_.top();
@@ -34,7 +43,7 @@ bool EventLoop::fire_next() {
     now_ = entry.time;
     Callback cb = std::move(it->second);
     callbacks_.erase(it);
-    ++processed_;
+    processed_->inc();
     cb();
     return true;
   }

@@ -13,6 +13,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/sim_time.hpp"
 
 namespace osprey::fabric {
@@ -48,7 +49,11 @@ class EventLoop {
 
   bool empty() const { return callbacks_.empty(); }
   std::size_t pending() const { return callbacks_.size(); }
-  std::uint64_t events_processed() const { return processed_; }
+  std::uint64_t events_processed() const { return processed_->value(); }
+
+  /// Bind the processed-events counter to `metrics` (non-owning;
+  /// nullptr reverts to the loop's private fallback counter).
+  void set_metrics(obs::MetricsRegistry* metrics);
 
  private:
   struct Entry {
@@ -62,8 +67,10 @@ class EventLoop {
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  // osprey-lint: allow(adhoc-counter) grandfathered pre-obs counter
-  std::uint64_t processed_ = 0;
+  // Always points at a live obs::Counter: the owned fallback until
+  // set_metrics binds a registry, so events_processed() works unwired.
+  obs::Counter own_processed_;
+  obs::Counter* processed_ = &own_processed_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
   // Live callbacks; cancellation erases the entry, leaving a tombstone in
   // the priority queue that fire_next() skips.

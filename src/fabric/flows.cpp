@@ -10,6 +10,15 @@ namespace osprey::fabric {
 FlowsService::FlowsService(EventLoop& loop, AuthService& auth)
     : loop_(loop), auth_(auth) {}
 
+void FlowsService::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    succeeded_ = &own_succeeded_;
+    return;
+  }
+  succeeded_ = &metrics->counter("fabric_flow_runs_succeeded_total",
+                                 "flow runs that completed every step");
+}
+
 FlowRunId FlowsService::run(const FlowDefinition& flow,
                             const std::string& token, RunCallback on_done,
                             osprey::util::Value initial_state) {
@@ -103,7 +112,7 @@ void FlowsService::finish(std::shared_ptr<ActiveRun> run,
     tracer_->end_span(rec.trace_span, obs::sim_ns(rec.ended),
                       status == FlowRunStatus::kSucceeded);
   }
-  if (status == FlowRunStatus::kSucceeded) ++succeeded_;
+  if (status == FlowRunStatus::kSucceeded) succeeded_->inc();
   if (run->on_done) run->on_done(rec, run->context.state);
 }
 

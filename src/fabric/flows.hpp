@@ -15,6 +15,7 @@
 #include "fabric/auth.hpp"
 #include "fabric/event_loop.hpp"
 #include "fabric/fault.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/value.hpp"
 
@@ -80,6 +81,10 @@ class FlowsService {
   /// inside a step (transfers, compute) nest under the step's span.
   void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
 
+  /// Bind the succeeded-runs counter to `metrics` (non-owning; nullptr
+  /// reverts to the service's private fallback counter).
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   using RunCallback = std::function<void(const FlowRunRecord&,
                                          const osprey::util::Value& state)>;
 
@@ -92,7 +97,9 @@ class FlowsService {
   const FlowRunRecord& record(FlowRunId id) const;
   const std::vector<FlowRunRecord>& records() const { return records_; }
   std::size_t runs_started() const { return records_.size(); }
-  std::size_t runs_succeeded() const { return succeeded_; }
+  std::size_t runs_succeeded() const {
+    return static_cast<std::size_t>(succeeded_->value());
+  }
 
  private:
   struct ActiveRun {
@@ -110,8 +117,10 @@ class FlowsService {
   FaultPlan* plan_ = nullptr;
   obs::TraceRecorder* tracer_ = nullptr;
   std::vector<FlowRunRecord> records_;
-  // osprey-lint: allow(adhoc-counter) grandfathered pre-obs counter
-  std::size_t succeeded_ = 0;
+  // Always points at a live obs::Counter: the owned fallback until
+  // set_metrics binds a registry, so runs_succeeded() works unwired.
+  obs::Counter own_succeeded_;
+  obs::Counter* succeeded_ = &own_succeeded_;
 };
 
 }  // namespace osprey::fabric

@@ -12,6 +12,7 @@
 
 #include "fabric/auth.hpp"
 #include "fabric/event_loop.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace osprey::fabric {
@@ -34,8 +35,12 @@ class TimerService {
   /// firing becomes an instant event ("timer:<name>").
   void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
 
+  /// Bind the fires counter to `metrics` (non-owning; nullptr reverts
+  /// to the service's private fallback counter).
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   std::size_t active_count() const { return timers_.size(); }
-  std::uint64_t total_fires() const { return fires_; }
+  std::uint64_t total_fires() const { return fires_->value(); }
 
  private:
   struct Timer {
@@ -51,8 +56,10 @@ class TimerService {
   AuthService& auth_;
   std::map<TimerId, Timer> timers_;
   TimerId next_id_ = 0;
-  // osprey-lint: allow(adhoc-counter) grandfathered pre-obs counter
-  std::uint64_t fires_ = 0;
+  // Always points at a live obs::Counter: the owned fallback until
+  // set_metrics binds a registry, so total_fires() works unwired.
+  obs::Counter own_fires_;
+  obs::Counter* fires_ = &own_fires_;
   obs::TraceRecorder* tracer_ = nullptr;
 };
 

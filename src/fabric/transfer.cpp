@@ -33,7 +33,7 @@ bool TransferService::should_fail_next() {
   z ^= z >> 31;
   double u = static_cast<double>(z >> 11) * 0x1.0p-53;
   if (u < failure_rate_) {
-    ++injected_;
+    m_injected_->inc();
     return true;
   }
   return false;
@@ -46,8 +46,9 @@ void TransferService::set_default_timeout(SimTime timeout) {
 
 void TransferService::set_metrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
-    m_completed_ = nullptr;
-    m_failed_ = nullptr;
+    m_completed_ = &own_completed_;
+    m_failed_ = &own_failed_;
+    m_injected_ = &own_injected_;
     m_bytes_ = nullptr;
     return;
   }
@@ -56,6 +57,9 @@ void TransferService::set_metrics(obs::MetricsRegistry* metrics) {
                                    "completed and verified");
   m_failed_ = &metrics->counter("fabric_transfers_failed_total",
                                 "transfers that ended in a terminal failure");
+  m_injected_ = &metrics->counter(
+      "fabric_transfers_injected_failures_total",
+      "transfer failures injected by inject_failures()");
   m_bytes_ = &metrics->histogram(
       "fabric_transfer_bytes", {1e3, 1e4, 1e5, 1e6, 1e7, 1e8},
       "payload size per completed transfer (bytes)");
@@ -68,11 +72,11 @@ void TransferService::finish_obs(const TransferRecord& rec) {
                       rec.error);
   }
   if (ok) {
-    if (m_completed_ != nullptr) m_completed_->inc();
+    m_completed_->inc();
     if (m_bytes_ != nullptr) {
       m_bytes_->observe(static_cast<double>(rec.bytes));
     }
-  } else if (m_failed_ != nullptr) {
+  } else {
     m_failed_->inc();
   }
 }
@@ -215,7 +219,6 @@ TransferId TransferService::transfer(
           try {
             dst.put(dst_collection, dst_path, bytes, token);
             r.status = TransferStatus::kSucceeded;
-            ++completed_;
           } catch (const osprey::util::Error& e) {
             r.status = TransferStatus::kFailed;
             r.error = e.what();

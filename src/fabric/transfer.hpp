@@ -50,7 +50,9 @@ class TransferService {
   /// with probability `rate` (after its latency). Deterministic per
   /// `seed`. Used to exercise the orchestration layer's retry paths.
   void inject_failures(double rate, std::uint64_t seed);
-  std::size_t injected_failures() const { return injected_; }
+  std::size_t injected_failures() const {
+    return static_cast<std::size_t>(m_injected_->value());
+  }
 
   /// Attach a chaos FaultPlan (non-owning; nullptr detaches). The plan
   /// can drop, stall or corrupt transfers; corruption is caught by the
@@ -89,7 +91,9 @@ class TransferService {
   /// Virtual duration a payload of `bytes` takes under the cost model.
   SimTime duration_for(std::uint64_t bytes) const;
 
-  std::size_t completed_count() const { return completed_; }
+  std::size_t completed_count() const {
+    return static_cast<std::size_t>(m_completed_->value());
+  }
 
  private:
   EventLoop& loop_;
@@ -97,19 +101,20 @@ class TransferService {
   SimTime latency_;
   double bandwidth_;
   std::vector<TransferRecord> records_;
-  // osprey-lint: allow(adhoc-counter) grandfathered pre-obs counter
-  std::size_t completed_ = 0;
   // Failure injection state (simple xorshift-free counter hash keeps the
   // fabric library independent of num/).
   double failure_rate_ = 0.0;
   std::uint64_t failure_state_ = 0;
-  // osprey-lint: allow(adhoc-counter) grandfathered pre-obs counter
-  std::size_t injected_ = 0;
   FaultPlan* plan_ = nullptr;
   SimTime timeout_ = 0;
   obs::TraceRecorder* tracer_ = nullptr;
-  obs::Counter* m_completed_ = nullptr;
-  obs::Counter* m_failed_ = nullptr;
+  // Counters always point at a live obs::Counter: the owned fallbacks
+  // until set_metrics binds a registry, so accessors work unwired. The
+  // histogram stays optional (it has no default bucket layout).
+  obs::Counter own_completed_, own_failed_, own_injected_;
+  obs::Counter* m_completed_ = &own_completed_;
+  obs::Counter* m_failed_ = &own_failed_;
+  obs::Counter* m_injected_ = &own_injected_;
   obs::Histogram* m_bytes_ = nullptr;
 
   bool should_fail_next();

@@ -58,7 +58,6 @@
 #include "gp/kernel.hpp"          // IWYU pragma: export
 #include "gsa/calibrate.hpp"      // IWYU pragma: export
 #include "gsa/music.hpp"          // IWYU pragma: export
-#include "gsa/music_coop.hpp"     // IWYU pragma: export
 #include "gsa/pce.hpp"            // IWYU pragma: export
 #include "gsa/sobol.hpp"          // IWYU pragma: export
 #include "rt/cori.hpp"            // IWYU pragma: export
@@ -72,6 +71,7 @@
 #include "core/artifact_catalog.hpp" // IWYU pragma: export
 #include "core/harness.hpp"          // IWYU pragma: export
 #include "core/metarvm_gsa.hpp"      // IWYU pragma: export
+#include "core/music_coop.hpp"       // IWYU pragma: export
 #include "core/platform.hpp"         // IWYU pragma: export
 #include "core/usecase_gsa.hpp"      // IWYU pragma: export
 #include "core/usecase_ww.hpp"       // IWYU pragma: export

@@ -1,0 +1,41 @@
+// NEGATIVE compile check — this file must NOT compile under
+// -Werror=thread-safety. Mirrors the obs::MetricsRegistry internals:
+// instrument maps guarded by the registry mutex plus an
+// OSPREY_REQUIRES-annotated locked helper. Calling that helper without
+// holding the mutex must be rejected by the analysis.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace {
+
+struct RegistryShape {
+  mutable osprey::util::Mutex mutex;
+  std::map<std::string, std::unique_ptr<int>> counters
+      OSPREY_GUARDED_BY(mutex);
+
+  bool has_locked(const std::string& name) const OSPREY_REQUIRES(mutex) {
+    return counters.count(name) != 0;
+  }
+
+  // error: calling 'has_locked' requires holding mutex 'mutex'
+  bool has_unguarded(const std::string& name) const {
+    return has_locked(name);
+  }
+
+  bool has_guarded(const std::string& name) const {
+    osprey::util::MutexLock lock(mutex);
+    return has_locked(name);  // correct access, must stay warning-free
+  }
+};
+
+}  // namespace
+
+int main() {
+  RegistryShape registry;
+  return registry.has_unguarded("x") || registry.has_guarded("x") ? 0 : 1;
+}

@@ -4,7 +4,7 @@
 
 #include <cmath>
 
-#include "gsa/music_coop.hpp"
+#include "core/music_coop.hpp"
 #include "emews/worker_pool.hpp"
 #include "util/error.hpp"
 
@@ -147,7 +147,7 @@ TEST(MusicCoop, RunsOverEmewsQueue) {
   };
   oe::WorkerPool pool(db, "m", model, 2);
   oe::InterleavedDriver driver(db);
-  auto coop = std::make_shared<og::MusicCoop>(
+  auto coop = std::make_shared<osprey::core::MusicCoop>(
       "coop0", oe::TaskQueue(db, "m"), fast_config(), 0);
   driver.add(coop);
   driver.run();
@@ -173,7 +173,7 @@ TEST(MusicCoop, MatchesSynchronousRun) {
   };
   oe::WorkerPool pool(db, "m", model, 1);
   oe::InterleavedDriver driver(db);
-  auto coop = std::make_shared<og::MusicCoop>(
+  auto coop = std::make_shared<osprey::core::MusicCoop>(
       "coop0", oe::TaskQueue(db, "m"), fast_config(), 0);
   driver.add(coop);
   driver.run();
@@ -201,7 +201,7 @@ TEST(MusicCoop, ReplicateCarriedInPayload) {
   og::MusicConfig cfg = fast_config();
   cfg.n_total = cfg.n_init;  // initial design only
   oe::InterleavedDriver driver(db);
-  auto coop = std::make_shared<og::MusicCoop>(
+  auto coop = std::make_shared<osprey::core::MusicCoop>(
       "coop7", oe::TaskQueue(db, "m"), cfg, 7);
   driver.add(coop);
   driver.run();

@@ -1,0 +1,517 @@
+#include "lint/callgraph.hpp"
+
+#include <cctype>
+#include <set>
+
+namespace osprey::lint {
+
+namespace {
+
+const std::set<std::string>& non_callable_keywords() {
+  static const std::set<std::string> kSet = {
+      "if",        "for",      "while",    "switch",   "return",
+      "sizeof",    "alignof",  "alignas",  "decltype", "catch",
+      "new",       "delete",   "co_await", "co_return", "co_yield",
+      "static_assert", "noexcept", "throw", "requires", "typeid",
+      "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+      "assert",    "defined",  "this",     "operator",
+      // Fundamental-type names (so `operator bool()` and function
+      // pointers `void (*f)(int)` are never taken for definitions).
+      "bool", "char", "int", "long", "short", "float", "double", "void",
+      "auto", "unsigned", "signed", "wchar_t", "char8_t", "char16_t",
+      "char32_t",
+  };
+  return kSet;
+}
+
+bool is_ident(const Token& t) { return t.kind == Tok::kIdent; }
+
+/// Attribute-macro heuristic: SHOUTY_CASE identifiers of length > 1.
+bool all_caps(const std::string& s) {
+  if (s.size() < 2) return false;
+  bool has_alpha = false;
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+class Extractor {
+ public:
+  Extractor(const std::string& file, const LexedFile& lexed)
+      : file_(file), toks_(lexed.tokens) {}
+
+  std::vector<FunctionDef> run() {
+    collect_unordered_names();
+    parse_toplevel();
+    return std::move(defs_);
+  }
+
+ private:
+  // -- helpers -------------------------------------------------------------
+
+  /// Index of the ')' matching the '(' at `open`, or npos.
+  std::size_t match_paren(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t j = open; j < toks_.size(); ++j) {
+      if (is_punct(toks_[j], "(")) ++depth;
+      else if (is_punct(toks_[j], ")") && --depth == 0) return j;
+    }
+    return npos;
+  }
+
+  std::size_t match_brace(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t j = open; j < toks_.size(); ++j) {
+      if (is_punct(toks_[j], "{")) ++depth;
+      else if (is_punct(toks_[j], "}") && --depth == 0) return j;
+    }
+    return npos;
+  }
+
+  /// Skip a balanced template-argument list starting at '<'. Returns the
+  /// index after the matching '>', or `open` unchanged when the '<'
+  /// looks like a comparison (hits ';' or '{' first).
+  std::size_t skip_angles(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t j = open; j < toks_.size(); ++j) {
+      const Token& t = toks_[j];
+      if (is_punct(t, "<")) ++depth;
+      else if (is_punct(t, ">") && --depth == 0) return j + 1;
+      else if (is_punct(t, ";") || is_punct(t, "{")) break;
+    }
+    return open;
+  }
+
+  // -- unordered-container declaration tracking ----------------------------
+
+  static bool unordered_type_name(const std::string& s) {
+    return s == "unordered_map" || s == "unordered_set" ||
+           s == "unordered_multimap" || s == "unordered_multiset";
+  }
+
+  /// Record identifiers declared with an unordered container type, plus
+  /// one level of `using Alias = std::unordered_*<...>` indirection, so
+  /// range-for statements over them can be recognized as order-unstable.
+  void collect_unordered_names() {
+    std::set<std::string> type_names;  // aliases naming unordered types
+    for (std::size_t j = 0; j + 2 < toks_.size(); ++j) {
+      if (is_ident(toks_[j]) && toks_[j].text == "using" &&
+          is_ident(toks_[j + 1]) && is_punct(toks_[j + 2], "=")) {
+        for (std::size_t k = j + 3;
+             k < toks_.size() && !is_punct(toks_[k], ";"); ++k) {
+          if (is_ident(toks_[k]) && unordered_type_name(toks_[k].text)) {
+            type_names.insert(toks_[j + 1].text);
+            break;
+          }
+        }
+      }
+    }
+    for (std::size_t j = 0; j < toks_.size(); ++j) {
+      if (!is_ident(toks_[j])) continue;
+      bool is_container = unordered_type_name(toks_[j].text);
+      bool is_alias = type_names.count(toks_[j].text) != 0;
+      if (!is_container && !is_alias) continue;
+      std::size_t k = j + 1;
+      if (k < toks_.size() && is_punct(toks_[k], "<")) k = skip_angles(k);
+      while (k < toks_.size() &&
+             (is_punct(toks_[k], "&") || is_punct(toks_[k], "*") ||
+              (is_ident(toks_[k]) && toks_[k].text == "const"))) {
+        ++k;
+      }
+      if (k < toks_.size() && is_ident(toks_[k])) {
+        unordered_names_.insert(toks_[k].text);
+      }
+    }
+  }
+
+  // -- top-level scope walk ------------------------------------------------
+
+  void parse_toplevel() {
+    std::size_t i = 0;
+    while (i < toks_.size()) {
+      const Token& t = toks_[i];
+      if (is_punct(t, "{")) {
+        scopes_.push_back("");
+        ++i;
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        if (!scopes_.empty()) scopes_.pop_back();
+        ++i;
+        continue;
+      }
+      if (is_ident(t) && t.text == "namespace") {
+        i = parse_namespace(i);
+        continue;
+      }
+      if (is_ident(t) && t.text == "template") {
+        // Skip the parameter list so `template <class T>` cannot be
+        // taken for a class-head (and the declaration after it parses
+        // normally).
+        ++i;
+        if (i < toks_.size() && is_punct(toks_[i], "<")) i = skip_angles(i);
+        continue;
+      }
+      if (is_ident(t) && (t.text == "class" || t.text == "struct")) {
+        i = parse_class(i);
+        continue;
+      }
+      if (is_ident(t) && t.text == "enum") {
+        i = parse_enum(i);
+        continue;
+      }
+      if (is_punct(t, "(")) {
+        i = try_function(i);
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  std::size_t parse_namespace(std::size_t i) {
+    std::size_t j = i + 1;
+    std::string name;
+    while (j < toks_.size() && is_ident(toks_[j])) {
+      if (!name.empty()) name += "::";
+      name += toks_[j].text;
+      ++j;
+      if (j < toks_.size() && is_punct(toks_[j], "::")) ++j;
+      else break;
+    }
+    if (j < toks_.size() && is_punct(toks_[j], "{")) {
+      scopes_.push_back(name);  // "" for an anonymous namespace
+      return j + 1;
+    }
+    // Namespace alias or using-directive fragment: skip to ';'.
+    while (j < toks_.size() && !is_punct(toks_[j], ";") &&
+           !is_punct(toks_[j], "{")) {
+      ++j;
+    }
+    return j + 1;
+  }
+
+  std::size_t parse_class(std::size_t i) {
+    std::size_t j = i + 1;
+    std::string name;
+    // Last identifier before the base-clause/brace is the class name
+    // (skips attribute macros like OSPREY_CAPABILITY("mutex")).
+    while (j < toks_.size()) {
+      const Token& t = toks_[j];
+      if (is_ident(t) && t.text != "final" && t.text != "alignas") {
+        name = t.text;
+        ++j;
+        continue;
+      }
+      if (is_punct(t, "(")) {  // macro arguments
+        std::size_t q = match_paren(j);
+        if (q == npos) return j + 1;
+        j = q + 1;
+        continue;
+      }
+      if (is_punct(t, "<")) {  // template-id specialization
+        j = skip_angles(j);
+        continue;
+      }
+      break;
+    }
+    // Past the name: scan the (optional) base clause to '{' (definition)
+    // or ';'/'=' (declaration / variable) WITHOUT updating the name, so
+    // `class Foo : public Bar {` keeps the name Foo.
+    while (j < toks_.size()) {
+      const Token& t = toks_[j];
+      if (is_punct(t, "{")) {
+        scopes_.push_back(name);
+        return j + 1;
+      }
+      if (is_punct(t, ";") || is_punct(t, "=") || is_punct(t, ")")) {
+        return j + 1;
+      }
+      if (is_punct(t, "<")) {
+        j = skip_angles(j);
+        continue;
+      }
+      ++j;
+    }
+    return j;
+  }
+
+  std::size_t parse_enum(std::size_t i) {
+    std::size_t j = i + 1;
+    while (j < toks_.size() && !is_punct(toks_[j], "{") &&
+           !is_punct(toks_[j], ";")) {
+      ++j;
+    }
+    if (j < toks_.size() && is_punct(toks_[j], "{")) {
+      std::size_t close = match_brace(j);
+      return close == npos ? j + 1 : close + 1;
+    }
+    return j + 1;
+  }
+
+  // -- function-definition detection ---------------------------------------
+
+  /// At a '(' in declaration scope. Either records a function definition
+  /// (consuming its body) or skips the balanced parens.
+  std::size_t try_function(std::size_t open) {
+    std::size_t close = match_paren(open);
+    if (close == npos) return open + 1;
+
+    // Walk back over the declarator-id: ident (:: ident)* ending at open-1.
+    if (open == 0 || !is_ident(toks_[open - 1])) return close + 1;
+    std::string base = toks_[open - 1].text;
+    if (non_callable_keywords().count(base) != 0) return close + 1;
+    std::vector<std::string> quals;
+    std::size_t k = open - 1;
+    while (k >= 2 && is_punct(toks_[k - 1], "::") && is_ident(toks_[k - 2])) {
+      quals.insert(quals.begin(), toks_[k - 2].text);
+      k -= 2;
+    }
+
+    std::size_t body = find_body(close + 1);
+    if (body == npos) return close + 1;
+
+    FunctionDef def;
+    def.base = base;
+    def.file = file_;
+    def.line = toks_[open - 1].line;
+    std::string q;
+    for (const std::string& s : scopes_) {
+      if (s.empty()) continue;
+      q += s;
+      q += "::";
+    }
+    for (const std::string& s : quals) {
+      q += s;
+      q += "::";
+    }
+    def.qualified = q + base;
+
+    std::size_t body_end = match_brace(body);
+    if (body_end == npos) body_end = toks_.size();
+    scan_body(body, body_end, def);
+    defs_.push_back(std::move(def));
+    return body_end + 1;
+  }
+
+  /// From the token after the parameter list's ')': returns the index of
+  /// the body '{', or npos when this is not a function definition.
+  /// Handles cv/ref qualifiers, noexcept(...), trailing return types,
+  /// constructor initializer lists and function-try-blocks.
+  std::size_t find_body(std::size_t r) {
+    while (r < toks_.size()) {
+      const Token& t = toks_[r];
+      if (is_punct(t, "{")) return r;
+      if (is_punct(t, ";") || is_punct(t, ",") || is_punct(t, "=") ||
+          is_punct(t, ")")) {
+        return npos;
+      }
+      if (is_ident(t)) {
+        if (t.text == "const" || t.text == "volatile" || t.text == "final" ||
+            t.text == "override" || t.text == "mutable" || t.text == "try") {
+          ++r;
+          continue;
+        }
+        if (t.text == "noexcept" || t.text == "throw" ||
+            t.text == "requires" || all_caps(t.text)) {
+          // ALL_CAPS covers attribute macros such as OSPREY_REQUIRES(m)
+          // between the parameter list and the body.
+          ++r;
+          if (r < toks_.size() && is_punct(toks_[r], "(")) {
+            std::size_t q = match_paren(r);
+            if (q == npos) return npos;
+            r = q + 1;
+          }
+          continue;
+        }
+        return npos;  // e.g. `int x (5), y;` — a declarator, not a body
+      }
+      if (is_punct(t, "&")) {
+        ++r;
+        continue;
+      }
+      if (is_punct(t, "-") && r + 1 < toks_.size() &&
+          is_punct(toks_[r + 1], ">")) {
+        // Trailing return type: consume type tokens up to '{' or ';'.
+        r += 2;
+        while (r < toks_.size() && !is_punct(toks_[r], "{") &&
+               !is_punct(toks_[r], ";")) {
+          if (is_punct(toks_[r], "(")) {
+            std::size_t q = match_paren(r);
+            if (q == npos) return npos;
+            r = q + 1;
+          } else if (is_punct(toks_[r], "<")) {
+            r = skip_angles(r);
+          } else {
+            ++r;
+          }
+        }
+        continue;
+      }
+      if (is_punct(t, ":")) return find_body_after_init_list(r + 1);
+      return npos;
+    }
+    return npos;
+  }
+
+  /// Constructor initializer list: `: member(expr), other{expr} {`.
+  std::size_t find_body_after_init_list(std::size_t r) {
+    while (r < toks_.size()) {
+      // Member / base name, possibly qualified or templated.
+      while (r < toks_.size() &&
+             (is_ident(toks_[r]) || is_punct(toks_[r], "::"))) {
+        ++r;
+        if (r < toks_.size() && is_punct(toks_[r], "<")) r = skip_angles(r);
+      }
+      if (r >= toks_.size()) return npos;
+      if (is_punct(toks_[r], "(")) {
+        std::size_t q = match_paren(r);
+        if (q == npos) return npos;
+        r = q + 1;
+      } else if (is_punct(toks_[r], "{")) {
+        std::size_t q = match_brace(r);
+        if (q == npos) return npos;
+        r = q + 1;
+      } else {
+        return npos;
+      }
+      // Pack expansion after the initializer: base(args)...
+      while (r + 0 < toks_.size() && is_punct(toks_[r], ".")) ++r;
+      if (r < toks_.size() && is_punct(toks_[r], ",")) {
+        ++r;
+        continue;
+      }
+      if (r < toks_.size() && is_punct(toks_[r], "{")) return r;
+      return npos;
+    }
+    return npos;
+  }
+
+  // -- body scan: call sites + taint seeds ---------------------------------
+
+  static bool wall_clock_ident(const std::string& s) {
+    return s == "system_clock" || s == "steady_clock" ||
+           s == "high_resolution_clock";
+  }
+  static bool wall_clock_call(const std::string& s) {
+    return s == "gettimeofday" || s == "clock_gettime" || s == "localtime" ||
+           s == "mktime";
+  }
+
+  void scan_body(std::size_t begin, std::size_t end, FunctionDef& def) {
+    for (std::size_t j = begin; j < end; ++j) {
+      const Token& t = toks_[j];
+      if (!is_ident(t)) continue;
+      const std::string& s = t.text;
+      bool call_next = j + 1 < end && is_punct(toks_[j + 1], "(");
+
+      // Taint seeds -------------------------------------------------------
+      if (wall_clock_ident(s)) {
+        def.seeds.push_back({"wall-clock", "std::chrono::" + s, t.line});
+      } else if (s == "random_device") {
+        def.seeds.push_back({"rng", "std::random_device", t.line});
+      } else if ((s == "rand" || s == "srand") && call_next) {
+        def.seeds.push_back({"rng", s + "()", t.line});
+      } else if (wall_clock_call(s) && call_next) {
+        def.seeds.push_back({"wall-clock", s + "()", t.line});
+      } else if (s == "getenv" && call_next) {
+        def.seeds.push_back({"env", "getenv()", t.line});
+      } else if ((s == "thread" || s == "jthread") && j >= 2 &&
+                 is_punct(toks_[j - 1], "::") && is_ident(toks_[j - 2]) &&
+                 toks_[j - 2].text == "std") {
+        def.seeds.push_back({"thread", "std::" + s, t.line});
+      } else if (s == "time" && call_next && bare_or_std_qualified(j)) {
+        def.seeds.push_back({"wall-clock", "time()", t.line});
+      } else if (s == "for" && call_next) {
+        scan_range_for(j + 1, end, def);
+      }
+
+      // Call sites --------------------------------------------------------
+      if (call_next && non_callable_keywords().count(s) == 0) {
+        CallSite site;
+        site.name = s;
+        site.line = t.line;
+        std::size_t k = j;
+        bool member = false;
+        while (k >= 2 && is_punct(toks_[k - 1], "::") &&
+               is_ident(toks_[k - 2])) {
+          site.quals.insert(site.quals.begin(), toks_[k - 2].text);
+          k -= 2;
+        }
+        if (k >= 1 && (is_punct(toks_[k - 1], ".") ||
+                       is_punct(toks_[k - 1], ">"))) {
+          member = true;  // obj.f( / obj->f(
+        }
+        if (member) site.quals.clear();
+        def.calls.push_back(std::move(site));
+      }
+    }
+  }
+
+  /// True when the identifier at `j` is written bare or as std::name —
+  /// i.e. not a member access (x.time(...)) and not a declaration
+  /// (`SimTime time(0)`).
+  bool bare_or_std_qualified(std::size_t j) const {
+    if (j == 0) return true;
+    const Token& prev = toks_[j - 1];
+    if (is_punct(prev, ".") || is_punct(prev, ">") || is_ident(prev)) {
+      return false;
+    }
+    if (is_punct(prev, "::")) {
+      return j >= 2 && is_ident(toks_[j - 2]) && toks_[j - 2].text == "std";
+    }
+    return true;
+  }
+
+  /// `j` is at the '(' of a for statement. A range-for whose range
+  /// expression names an unordered container (declared in this file or
+  /// spelled inline) seeds the enclosing function: iteration order is
+  /// implementation-defined, so anything derived from it in order is
+  /// not replayable.
+  void scan_range_for(std::size_t j, std::size_t end, FunctionDef& def) {
+    std::size_t close = match_paren(j);
+    if (close == npos || close > end) return;
+    std::size_t colon = npos;
+    int depth = 0;
+    for (std::size_t k = j; k < close; ++k) {
+      if (is_punct(toks_[k], "(")) ++depth;
+      else if (is_punct(toks_[k], ")")) --depth;
+      else if (depth == 1 && is_punct(toks_[k], ":")) {
+        colon = k;
+        break;
+      }
+    }
+    if (colon == npos) return;
+    for (std::size_t k = colon + 1; k < close; ++k) {
+      if (!is_ident(toks_[k])) continue;
+      if (unordered_names_.count(toks_[k].text) != 0 ||
+          unordered_type_name(toks_[k].text)) {
+        def.seeds.push_back({"unordered-iter",
+                             "range-for over '" + toks_[k].text + "'",
+                             toks_[k].line});
+        return;
+      }
+    }
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  const std::string& file_;
+  const std::vector<Token>& toks_;
+  std::vector<std::string> scopes_;
+  std::set<std::string> unordered_names_;
+  std::vector<FunctionDef> defs_;
+};
+
+}  // namespace
+
+std::vector<FunctionDef> extract_functions(const std::string& file,
+                                           const LexedFile& lexed) {
+  return Extractor(file, lexed).run();
+}
+
+}  // namespace osprey::lint

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file callgraph.hpp
+/// Function-granularity call-graph approximation over the token stream.
+/// Scope tracking (namespaces, classes) yields qualified definition
+/// names; call sites inside bodies are resolved by qualified-name
+/// suffix when qualification is written and by base name otherwise, so
+/// virtual dispatch and overload sets are handled conservatively (a
+/// call may reach every definition sharing the name). That conservatism
+/// is exactly what the determinism-taint rule wants: a path that MIGHT
+/// exist must be proven absent, not assumed absent.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace osprey::lint {
+
+struct CallSite {
+  /// Written qualification, outermost first (for `a::B::f(` this is
+  /// {"a","B"}); empty for unqualified and member calls.
+  std::vector<std::string> quals;
+  std::string name;
+  std::size_t line = 0;
+};
+
+/// A direct use of a non-deterministic primitive inside a function body.
+struct TaintSeed {
+  std::string kind;    // "wall-clock", "rng", "thread", "env", "unordered-iter"
+  std::string symbol;  // e.g. "std::steady_clock", "rand()"
+  std::size_t line = 0;
+};
+
+struct FunctionDef {
+  std::string qualified;  // e.g. "osprey::fabric::EventLoop::run"
+  std::string base;       // "run"
+  std::string file;       // root-relative path of the defining file
+  std::size_t line = 0;   // line of the definition's name
+  std::vector<CallSite> calls;
+  std::vector<TaintSeed> seeds;
+};
+
+/// Extract every function definition (with its call sites and taint
+/// seeds) from one lexed file.
+std::vector<FunctionDef> extract_functions(const std::string& file,
+                                           const LexedFile& lexed);
+
+}  // namespace osprey::lint

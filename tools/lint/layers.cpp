@@ -1,0 +1,125 @@
+#include "lint/layers.hpp"
+
+#include <sstream>
+
+namespace osprey::lint {
+
+namespace {
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::istringstream ss(line);
+  std::vector<std::string> words;
+  std::string w;
+  while (ss >> w) words.push_back(w);
+  return words;
+}
+
+/// Iterative three-color DFS cycle check over the declared edges; a
+/// back edge is reported with the offending module pair.
+void check_dag(const LayerConfig& config, std::vector<std::string>& errors) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const auto& [m, _] : config.deps) color[m] = Color::kWhite;
+
+  for (const auto& [root, _] : config.deps) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<std::pair<std::string, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      const auto& deps = config.deps.at(node);
+      if (idx >= deps.size()) {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      auto it = deps.begin();
+      std::advance(it, idx++);
+      const std::string& next = *it;
+      auto cit = color.find(next);
+      if (cit == color.end()) continue;  // undeclared dep; separate error
+      if (cit->second == Color::kGray) {
+        errors.push_back("declared layering is cyclic: '" + node +
+                         "' -> '" + next + "' closes a cycle");
+        return;
+      }
+      if (cit->second == Color::kWhite) {
+        cit->second = Color::kGray;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LayerConfig parse_layers(const std::string& content,
+                         std::vector<std::string>& errors) {
+  LayerConfig config;
+  std::istringstream in(content);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::vector<std::string> words = split_words(line);
+    if (words.empty()) continue;
+    const std::string& kind = words[0];
+    if (kind == "layer") {
+      if (words.size() < 3 || words[2] != "=") {
+        errors.push_back("line " + std::to_string(lineno) +
+                         ": expected 'layer <module> = [dep ...]'");
+        continue;
+      }
+      auto [it, inserted] = config.deps.emplace(
+          words[1], std::set<std::string>(words.begin() + 3, words.end()));
+      if (!inserted) {
+        errors.push_back("line " + std::to_string(lineno) +
+                         ": duplicate layer declaration for '" + words[1] +
+                         "'");
+      } else if (it->second.count(words[1]) != 0) {
+        errors.push_back("line " + std::to_string(lineno) + ": module '" +
+                         words[1] + "' lists itself as a dependency");
+      }
+    } else if (kind == "taint-entry") {
+      if (words.size() != 2) {
+        errors.push_back("line " + std::to_string(lineno) +
+                         ": expected 'taint-entry <module>'");
+        continue;
+      }
+      config.taint_entries.insert(words[1]);
+    } else if (kind == "taint-barrier") {
+      if (words.size() != 2) {
+        errors.push_back("line " + std::to_string(lineno) +
+                         ": expected 'taint-barrier <path-prefix>'");
+        continue;
+      }
+      config.taint_barriers.push_back(words[1]);
+    } else {
+      errors.push_back("line " + std::to_string(lineno) +
+                       ": unknown declaration '" + kind + "'");
+    }
+  }
+
+  // Every declared dep must itself be declared, so a typo cannot
+  // silently allow an edge.
+  for (const auto& [module, deps] : config.deps) {
+    for (const std::string& dep : deps) {
+      if (!config.declared(dep)) {
+        errors.push_back("module '" + module + "' depends on undeclared '" +
+                         dep + "'");
+      }
+    }
+  }
+  for (const std::string& entry : config.taint_entries) {
+    if (!config.declared(entry)) {
+      errors.push_back("taint-entry '" + entry + "' is not a declared layer");
+    }
+  }
+  if (errors.empty()) check_dag(config, errors);
+  return config;
+}
+
+}  // namespace osprey::lint

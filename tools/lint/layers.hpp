@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file layers.hpp
+/// Declared module-layering DAG plus taint configuration, parsed from
+/// tools/osprey_layers.txt. The file is checked in and reviewed like
+/// code: changing an allowed edge is an architectural decision, not a
+/// lint suppression.
+///
+/// Syntax (one declaration per line, '#' comments):
+///
+///   layer <module> = [dep ...]     allowed DIRECT includes for a src/
+///                                  module; a src module missing from
+///                                  the file fails the layering rule.
+///   taint-entry <module>           modules whose functions are
+///                                  determinism-taint entry points.
+///   taint-barrier <path-prefix>    files whose functions are the
+///                                  sanctioned owners of raw clocks /
+///                                  threads / env: seeds inside them are
+///                                  legal and taint never propagates
+///                                  through them (e.g. src/util/clock.).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace osprey::lint {
+
+struct LayerConfig {
+  /// module -> allowed direct dependency modules (within src/).
+  std::map<std::string, std::set<std::string>> deps;
+  std::set<std::string> taint_entries;
+  std::vector<std::string> taint_barriers;  // path prefixes
+
+  bool declared(const std::string& module) const {
+    return deps.count(module) != 0;
+  }
+  bool edge_allowed(const std::string& from, const std::string& to) const {
+    auto it = deps.find(from);
+    return it != deps.end() && it->second.count(to) != 0;
+  }
+  bool barrier(const std::string& path) const {
+    for (const std::string& prefix : taint_barriers) {
+      if (path.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  }
+};
+
+/// Parse the config. Syntax problems and a cyclic declared DAG are
+/// reported into `errors` (empty = valid).
+LayerConfig parse_layers(const std::string& content,
+                         std::vector<std::string>& errors);
+
+}  // namespace osprey::lint

@@ -1,0 +1,301 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace osprey::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Scan one comment's text for `osprey-lint: allow(<rule>)` markers.
+/// `line_of(offset)` maps an offset within `text` to a source line so a
+/// multi-line block comment attributes each marker to its own line.
+template <typename LineOf>
+void scan_allows(const std::string& text, const LineOf& line_of,
+                 std::vector<AllowMark>& out) {
+  static const std::string kMarker = "osprey-lint: allow(";
+  std::size_t pos = 0;
+  while ((pos = text.find(kMarker, pos)) != std::string::npos) {
+    std::size_t rule_begin = pos + kMarker.size();
+    std::size_t rule_end = text.find(')', rule_begin);
+    if (rule_end == std::string::npos) break;
+    AllowMark mark;
+    mark.line = line_of(pos);
+    mark.rule = text.substr(rule_begin, rule_end - rule_begin);
+    // The amnesty marker must sit in the same comment, after the allow
+    // but before the next line break (one marker per suppression line).
+    std::size_t eol = text.find('\n', rule_end);
+    std::size_t search_end = eol == std::string::npos ? text.size() : eol;
+    mark.grandfathered =
+        text.find("grandfathered", rule_end) != std::string::npos &&
+        text.find("grandfathered", rule_end) < search_end;
+    out.push_back(std::move(mark));
+    pos = rule_end;
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  LexedFile run() {
+    while (i_ < src_.size()) step();
+    out_.line_count = line_;
+    return std::move(out_);
+  }
+
+ private:
+  char cur() const { return src_[i_]; }
+  char peek(std::size_t ahead = 1) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  void advance() {
+    if (src_[i_] == '\n') {
+      ++line_;
+      line_has_code_ = false;
+    }
+    ++i_;
+  }
+
+  void emit(Tok kind, std::string text, std::size_t line) {
+    out_.tokens.push_back({kind, std::move(text), line});
+    line_has_code_ = true;
+  }
+
+  void step() {
+    char c = cur();
+    if (c == '\\' && peek() == '\n') {  // line continuation
+      advance();
+      advance();
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      return;
+    }
+    if (c == '/' && peek() == '/') {
+      lex_line_comment();
+      return;
+    }
+    if (c == '/' && peek() == '*') {
+      lex_block_comment();
+      return;
+    }
+    if (c == '#' && !line_has_code_) {
+      lex_directive();
+      return;
+    }
+    if (c == '"') {
+      lex_string();
+      return;
+    }
+    if (c == '\'') {
+      lex_char();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      lex_number();
+      return;
+    }
+    if (ident_start(c)) {
+      lex_ident_or_prefixed_string();
+      return;
+    }
+    if (c == ':' && peek() == ':') {
+      emit(Tok::kPunct, "::", line_);
+      advance();
+      advance();
+      return;
+    }
+    emit(Tok::kPunct, std::string(1, c), line_);
+    advance();
+  }
+
+  void lex_line_comment() {
+    std::size_t start_line = line_;
+    std::string text;
+    while (i_ < src_.size() && cur() != '\n') {
+      text.push_back(cur());
+      advance();
+    }
+    scan_allows(text, [start_line](std::size_t) { return start_line; },
+                out_.allows);
+  }
+
+  void lex_block_comment() {
+    std::size_t start_line = line_;
+    advance();  // '/'
+    advance();  // '*'
+    std::string text;
+    std::vector<std::size_t> newline_offsets;
+    while (i_ < src_.size()) {
+      if (cur() == '*' && peek() == '/') {
+        advance();
+        advance();
+        break;
+      }
+      if (cur() == '\n') newline_offsets.push_back(text.size());
+      text.push_back(cur());
+      advance();
+    }
+    scan_allows(text,
+                [&](std::size_t off) {
+                  std::size_t l = start_line;
+                  for (std::size_t nl : newline_offsets) {
+                    if (nl < off) ++l;
+                  }
+                  return l;
+                },
+                out_.allows);
+  }
+
+  /// At a '#' that begins a preprocessor directive. #include gets its
+  /// header-name captured as an IncludeDirective (and emits no tokens);
+  /// every other directive falls through to normal tokenization.
+  void lex_directive() {
+    std::size_t start_line = line_;
+    std::size_t save = i_;
+    advance();  // '#'
+    while (i_ < src_.size() && (cur() == ' ' || cur() == '\t')) advance();
+    std::string word;
+    while (i_ < src_.size() && ident_char(cur())) {
+      word.push_back(cur());
+      advance();
+    }
+    if (word != "include") {
+      // Rewind conceptually: emit '#' + the word and continue normally.
+      emit(Tok::kPunct, "#", start_line);
+      if (!word.empty()) emit(Tok::kIdent, word, start_line);
+      (void)save;
+      return;
+    }
+    while (i_ < src_.size() && (cur() == ' ' || cur() == '\t')) advance();
+    if (i_ >= src_.size()) return;
+    if (cur() == '<' || cur() == '"') {
+      char close = cur() == '<' ? '>' : '"';
+      bool angled = cur() == '<';
+      advance();
+      std::string path;
+      while (i_ < src_.size() && cur() != close && cur() != '\n') {
+        path.push_back(cur());
+        advance();
+      }
+      if (i_ < src_.size() && cur() == close) advance();
+      out_.includes.push_back({start_line, std::move(path), angled});
+      line_has_code_ = true;  // rest of line is not a directive start
+    }
+    // A computed include (#include MACRO) is left to normal lexing.
+  }
+
+  void lex_string() {
+    std::size_t start_line = line_;
+    advance();  // opening '"'
+    while (i_ < src_.size() && cur() != '"') {
+      if (cur() == '\\' && i_ + 1 < src_.size()) advance();
+      if (cur() == '\n') break;  // unterminated; be forgiving
+      advance();
+    }
+    if (i_ < src_.size() && cur() == '"') advance();
+    emit(Tok::kString, "", start_line);
+  }
+
+  void lex_raw_string() {
+    std::size_t start_line = line_;
+    advance();  // '"'
+    std::string delim;
+    while (i_ < src_.size() && cur() != '(' && cur() != '\n') {
+      delim.push_back(cur());
+      advance();
+    }
+    if (i_ < src_.size() && cur() == '(') advance();
+    const std::string terminator = ")" + delim + "\"";
+    while (i_ < src_.size()) {
+      if (cur() == ')' && src_.compare(i_, terminator.size(), terminator) == 0) {
+        for (std::size_t k = 0; k < terminator.size(); ++k) advance();
+        break;
+      }
+      advance();
+    }
+    emit(Tok::kString, "", start_line);
+  }
+
+  void lex_char() {
+    std::size_t start_line = line_;
+    advance();  // opening '\''
+    while (i_ < src_.size() && cur() != '\'') {
+      if (cur() == '\\' && i_ + 1 < src_.size()) advance();
+      if (cur() == '\n') break;
+      advance();
+    }
+    if (i_ < src_.size() && cur() == '\'') advance();
+    emit(Tok::kChar, "", start_line);
+  }
+
+  /// pp-number: digits, identifier chars, '.', digit separators, and
+  /// exponent signs. This swallows 1'000'000 so the separator quotes
+  /// can never open a bogus char literal.
+  void lex_number() {
+    std::size_t start_line = line_;
+    std::string text;
+    while (i_ < src_.size()) {
+      char c = cur();
+      if (ident_char(c) || c == '.' || c == '\'') {
+        text.push_back(c);
+        advance();
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') && i_ < src_.size() &&
+            (cur() == '+' || cur() == '-') && !text.empty() &&
+            std::isdigit(static_cast<unsigned char>(text[0]))) {
+          text.push_back(cur());
+          advance();
+        }
+        continue;
+      }
+      break;
+    }
+    emit(Tok::kNumber, std::move(text), start_line);
+  }
+
+  void lex_ident_or_prefixed_string() {
+    std::size_t start_line = line_;
+    std::string text;
+    while (i_ < src_.size() && ident_char(cur())) {
+      text.push_back(cur());
+      advance();
+    }
+    if (i_ < src_.size() && cur() == '"') {
+      // String-literal prefixes: R, u8R, uR, UR, LR (raw) and u8, u, U,
+      // L (ordinary). Anything else is an identifier adjoining a quote.
+      if (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+          text == "LR") {
+        lex_raw_string();
+        return;
+      }
+      if (text == "u8" || text == "u" || text == "U" || text == "L") {
+        lex_string();
+        return;
+      }
+    }
+    emit(Tok::kIdent, std::move(text), start_line);
+  }
+
+  const std::string& src_;
+  std::size_t i_ = 0;
+  std::size_t line_ = 1;
+  /// False until a code token (or include path) appears on the current
+  /// line: a '#' only starts a directive when the line held no code.
+  bool line_has_code_ = false;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& content) { return Lexer(content).run(); }
+
+}  // namespace osprey::lint

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file lexer.hpp
+/// Comment / string / raw-string aware C++ tokenizer. It is not a full
+/// phase-3 lexer — it does not splice universal-character-names or run
+/// the preprocessor — but it is exact about the things that made the v1
+/// line-regex scanner lie: comment boundaries (including multi-line
+/// block comments), string and char literals, raw strings with custom
+/// delimiters, digit separators, and #include directives that only
+/// count when they are real directives.
+
+#include <string>
+
+#include "lint/token.hpp"
+
+namespace osprey::lint {
+
+/// Tokenize `content`. Never throws on malformed input; unterminated
+/// constructs are closed at end-of-file.
+LexedFile lex(const std::string& content);
+
+}  // namespace osprey::lint

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file token.hpp
+/// Token model for the osprey_lint whole-program analyzer. The lexer
+/// (lint/lexer.hpp) turns a translation unit into this representation;
+/// every downstream pass (token rules, include graph, call graph, taint
+/// reachability) works on it instead of re-scanning text, so comments,
+/// string literals and raw strings can never trip a rule.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace osprey::lint {
+
+enum class Tok {
+  kIdent,   // identifiers and keywords (the analyzer does not split them)
+  kNumber,  // pp-numbers, including digit separators (1'000'000)
+  kString,  // "..." and R"delim(...)delim" (text omitted)
+  kChar,    // '...'
+  kPunct,   // punctuation; "::" is merged into a single token
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based line of the token's first character
+};
+
+/// One #include directive that is really a directive (not one quoted in
+/// a comment, string literal or raw string).
+struct IncludeDirective {
+  std::size_t line = 0;
+  std::string path;     // as written between the delimiters
+  bool angled = false;  // <...> vs "..."
+};
+
+/// One `osprey-lint: allow(<rule>)` suppression found in a comment.
+struct AllowMark {
+  std::size_t line = 0;
+  std::string rule;
+  /// The surrounding comment carries the word "grandfathered": a
+  /// one-PR amnesty marker that the stale-suppression rule rejects once
+  /// the introducing PR has merged.
+  bool grandfathered = false;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<AllowMark> allows;
+  std::size_t line_count = 0;
+};
+
+}  // namespace osprey::lint

@@ -1,383 +1,89 @@
-// osprey_lint — project-specific invariant linter for the OSPREY
-// reproduction. Enforces determinism and concurrency rules that a
-// generic tool cannot know about:
-//
-//   rng               std::rand / srand / std::random_device are
-//                     forbidden everywhere except src/num/rng.* — all
-//                     randomness flows through the deterministic,
-//                     splittable num::RngStream.
-//   wall-clock        std::chrono clocks / time() / clock_gettime() are
-//                     forbidden in the simulated layers (src/fabric,
-//                     src/emews, src/aero) — simulated components must
-//                     use the fabric's virtual time or the injected
-//                     util::Clock / util::SimClock so runs replay
-//                     bit-identically.
-//   raw-thread        std::thread / std::jthread are forbidden in src/
-//                     outside src/util — concurrency is owned by
-//                     util::ThreadPool / util::Channel (tests and bench
-//                     may spawn threads freely).
-//   relative-include  #include "../..." is forbidden — internal headers
-//                     are included as "<module>/<header>.hpp" rooted at
-//                     src/.
-//   fabric-raw-throw  `throw std::runtime_error` is forbidden in
-//                     src/fabric — fabric services fail through typed
-//                     osprey::util errors (util/error.hpp) so the retry
-//                     and fault-injection layers can catch, classify
-//                     and recover; an untyped throw escapes them.
-//   adhoc-counter     new `std::size_t foo_count_ = 0;`-style counter
-//                     members are forbidden in src/fabric — counters
-//                     belong in obs::MetricsRegistry so they show up in
-//                     snapshots and the Prometheus export. Pre-obs
-//                     counters are grandfathered via allow().
-//   serve-direct-origin
-//                     calling AeroServer::serve_latest() is forbidden in
-//                     src/serve — serving-tier reads go through
-//                     serve::ResultCache::lookup() so every read gets
-//                     hit/miss/revalidate accounting and invalidation;
-//                     the cache's single origin-fetch site carries the
-//                     allow().
-//   test-registration every tests/test_*.cpp must be listed in
-//                     tests/CMakeLists.txt, or it silently never runs.
-//
-// Suppression: a comment containing `osprey-lint: allow(<rule>)`
-// suppresses that rule on its own line and on the line immediately
-// below (so a suppression can sit in a comment above the flagged
-// declaration). For test-registration the suppression may appear
-// anywhere in the unregistered file.
-//
-// Usage:
-//   osprey_lint [--root DIR] [--json FILE] [--list-rules] PATH...
-//
-// PATHs (files or directories, relative to --root which defaults to the
-// current directory) are scanned for *.hpp/*.cpp/*.h/*.cc/*.cxx files.
-// Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
-//
-// The scanner matches rules against a "code view" of each line with
-// comments, string literals and char literals blanked out, so words in
-// documentation or log messages never trip a rule.
+/// osprey_lint v2 — whole-program determinism & layering analyzer.
+///
+/// v1 was a per-line regex scanner; v2 lexes every file (comment-,
+/// string- and raw-string-aware), builds the include graph and a
+/// conservative call graph, and evaluates twelve rules: the seven
+/// token-backed v1 rules plus layering, include-cycle,
+/// determinism-taint (with full call chains), test-registration and
+/// stale-suppression. See tools/lint/analyzer.hpp and DESIGN.md §6.
+///
+/// Usage:
+///   osprey_lint [--root DIR] [--json FILE] [--layers FILE]
+///               [--diff-base REF] [--no-layering] [--no-taint]
+///               [--list-rules] [PATH ...]
+///
+/// PATHs are scanned recursively for C++ sources, relative to --root
+/// (default: src tests bench tools). Exit codes: 0 clean, 1 findings,
+/// 2 usage/configuration error.
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <optional>
-#include <regex>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/analyzer.hpp"
+#include "lint/layers.hpp"
+
 namespace fs = std::filesystem;
+using osprey::lint::Analyzer;
+using osprey::lint::AnalyzerOptions;
+using osprey::lint::Finding;
 
 namespace {
 
-struct Finding {
-  std::string file;   // path relative to root, '/' separators
-  std::size_t line;   // 1-based; 0 = whole-file finding
-  std::string rule;
-  std::string message;
-};
-
-// ---------------------------------------------------------------------------
-// Comment / string stripping
-// ---------------------------------------------------------------------------
-
-enum class ScanState { kCode, kBlockComment, kRawString };
-
-struct Stripper {
-  ScanState state = ScanState::kCode;
-  std::string raw_delim;  // for kRawString: the ")delim" terminator
-
-  /// Returns `line` with comments and literal contents replaced by
-  /// spaces, preserving column positions.
-  std::string strip(const std::string& line) {
-    std::string out(line.size(), ' ');
-    std::size_t i = 0;
-    const std::size_t n = line.size();
-    while (i < n) {
-      if (state == ScanState::kBlockComment) {
-        std::size_t end = line.find("*/", i);
-        if (end == std::string::npos) return out;
-        state = ScanState::kCode;
-        i = end + 2;
-        continue;
-      }
-      if (state == ScanState::kRawString) {
-        std::size_t end = line.find(raw_delim, i);
-        if (end == std::string::npos) return out;
-        state = ScanState::kCode;
-        i = end + raw_delim.size();
-        continue;
-      }
-      char c = line[i];
-      if (c == '/' && i + 1 < n && line[i + 1] == '/') return out;
-      if (c == '/' && i + 1 < n && line[i + 1] == '*') {
-        state = ScanState::kBlockComment;
-        i += 2;
-        continue;
-      }
-      if (c == 'R' && i + 1 < n && line[i + 1] == '"') {
-        std::size_t paren = line.find('(', i + 2);
-        if (paren != std::string::npos) {
-          raw_delim = ")" + line.substr(i + 2, paren - (i + 2)) + "\"";
-          state = ScanState::kRawString;
-          out[i] = 'R';  // keep the token boundary visible
-          i = paren + 1;
-          continue;
-        }
-      }
-      if (c == '"') {
-        out[i] = '"';
-        ++i;
-        while (i < n && line[i] != '"') {
-          if (line[i] == '\\') ++i;
-          ++i;
-        }
-        if (i < n) out[i] = '"';
-        ++i;
-        continue;
-      }
-      if (c == '\'') {
-        // Digit separators (1'000'000) are not char literals: a literal
-        // quote never directly follows an identifier/number character.
-        bool separator =
-            i > 0 && (std::isalnum(static_cast<unsigned char>(line[i - 1])) ||
-                      line[i - 1] == '_');
-        if (!separator) {
-          out[i] = '\'';
-          ++i;
-          while (i < n && line[i] != '\'') {
-            if (line[i] == '\\') ++i;
-            ++i;
-          }
-          if (i < n) out[i] = '\'';
-          ++i;
-          continue;
-        }
-      }
-      out[i] = c;
-      ++i;
-    }
-    return out;
-  }
-};
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-struct LineRule {
-  std::string id;
-  std::regex pattern;
-  std::string message;
-  /// Returns true when the rule applies to this (root-relative) path.
-  bool (*applies)(const std::string& path);
-  /// Match against the raw line instead of the comment/string-stripped
-  /// view (needed when the pattern itself targets a string literal,
-  /// like an #include path).
-  bool match_raw = false;
-};
-
-bool starts_with(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
+bool cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
 }
 
-bool rule_rng_applies(const std::string& path) {
-  return !starts_with(path, "src/num/rng.");
-}
-
-bool rule_wall_clock_applies(const std::string& path) {
-  return starts_with(path, "src/fabric/") || starts_with(path, "src/emews/") ||
-         starts_with(path, "src/aero/");
-}
-
-bool rule_raw_thread_applies(const std::string& path) {
-  return starts_with(path, "src/") && !starts_with(path, "src/util/");
-}
-
-bool rule_everywhere(const std::string&) { return true; }
-
-bool rule_fabric_throw_applies(const std::string& path) {
-  return starts_with(path, "src/fabric/");
-}
-
-bool rule_serve_origin_applies(const std::string& path) {
-  return starts_with(path, "src/serve/");
-}
-
-std::vector<LineRule> make_rules() {
-  std::vector<LineRule> rules;
-  rules.push_back({
-      "rng",
-      std::regex(R"((\bstd::)?\b(rand|srand)\s*\(|\brandom_device\b)"),
-      "non-deterministic RNG; use num::RngStream (src/num/rng)",
-      &rule_rng_applies,
-  });
-  rules.push_back({
-      "wall-clock",
-      std::regex(R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"
-                 R"(|\bgettimeofday\s*\(|\bclock_gettime\s*\()"
-                 R"(|\b(std::)?time\s*\(|\blocaltime\s*\(|\bmktime\s*\()"),
-      "wall clock in a simulated layer; use the fabric's virtual time or "
-      "the injected util::Clock/util::SimClock",
-      &rule_wall_clock_applies,
-  });
-  rules.push_back({
-      "raw-thread",
-      std::regex(R"(\bstd::j?thread\b)"),
-      "raw std::thread outside src/util; use util::ThreadPool or a "
-      "util-level primitive",
-      &rule_raw_thread_applies,
-  });
-  rules.push_back({
-      "relative-include",
-      std::regex(R"(^\s*#\s*include\s*"\.\./)"),
-      "relative ../ include; include as \"<module>/<header>.hpp\" rooted "
-      "at src/",
-      &rule_everywhere,
-      /*match_raw=*/true,
-  });
-  rules.push_back({
-      "fabric-raw-throw",
-      std::regex(R"(\bthrow\s+std::runtime_error\b)"),
-      "raw std::runtime_error from a fabric service; throw a typed "
-      "osprey::util error (util/error.hpp) so retry/fault layers can "
-      "catch and recover",
-      &rule_fabric_throw_applies,
-  });
-  rules.push_back({
-      "adhoc-counter",
-      std::regex(
-          R"(^\s*(?:mutable\s+)?(?:std::)?(?:size_t|uint64_t)\s+)"
-          R"([a-z0-9_]*(?:count|counts|completed|failed|succeeded|fires|)"
-          R"(injected|processed|total)[a-z0-9_]*_\s*[={;])"),
-      "ad-hoc counter member in src/fabric; register an obs::Counter on "
-      "the service's MetricsRegistry instead so the value reaches "
-      "snapshots and the Prometheus export",
-      &rule_fabric_throw_applies,
-  });
-  rules.push_back({
-      "serve-direct-origin",
-      std::regex(R"(\bserve_latest\s*\()"),
-      "direct serve_latest() from serve-tier code; go through "
-      "serve::ResultCache::lookup() so every read gets hit/miss/"
-      "revalidate accounting and invalidation (the cache's own origin "
-      "fetch carries an allow)",
-      &rule_serve_origin_applies,
-  });
-  return rules;
-}
-
-bool has_allow(const std::string& raw_line, const std::string& rule) {
-  return raw_line.find("osprey-lint: allow(" + rule + ")") !=
-         std::string::npos;
-}
-
-// ---------------------------------------------------------------------------
-// Scanning
-// ---------------------------------------------------------------------------
-
-bool lintable_extension(const fs::path& p) {
-  static const char* kExts[] = {".hpp", ".cpp", ".h", ".cc", ".cxx"};
-  std::string ext = p.extension().string();
-  return std::any_of(std::begin(kExts), std::end(kExts),
-                     [&](const char* e) { return ext == e; });
-}
-
-std::string relative_slash_path(const fs::path& p, const fs::path& root) {
-  std::error_code ec;
-  fs::path rel = fs::relative(p, root, ec);
-  fs::path chosen = (ec || rel.empty()) ? p : rel;
-  return chosen.generic_string();
-}
-
-void lint_file(const fs::path& path, const std::string& rel,
-               const std::vector<LineRule>& rules,
-               std::vector<Finding>& findings) {
-  std::ifstream in(path);
+std::string read_file(const fs::path& p, bool& ok) {
+  std::ifstream in(p, std::ios::binary);
   if (!in) {
-    findings.push_back({rel, 0, "io", "cannot open file"});
-    return;
+    ok = false;
+    return {};
   }
-  std::vector<const LineRule*> active;
-  for (const auto& r : rules) {
-    if (r.applies(rel)) active.push_back(&r);
-  }
-  if (active.empty()) return;
-
-  Stripper stripper;
-  std::string raw;
-  std::string prev_raw;
-  std::size_t lineno = 0;
-  while (std::getline(in, raw)) {
-    ++lineno;
-    std::string code = stripper.strip(raw);
-    for (const LineRule* r : active) {
-      if (!std::regex_search(r->match_raw ? raw : code, r->pattern)) continue;
-      if (has_allow(raw, r->id) || has_allow(prev_raw, r->id)) continue;
-      findings.push_back({rel, lineno, r->id, r->message});
-    }
-    prev_raw = raw;
-  }
-}
-
-/// tests/test_*.cpp must be named in tests/CMakeLists.txt.
-void check_test_registration(const fs::path& root,
-                             const std::vector<fs::path>& files,
-                             std::vector<Finding>& findings) {
-  fs::path cmakelists = root / "tests" / "CMakeLists.txt";
-  std::ifstream in(cmakelists);
-  if (!in) return;  // no tests dir in scan scope
-  std::stringstream ss;
+  std::ostringstream ss;
   ss << in.rdbuf();
-  const std::string cmake = ss.str();
-
-  for (const fs::path& f : files) {
-    std::string rel = relative_slash_path(f, root);
-    if (!starts_with(rel, "tests/")) continue;
-    std::string base = f.filename().string();
-    if (base.rfind("test_", 0) != 0 || f.extension() != ".cpp") continue;
-    if (cmake.find(base) != std::string::npos) continue;
-    // File-level suppression: the unregistered file may opt out.
-    std::ifstream tf(f);
-    std::stringstream tss;
-    tss << tf.rdbuf();
-    if (tss.str().find("osprey-lint: allow(test-registration)") !=
-        std::string::npos) {
-      continue;
-    }
-    findings.push_back(
-        {rel, 0, "test-registration",
-         "not registered in tests/CMakeLists.txt; it will never run"});
-  }
+  ok = true;
+  return ss.str();
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
+/// Root-relative path with '/' separators (the analyzer's file key).
+std::string rel_key(const fs::path& root, const fs::path& p) {
+  return fs::relative(p, root).generic_string();
+}
+
+/// `git diff --name-only REF` against the repo at `root`. Returns false
+/// (and the caller prints to stderr) if git fails — --diff-base then
+/// degrades to a full run rather than silently reporting nothing.
+bool changed_since(const fs::path& root, const std::string& ref,
+                   std::set<std::string>& out) {
+  std::string cmd = "git -C '" + root.string() + "' diff --name-only '" +
+                    ref + "' 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) text.append(buf, n);
+  if (pclose(pipe) != 0) return false;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) out.insert(line);
   }
-  return out;
+  return true;
 }
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--root DIR] [--json FILE] [--list-rules] PATH...\n";
+            << " [--root DIR] [--json FILE] [--layers FILE]\n"
+               "       [--diff-base REF] [--no-layering] [--no-taint]\n"
+               "       [--list-rules] [PATH ...]\n";
   return 2;
 }
 
@@ -385,84 +91,146 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
-  std::optional<fs::path> json_out;
-  std::vector<std::string> inputs;
+  std::string json_path;
+  std::string layers_path;  // default: <root>/tools/osprey_layers.txt
+  std::string diff_base;
+  AnalyzerOptions opts;
+  std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    auto next = [&](std::string& into) {
+      if (i + 1 >= argc) {
+        std::cerr << "osprey_lint: " << arg << " needs a value\n";
+        return false;
+      }
+      into = argv[++i];
+      return true;
+    };
     if (arg == "--root") {
-      if (++i >= argc) return usage(argv[0]);
-      root = fs::path(argv[i]);
+      std::string v;
+      if (!next(v)) return 2;
+      root = v;
     } else if (arg == "--json") {
-      if (++i >= argc) return usage(argv[0]);
-      json_out = fs::path(argv[i]);
+      if (!next(json_path)) return 2;
+    } else if (arg == "--layers") {
+      if (!next(layers_path)) return 2;
+    } else if (arg == "--diff-base") {
+      if (!next(diff_base)) return 2;
+    } else if (arg == "--no-layering") {
+      opts.layering = false;
+    } else if (arg == "--no-taint") {
+      opts.taint = false;
     } else if (arg == "--list-rules") {
-      std::cout << "rng\nwall-clock\nraw-thread\nrelative-include\n"
-                   "fabric-raw-throw\nadhoc-counter\nserve-direct-origin\n"
-                   "test-registration\n";
+      for (const auto& rule : osprey::lint::rule_catalog()) {
+        std::cout << rule.id << "\n    " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "osprey_lint: unknown option " << arg << "\n";
       return usage(argv[0]);
     } else {
-      inputs.push_back(arg);
+      paths.push_back(arg);
     }
   }
-  if (inputs.empty()) return usage(argv[0]);
-  root = fs::absolute(root).lexically_normal();
+  if (paths.empty()) paths = {"src", "tests", "bench", "tools"};
 
-  std::vector<fs::path> files;
-  for (const std::string& in : inputs) {
-    fs::path p = fs::path(in).is_absolute() ? fs::path(in) : root / in;
-    std::error_code ec;
-    if (fs::is_directory(p, ec)) {
-      for (auto it = fs::recursive_directory_iterator(p, ec);
-           !ec && it != fs::recursive_directory_iterator(); ++it) {
-        if (it->is_regular_file() && lintable_extension(it->path())) {
-          files.push_back(it->path());
-        }
-      }
-    } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(p);
-    } else {
-      std::cerr << "osprey_lint: no such path: " << in << "\n";
+  std::error_code ec;
+  root = fs::absolute(root).lexically_normal();
+  if (!fs::is_directory(root, ec) || ec) {
+    std::cerr << "osprey_lint: bad --root: " << root.string() << "\n";
+    return 2;
+  }
+
+  // Layering / taint configuration (required even with --no-layering
+  // --no-taint only if present; absent config then just disables both).
+  fs::path layers_file = layers_path.empty()
+                             ? root / "tools" / "osprey_layers.txt"
+                             : fs::path(layers_path);
+  bool ok = false;
+  std::string layers_text = read_file(layers_file, ok);
+  if (!ok && (opts.layering || opts.taint)) {
+    std::cerr << "osprey_lint: cannot read layer config "
+              << layers_file.string() << "\n";
+    return 2;
+  }
+  std::vector<std::string> config_errors;
+  osprey::lint::LayerConfig layers =
+      osprey::lint::parse_layers(layers_text, config_errors);
+  if (!config_errors.empty()) {
+    for (const std::string& e : config_errors) {
+      std::cerr << "osprey_lint: " << layers_file.string() << ": " << e
+                << "\n";
+    }
+    return 2;
+  }
+
+  Analyzer analyzer(std::move(layers));
+
+  for (const std::string& p : paths) {
+    fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    if (fs::is_regular_file(abs, ec)) {
+      if (!cpp_source(abs)) continue;
+      std::string content = read_file(abs, ok);
+      if (ok) analyzer.add_file(rel_key(root, abs), content);
+      continue;
+    }
+    if (!fs::is_directory(abs, ec)) {
+      std::cerr << "osprey_lint: no such path: " << p << "\n";
       return 2;
     }
+    std::vector<fs::path> files;
+    for (auto it = fs::recursive_directory_iterator(abs, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_regular_file() && cpp_source(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+    for (const fs::path& f : files) {
+      std::string content = read_file(f, ok);
+      if (ok) analyzer.add_file(rel_key(root, f), content);
+    }
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  const std::vector<LineRule> rules = make_rules();
-  std::vector<Finding> findings;
-  for (const fs::path& f : files) {
-    lint_file(f, relative_slash_path(f, root), rules, findings);
+  {
+    std::string cmake = read_file(root / "tests" / "CMakeLists.txt", ok);
+    if (ok) analyzer.set_test_registry(cmake);
   }
-  check_test_registration(root, files, findings);
+
+  if (!diff_base.empty()) {
+    if (!changed_since(root, diff_base, opts.changed)) {
+      std::cerr << "osprey_lint: git diff --name-only " << diff_base
+                << " failed; running full analysis\n";
+    } else if (opts.changed.empty()) {
+      // Nothing changed: vacuously clean, but keep incremental mode on
+      // so an unrelated pre-existing finding doesn't fail the run.
+      opts.changed.insert("<nothing-changed>");
+    }
+  }
+
+  std::vector<Finding> findings = analyzer.run(opts);
 
   for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
+    std::cout << f.file;
+    if (f.line != 0) std::cout << ":" << f.line;
+    std::cout << ": [" << f.rule << "] " << f.message << "\n";
+    for (const std::string& hop : f.chain) {
+      std::cout << "    " << hop << "\n";
+    }
   }
-  std::cout << "osprey_lint: " << files.size() << " file(s), "
+  std::cout << "osprey_lint: " << analyzer.file_count() << " files, "
             << findings.size() << " finding(s)\n";
 
-  if (json_out) {
-    std::ofstream js(*json_out);
-    if (!js) {
-      std::cerr << "osprey_lint: cannot write " << *json_out << "\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "osprey_lint: cannot write " << json_path << "\n";
       return 2;
     }
-    js << "{\n  \"checked_files\": " << files.size()
-       << ",\n  \"findings\": [\n";
-    for (std::size_t i = 0; i < findings.size(); ++i) {
-      const Finding& f = findings[i];
-      js << "    {\"file\": \"" << json_escape(f.file)
-         << "\", \"line\": " << f.line << ", \"rule\": \""
-         << json_escape(f.rule) << "\", \"message\": \""
-         << json_escape(f.message) << "\"}"
-         << (i + 1 < findings.size() ? "," : "") << "\n";
-    }
-    js << "  ]\n}\n";
+    out << osprey::lint::findings_to_json(findings, analyzer.file_count());
   }
-
   return findings.empty() ? 0 : 1;
 }
