@@ -6,9 +6,18 @@
 /// (Cori/EpiEstim) baseline in both accuracy and computational cost,
 /// quantifying the paper's claim that the Goldstein procedure is
 /// "significantly more computationally expensive".
+///
+/// A second scenario measures the ONLINE estimator: once a plant has a
+/// fitted chain, how long until a fresh posterior after ONE new sample
+/// arrives — warm-start estimate_update() vs a cold full refit — and
+/// whether accuracy against the known truth survives the capped chain.
+/// Results land in results/BENCH_fig2_rt.json, the first point of the
+/// estimator perf trajectory. Set OSPREY_BENCH_SMOKE=1 for a reduced
+/// CI-sized run (same shape, fewer iterations).
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "epi/wastewater.hpp"
 #include "num/stats.hpp"
@@ -20,6 +29,7 @@
 #include "util/file_io.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
+#include "util/value.hpp"
 
 using namespace osprey;
 
@@ -37,6 +47,8 @@ int main() {
   std::printf("%s", util::banner(
       "Figure 2 — R(t) for four plants + population-weighted ensemble").c_str());
 
+  const bool smoke = std::getenv("OSPREY_BENCH_SMOKE") != nullptr;
+  if (smoke) std::printf("(smoke mode: reduced iterations)\n");
   const int days = 120;
   auto plants = epi::chicago_plants();
   auto truths = epi::chicago_truths();
@@ -52,14 +64,15 @@ int main() {
                          "Goldstein ms", "Cori ms", "cost ratio"});
 
   std::vector<rt::RtSeries> series_per_plant;
+  std::vector<double> goldstein_ms_per_plant;
   for (std::size_t p = 0; p < plants.size(); ++p) {
     epi::WastewaterGenerator gen(plants[p], truths[p], ww, 100 + p);
     std::vector<double> truth = gen.true_rt();
     truth.resize(days);
 
     rt::GoldsteinConfig gconf;
-    gconf.iterations = 4000;
-    gconf.burnin = 2000;
+    gconf.iterations = smoke ? 600 : 4000;
+    gconf.burnin = smoke ? 300 : 2000;
     gconf.thin = 5;
     gconf.flow_liters_per_day = plants[p].avg_flow_mgd * 3.785e6;
     gconf.seed = 500 + p;
@@ -68,6 +81,7 @@ int main() {
     double t0 = now_ms();
     rt::RtPosterior posterior = estimator.estimate(gen.samples(), days);
     double goldstein_ms = now_ms() - t0;
+    goldstein_ms_per_plant.push_back(goldstein_ms);
     rt::RtSeries series = posterior.summarize();
     series_per_plant.push_back(series);
 
@@ -181,5 +195,116 @@ int main() {
   util::write_text_file("results/fig2_rt_series.csv", csv.to_string());
   std::printf("wrote results/fig2_rt_series.csv (%zu rows)\n",
               csv.num_rows());
+
+  // --- online scenario: time-to-fresh-R(t) after one new sample --------
+  std::printf("%s", util::banner(
+      "Online refit — time-to-fresh R(t) after one new sample").c_str());
+  epi::WastewaterGenerator gen0(plants[0], truths[0], ww, 100);
+  rt::GoldsteinConfig oconf;
+  oconf.iterations = smoke ? 600 : 4000;
+  oconf.burnin = smoke ? 300 : 2000;
+  oconf.thin = 5;
+  oconf.update_iterations = smoke ? 120 : 600;
+  oconf.update_burnin = smoke ? 40 : 200;
+  oconf.flow_liters_per_day = plants[0].avg_flow_mgd * 3.785e6;
+  oconf.seed = 500;
+  rt::GoldsteinEstimator online_est(oconf);
+
+  // History: everything published through day 104; then the next
+  // sample on the Mon/Wed/Fri cadence arrives.
+  const int history_horizon = 105;
+  std::vector<epi::WwSample> history =
+      gen0.samples_through(history_horizon - 1);
+  int new_day = -1;
+  for (const epi::WwSample& s : gen0.samples()) {
+    if (s.day >= history_horizon) {
+      new_day = s.day;
+      break;
+    }
+  }
+  if (new_day < 0) {
+    std::printf("no sample after day %d; online scenario skipped\n",
+                history_horizon);
+    return 1;
+  }
+  const int online_days = new_day + 1;
+  std::vector<epi::WwSample> with_new = gen0.samples_through(new_day);
+  std::vector<double> online_truth = gen0.true_rt();
+  online_truth.resize(static_cast<std::size_t>(online_days));
+
+  rt::GoldsteinChainState state;
+  online_est.estimate(history, history_horizon, oconf.seed, &state);
+
+  double t0 = now_ms();
+  rt::RtPosterior warm_post =
+      online_est.estimate_update(with_new, online_days, oconf.seed + 1,
+                                 state);
+  double warm_ms = now_ms() - t0;
+
+  t0 = now_ms();
+  rt::RtPosterior cold_post =
+      online_est.estimate(with_new, online_days, oconf.seed);
+  double cold_ms = now_ms() - t0;
+
+  rt::RtSeries warm_series = warm_post.summarize();
+  rt::RtSeries cold_series = cold_post.summarize();
+  double warm_rmse = num::rmse(mid(warm_series.median), mid(online_truth));
+  double cold_rmse = num::rmse(mid(cold_series.median), mid(online_truth));
+  double warm_cover = warm_series.coverage(online_truth);
+  double cold_cover = cold_series.coverage(online_truth);
+  double speedup = cold_ms / std::max(warm_ms, 1e-3);
+  std::printf(
+      "new sample at day %d (horizon %d): warm update %.1f ms vs cold "
+      "refit %.1f ms (%.1fx)\n"
+      "accuracy vs truth: warm RMSE %.3f cover %.2f | cold RMSE %.3f "
+      "cover %.2f\n"
+      "warm chain acceptance: burn-in %.2f, sampling %.2f (lineage "
+      "update #%llu)\n",
+      new_day, online_days, warm_ms, cold_ms, speedup, warm_rmse,
+      warm_cover, cold_rmse, cold_cover,
+      warm_post.acceptance_rate_burnin, warm_post.acceptance_rate_sampling,
+      static_cast<unsigned long long>(state.updates));
+
+  // --- JSON artifact: first point of the estimator perf trajectory ----
+  util::ValueObject bench;
+  bench["bench"] = util::Value("fig2_rt");
+  bench["smoke"] = util::Value(smoke);
+  bench["days"] = util::Value(static_cast<std::int64_t>(days));
+  bench["iterations"] =
+      util::Value(static_cast<std::int64_t>(smoke ? 600 : 4000));
+  util::ValueArray per_plant;
+  for (std::size_t p = 0; p < plants.size(); ++p) {
+    util::ValueObject row;
+    row["plant"] = util::Value(plants[p].name);
+    row["goldstein_ms"] = util::Value(goldstein_ms_per_plant[p]);
+    row["rmse"] = util::Value(
+        num::rmse(mid(series_per_plant[p].median), mid(plant_truths[p])));
+    row["coverage"] =
+        util::Value(series_per_plant[p].coverage(plant_truths[p]));
+    per_plant.push_back(util::Value(std::move(row)));
+  }
+  bench["plants"] = util::Value(std::move(per_plant));
+  bench["ensemble_rmse"] = util::Value(ensemble_rmse);
+  util::ValueObject online;
+  online["history_horizon"] =
+      util::Value(static_cast<std::int64_t>(history_horizon));
+  online["new_sample_day"] = util::Value(static_cast<std::int64_t>(new_day));
+  online["update_iterations"] = util::Value(
+      static_cast<std::int64_t>(oconf.update_iterations));
+  online["cold_full_ms"] = util::Value(cold_ms);
+  online["warm_update_ms"] = util::Value(warm_ms);
+  online["speedup"] = util::Value(speedup);
+  online["cold_rmse"] = util::Value(cold_rmse);
+  online["warm_rmse"] = util::Value(warm_rmse);
+  online["cold_coverage"] = util::Value(cold_cover);
+  online["warm_coverage"] = util::Value(warm_cover);
+  online["warm_acceptance_burnin"] =
+      util::Value(warm_post.acceptance_rate_burnin);
+  online["warm_acceptance_sampling"] =
+      util::Value(warm_post.acceptance_rate_sampling);
+  bench["online"] = util::Value(std::move(online));
+  util::write_text_file("results/BENCH_fig2_rt.json",
+                        util::Value(std::move(bench)).to_json());
+  std::printf("wrote results/BENCH_fig2_rt.json\n");
   return 0;
 }

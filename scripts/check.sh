@@ -16,6 +16,10 @@
 #   obs     Observability gate: `ctest -L obs` (trace determinism,
 #           exporter round trips, metrics semantics) plus
 #           `osprey_trace --self-check`. See DESIGN.md §"Observability".
+#   bench   Bench smoke: the Figure-2 R(t) scenario at reduced
+#           iterations (OSPREY_BENCH_SMOKE=1), checking that
+#           results/BENCH_fig2_rt.json is emitted and the warm-start
+#           online refit beats the cold full refit.
 #   asan    address+undefined sanitizer build, full ctest suite.
 #   ubsan   standalone undefined-behavior sanitizer build, full ctest
 #           suite (catches UB that ASan's instrumentation masks).
@@ -37,13 +41,13 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-ALL_STAGES=(lint tidy tsa tier1 obs asan ubsan tsan chaos serve)
+ALL_STAGES=(lint tidy tsa tier1 obs bench asan ubsan tsan chaos serve)
 declare -A WANTED=()
 SKIP_TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
-    lint|tidy|tsa|tier1|obs|asan|ubsan|tsan|chaos|serve) WANTED[$arg]=1 ;;
+    lint|tidy|tsa|tier1|obs|bench|asan|ubsan|tsan|chaos|serve) WANTED[$arg]=1 ;;
     *) echo "unknown argument: $arg" >&2
        echo "usage: scripts/check.sh [--skip-tsan] [stage ...]" >&2
        echo "stages: ${ALL_STAGES[*]}" >&2
@@ -118,6 +122,14 @@ stage_obs() {
   ./build/tools/osprey_trace --self-check
 }
 
+stage_bench() {
+  cmake -B build -S . >/dev/null &&
+  cmake --build build -j "$JOBS" --target bench_fig2_rt &&
+  OSPREY_BENCH_SMOKE=1 ./build/bench/bench_fig2_rt &&
+  test -s results/BENCH_fig2_rt.json &&
+  echo "bench artifact: results/BENCH_fig2_rt.json"
+}
+
 stage_asan() {
   cmake -B build-asan -S . -DOSPREY_SANITIZE=address,undefined >/dev/null &&
   cmake --build build-asan -j "$JOBS" &&
@@ -170,6 +182,7 @@ run_stage lint  stage_lint
 [[ $FAILED -eq 0 ]] && run_stage tsa   stage_tsa
 [[ $FAILED -eq 0 ]] && run_stage tier1 stage_tier1
 [[ $FAILED -eq 0 ]] && run_stage obs   stage_obs
+[[ $FAILED -eq 0 ]] && run_stage bench stage_bench
 [[ $FAILED -eq 0 ]] && run_stage asan  stage_asan
 [[ $FAILED -eq 0 ]] && run_stage ubsan stage_ubsan
 [[ $FAILED -eq 0 ]] && run_stage tsan  stage_tsan

@@ -6,7 +6,7 @@
 # incremental CI runs only recompile what changed.
 #
 # Usage: scripts/ci.sh [fast|full]   (default: full)
-#   fast  lint + tidy + tsa + tier1 + obs (no sanitizer builds)
+#   fast  lint + tidy + tsa + tier1 + obs + bench smoke (no sanitizers)
 #   full  everything
 set -euo pipefail
 
@@ -17,7 +17,7 @@ echo "=== ci: fail-fast gates (lint, tidy, thread-safety) ==="
 scripts/check.sh lint tidy tsa
 
 echo "=== ci: tier-1 build + tests ==="
-scripts/check.sh tier1 obs
+scripts/check.sh tier1 obs bench
 
 if [[ "$MODE" == "full" ]]; then
   echo "=== ci: sanitizer stages ==="

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
 
+#include "num/rng.hpp"
 #include "num/stats.hpp"
 #include "rt/ensemble.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 #include "util/string_util.hpp"
 
 namespace osprey::core {
@@ -114,13 +118,24 @@ WastewaterUseCase::WastewaterUseCase(OspreyPlatform& platform,
 }
 
 void WastewaterUseCase::register_harnesses() {
-  // Julia: the Goldstein R(t) estimation.
+  // Julia: the Goldstein R(t) estimation. Chain states are keyed by
+  // the per-plant chain seed and shared across invocations — the first
+  // fit for a plant is a cold full refit that seeds the state, and
+  // every later per-sample trigger resumes from it with a capped
+  // iteration budget (bounded time-to-fresh-R(t)).
   rt::GoldsteinConfig gconf = config_.goldstein;
   int aggregate_draws = config_.aggregate_draws;
+  const bool online = config_.online_updates;
+  struct ChainRegistry {
+    osprey::util::Mutex mutex;
+    std::map<std::uint64_t, rt::GoldsteinChainState> states;
+  };
+  auto registry = std::make_shared<ChainRegistry>();
   harnesses_.add(
       "rt-estimate", Language::kJulia,
       "semiparametric Bayesian R(t) estimation from wastewater (Goldstein)",
-      [gconf, aggregate_draws](const Value& args) -> Value {
+      [this, gconf, aggregate_draws, online,
+       registry](const Value& args) -> Value {
         std::vector<epi::WwSample> samples =
             parse_samples(args.at("csv").as_string());
         OSPREY_REQUIRE(samples.size() >= 4, "not enough samples yet");
@@ -129,11 +144,59 @@ void WastewaterUseCase::register_harnesses() {
         conf.flow_liters_per_day = args.at("flow_liters").as_double();
         conf.seed = static_cast<std::uint64_t>(args.at("seed").as_int());
         rt::GoldsteinEstimator estimator(conf);
-        rt::RtPosterior posterior = estimator.estimate(samples, days);
+
+        osprey::util::MutexLock lock(registry->mutex);
+        rt::GoldsteinChainState& state = registry->states[conf.seed];
+        const bool warm = online && state.valid() && days >= state.days;
+        obs::SpanId span = platform_.tracer().begin_span(
+            obs::Category::kCompute,
+            warm ? "rt:refit-warm" : "rt:refit-full",
+            obs::sim_ns(platform_.loop().now()));
+        rt::RtPosterior posterior;
+        if (warm) {
+          // Each warm update draws its chain seed from the plant's
+          // stream indexed by lineage position, so the online sequence
+          // is reproducible yet never reuses a seed.
+          std::uint64_t update_seed = osprey::num::RngStream(conf.seed)
+                                          .substream(state.updates + 1)
+                                          .next_u64();
+          posterior =
+              estimator.estimate_update(samples, days, update_seed, state);
+        } else {
+          posterior = estimator.estimate(samples, days, conf.seed, &state);
+        }
+        platform_.tracer().end_span(span,
+                                    obs::sim_ns(platform_.loop().now()),
+                                    true, std::to_string(days) + " days");
+        platform_.metrics()
+            .counter(warm ? "rt_refit_warm_total" : "rt_refit_full_total",
+                     "R(t) refits by chain mode")
+            .inc();
+        platform_.metrics()
+            .gauge("rt_acceptance_rate_burnin",
+                   "last refit's burn-in phase acceptance rate")
+            .set(posterior.acceptance_rate_burnin);
+        platform_.metrics()
+            .gauge("rt_acceptance_rate_sampling",
+                   "last refit's sampling phase acceptance rate")
+            .set(posterior.acceptance_rate_sampling);
+
+        CsvTable meta({"mode", "lineage_updates", "state_days",
+                       "acceptance", "acceptance_burnin",
+                       "acceptance_sampling"});
+        meta.add_row(
+            {warm ? "warm" : "full", std::to_string(state.updates),
+             std::to_string(state.days),
+             osprey::util::format("%.4f", posterior.acceptance_rate),
+             osprey::util::format("%.4f", posterior.acceptance_rate_burnin),
+             osprey::util::format("%.4f",
+                                  posterior.acceptance_rate_sampling)});
+
         ValueObject out;
         out["summary_csv"] = Value(series_to_csv(posterior.summarize()));
         out["draws_csv"] = Value(draws_to_csv(posterior, aggregate_draws));
         out["acceptance"] = Value(posterior.acceptance_rate);
+        out["meta_csv"] = Value(meta.to_string());
         return Value(std::move(out));
       });
 
@@ -219,6 +282,7 @@ void WastewaterUseCase::register_harnesses() {
         outputs["rt_summary.csv"] = est.at("summary_csv");
         outputs["rt_draws.csv"] = est.at("draws_csv");
         outputs["rt_plot.txt"] = plot.at("plot");
+        outputs["rt_meta.csv"] = est.at("meta_csv");
         ValueObject result;
         result["outputs"] = Value(std::move(outputs));
         return Value(std::move(result));
@@ -366,7 +430,8 @@ void WastewaterUseCase::build() {
     ana.storage = &eagle;
     ana.collection = kCollection;
     ana.base_path = "rt/" + std::to_string(p);
-    ana.output_names = {"rt_summary.csv", "rt_draws.csv", "rt_plot.txt"};
+    ana.output_names = {"rt_summary.csv", "rt_draws.csv", "rt_plot.txt",
+                        "rt_meta.csv"};
     ana.retry = config_.retry;
     ana.breaker = config_.breaker;
     analysis_outputs_.push_back(

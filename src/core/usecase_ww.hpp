@@ -39,6 +39,12 @@ struct WwUseCaseConfig {
   rt::GoldsteinConfig goldstein;
   /// Posterior draws serialized for the ensemble aggregation.
   int aggregate_draws = 200;
+  /// When true, every per-plant refit after the first cold fit resumes
+  /// from the previous chain state (rt::GoldsteinEstimator::
+  /// estimate_update) with capped iterations, so the per-sample trigger
+  /// path has bounded time-to-fresh-R(t). The first fit — and any fit
+  /// whose horizon moved backwards — stays a cold full refit.
+  bool online_updates = true;
   epi::WastewaterConfig ww;
   /// Recovery knobs applied to every registered flow (ingestion,
   /// analysis, aggregation). Disabled by default, matching the paper's
@@ -50,6 +56,8 @@ struct WwUseCaseConfig {
     goldstein.iterations = 1600;
     goldstein.burnin = 800;
     goldstein.thin = 4;
+    goldstein.update_iterations = 400;
+    goldstein.update_burnin = 160;
   }
 };
 
@@ -92,7 +100,10 @@ class WastewaterUseCase {
   const std::vector<aero::IngestionHandles>& ingestions() const {
     return ingestion_handles_;
   }
-  /// Per plant: [summary uuid, draws uuid, plot uuid].
+  /// Per plant: [summary uuid, draws uuid, plot uuid, meta uuid]. The
+  /// meta artifact's aero version history is the warm-start lineage:
+  /// each refit publishes its mode (full/warm), update counter and
+  /// per-phase acceptance.
   const std::vector<std::vector<std::string>>& analysis_outputs() const {
     return analysis_outputs_;
   }

@@ -1,0 +1,132 @@
+#include "num/simd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace osprey::num::simd {
+
+void interp_log_knots_exp(const double* log_knots, int n_knots, int spacing,
+                          int days, int from_day, double* rt) {
+  // Whether the nominal final knot day (n_knots-1)*spacing overshoots
+  // the horizon; if so the final knot is pinned to day days-1 and the
+  // last segment interpolates over its true length.
+  const bool partial = (n_knots - 1) * spacing > days - 1;
+  const int last_seg_start = (n_knots - 2) * spacing;
+  const int last_denom = partial ? (days - 1 - last_seg_start) : spacing;
+  for (int t = from_day; t < days; ++t) {
+    int k = t / spacing;
+    int k1 = std::min(k + 1, n_knots - 1);
+    int denom = (partial && k == n_knots - 2) ? last_denom : spacing;
+    double frac = static_cast<double>(t - k * spacing) / denom;
+    double log_rt = log_knots[static_cast<std::size_t>(k)] * (1.0 - frac) +
+                    log_knots[static_cast<std::size_t>(k1)] * frac;
+    rt[t] = std::exp(log_rt);
+  }
+}
+
+void renewal_incidence(const double* rt, const double* w, int wlen,
+                       int burnin, int from_day, int days, double* inc) {
+  for (int t = from_day; t < days; ++t) {
+    const int idx = burnin + t;
+    // Identical op order to epi::renewal_pressure: s ascending, one
+    // multiply-add per generation-interval day.
+    double sum = 0.0;
+    for (int s = 1; s <= wlen; ++s) {
+      if (s > idx) break;
+      sum += w[s - 1] * inc[idx - s];
+    }
+    inc[idx] = rt[t] * sum;
+  }
+}
+
+void shedding_convolve(const double* inc, const double* shed, int slen,
+                       int burnin, double scale, double flow, int from_day,
+                       int days, double* mu) {
+  // Scalar head: days whose convolution window is truncated at the
+  // start of the incidence array (burnin + t - s < 0 for some s).
+  const int head_end =
+      std::min(days, std::max(from_day, slen - burnin));
+  int t = from_day;
+  for (; t < head_end; ++t) {
+    double load = 0.0;
+    for (int s = 0; s < slen; ++s) {
+      int src = burnin + t - s;
+      if (src < 0) break;
+      load += shed[s] * inc[src];
+    }
+    mu[t] = scale * load / flow;
+  }
+  // 4-day blocks: each lane accumulates its own day's shedding sum in
+  // the same s-ascending order as the scalar loop, so per-day results
+  // are bitwise identical; only independent days run side by side.
+  for (; t + kLanes <= days; t += kLanes) {
+#if OSPREY_SIMD_VEC_EXT
+    Vec4d load = {0.0, 0.0, 0.0, 0.0};
+    for (int s = 0; s < slen; ++s) {
+      const int base = burnin + t - s;
+      Vec4d x = {inc[base], inc[base + 1], inc[base + 2], inc[base + 3]};
+      load += shed[s] * x;
+    }
+    for (int l = 0; l < kLanes; ++l) {
+      mu[t + l] = scale * load[l] / flow;
+    }
+#else
+    double load[kLanes] = {0.0, 0.0, 0.0, 0.0};
+    for (int s = 0; s < slen; ++s) {
+      const int base = burnin + t - s;
+      for (int l = 0; l < kLanes; ++l) {
+        load[l] += shed[s] * inc[base + l];
+      }
+    }
+    for (int l = 0; l < kLanes; ++l) {
+      mu[t + l] = scale * load[l] / flow;
+    }
+#endif
+  }
+  for (; t < days; ++t) {
+    double load = 0.0;
+    for (int s = 0; s < slen; ++s) {
+      int src = burnin + t - s;
+      if (src < 0) break;
+      load += shed[s] * inc[src];
+    }
+    mu[t] = scale * load / flow;
+  }
+}
+
+bool lognormal_terms(const double* mu, const int* day, const double* log_c,
+                     const unsigned char* positive_c, std::size_t from,
+                     std::size_t n, double sigma, double log_sigma,
+                     double* log_mu, double* contrib) {
+  for (std::size_t i = from; i < n; ++i) {
+    const double m = mu[day[i]];
+    if (!(m > 0.0) || positive_c[i] == 0) return false;
+    const double lm = std::log(m);
+    const double z = (log_c[i] - lm) / sigma;
+    log_mu[i] = lm;
+    contrib[i] = 0.5 * z * z + log_sigma;
+  }
+  return true;
+}
+
+void axpy(double w, const double* x, double* out, std::size_t n) {
+  std::size_t t = 0;
+#if OSPREY_SIMD_VEC_EXT
+  for (; t + kLanes <= n; t += kLanes) {
+    Vec4d xv = {x[t], x[t + 1], x[t + 2], x[t + 3]};
+    Vec4d ov = {out[t], out[t + 1], out[t + 2], out[t + 3]};
+    ov += w * xv;
+    out[t] = ov[0];
+    out[t + 1] = ov[1];
+    out[t + 2] = ov[2];
+    out[t + 3] = ov[3];
+  }
+#endif
+  for (; t < n; ++t) out[t] += w * x[t];
+}
+
+void scale(double s, double* out, std::size_t n) {
+  for (std::size_t t = 0; t < n; ++t) out[t] *= s;
+}
+
+}  // namespace osprey::num::simd

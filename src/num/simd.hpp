@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file simd.hpp
+/// Structure-of-arrays micro-kernels for the hot likelihood loops of the
+/// R(t) estimators (and any other per-day series math). Two design
+/// rules make these safe to share between the bit-identical MCMC paths
+/// and throughput-oriented fan-outs:
+///
+///  1. **Exact per-element order.** Every kernel performs, for each
+///     output element, the same scalar operation sequence as the naive
+///     loop it replaces. Vectorization happens ACROSS independent
+///     output elements (4 lanes of `t`), never by reassociating a
+///     single element's accumulation. A kernel result is therefore
+///     bitwise equal to the reference loop, so the Metropolis accept
+///     decisions built on top of it replay identically.
+///  2. **No hidden state.** Kernels read and write caller-owned SoA
+///     buffers with explicit [from, to) ranges, which is what lets the
+///     incremental likelihood workspace recompute only a suffix.
+///
+/// The 4-wide type uses GCC/Clang vector extensions when available
+/// (SSE2/AVX codegen, per-lane IEEE semantics) and falls back to a
+/// plain array otherwise; either way lane arithmetic is ordinary double
+/// arithmetic, so the bit-identity contract holds on every compiler.
+
+#include <cstddef>
+
+namespace osprey::num::simd {
+
+/// Lanes processed per block in the batched kernels.
+inline constexpr int kLanes = 4;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define OSPREY_SIMD_VEC_EXT 1
+/// 4 doubles, element-wise IEEE ops (compiled to SSE2/AVX pairs).
+typedef double Vec4d __attribute__((vector_size(4 * sizeof(double))));
+#else
+#define OSPREY_SIMD_VEC_EXT 0
+struct Vec4d {
+  double lane[4];
+};
+#endif
+
+/// Piecewise-linear interpolation of log-knots onto daily R values,
+/// rt[t] = exp(lerp(log_knots, t)), for t in [from_day, days).
+///
+/// Knot j sits at day j*spacing, except that when spacing does not
+/// divide days-1 the FINAL knot sits at day days-1, so the last partial
+/// segment interpolates over its true (shorter) length and reaches the
+/// final knot exactly at the horizon boundary. (The pre-fix behaviour
+/// divided by the full spacing there, under-weighting the final knot.)
+void interp_log_knots_exp(const double* log_knots, int n_knots, int spacing,
+                          int days, int from_day, double* rt);
+
+/// Renewal-equation incidence recursion:
+///   inc[burnin + t] = rt[t] * sum_{s=1..wlen} w[s-1] * inc[burnin+t-s]
+/// for t in [from_day, days). Entries of inc below burnin + from_day
+/// must already hold valid values (the i0 burn-in prefix and any cached
+/// prefix); they are read, never written. Inherently sequential (each
+/// day feeds the next), so this kernel is scalar by construction.
+void renewal_incidence(const double* rt, const double* w, int wlen,
+                       int burnin, int from_day, int days, double* inc);
+
+/// Shedding-load convolution normalized by plant flow:
+///   mu[t] = scale * (sum_{s>=0} shed[s] * inc[burnin + t - s]) / flow
+/// for t in [from_day, days), truncating the sum where burnin+t-s < 0.
+/// Batched 4 days per block: the s-accumulation of each lane runs in
+/// the same order as the scalar loop, so each mu[t] is bitwise equal to
+/// the reference implementation.
+void shedding_convolve(const double* inc, const double* shed, int slen,
+                       int burnin, double scale, double flow, int from_day,
+                       int days, double* mu);
+
+/// Lognormal observation terms for samples [from, n):
+///   log_mu[i]  = log(mu[day[i]])
+///   contrib[i] = 0.5 * z*z + log_sigma,  z = (log_c[i] - log_mu[i]) / sigma
+/// Returns false (stopping at the offending sample, matching the
+/// reference early-return) when mu[day[i]] is not > 0; `log_c` holds
+/// precomputed log-concentrations and `positive_c[i]` whether the raw
+/// concentration was > 0.
+bool lognormal_terms(const double* mu, const int* day, const double* log_c,
+                     const unsigned char* positive_c, std::size_t from,
+                     std::size_t n, double sigma, double log_sigma,
+                     double* log_mu, double* contrib);
+
+/// out[t] += w * x[t] for t in [0, n): the ensemble-aggregation inner
+/// loop. Element-wise (no reassociation), so accumulating members in a
+/// fixed order stays bit-identical to the scalar reference.
+void axpy(double w, const double* x, double* out, std::size_t n);
+
+/// out[t] *= s for t in [0, n).
+void scale(double s, double* out, std::size_t n);
+
+}  // namespace osprey::num::simd

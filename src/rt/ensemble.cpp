@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "num/simd.hpp"
 #include "util/error.hpp"
 
 namespace osprey::rt {
@@ -42,15 +43,17 @@ RtPosterior aggregate_population_weighted(
 
   RtPosterior out;
   out.draws = osprey::num::Matrix(max_draws, days, 0.0);
+  // Accumulate whole member rows through the SoA axpy kernel. Members
+  // are added in the same fixed order per element as the scalar
+  // triple loop, so the aggregate stays bit-identical to it.
   for (std::size_t d = 0; d < max_draws; ++d) {
-    for (std::size_t t = 0; t < days; ++t) {
-      double acc = 0.0;
-      for (const EnsembleMember& m : members) {
-        std::size_t dd = d % m.posterior.n_draws();
-        acc += m.population_weight * m.posterior.draws(dd, t);
-      }
-      out.draws(d, t) = acc / total_weight;
+    double* out_row = out.draws.data().data() + d * days;
+    for (const EnsembleMember& m : members) {
+      std::size_t dd = d % m.posterior.n_draws();
+      const double* src_row = m.posterior.draws.data().data() + dd * days;
+      osprey::num::simd::axpy(m.population_weight, src_row, out_row, days);
     }
+    for (std::size_t t = 0; t < days; ++t) out_row[t] /= total_weight;
   }
   return out;
 }
@@ -69,9 +72,7 @@ std::vector<double> weighted_series_average(
   std::vector<double> out(days, 0.0);
   for (std::size_t i = 0; i < series.size(); ++i) {
     OSPREY_REQUIRE(series[i].size() == days, "series length mismatch");
-    for (std::size_t t = 0; t < days; ++t) {
-      out[t] += weights[i] * series[i][t];
-    }
+    osprey::num::simd::axpy(weights[i], series[i].data(), out.data(), days);
   }
   for (double& x : out) x /= total;
   return out;

@@ -5,7 +5,9 @@
 
 #include "epi/kernels.hpp"
 #include "num/rng.hpp"
+#include "num/simd.hpp"
 #include "num/stats.hpp"
+#include "rt/likelihood_ws.hpp"
 #include "util/error.hpp"
 
 namespace osprey::rt {
@@ -19,6 +21,9 @@ GoldsteinEstimator::GoldsteinEstimator(GoldsteinConfig config)
   OSPREY_REQUIRE(config_.knot_spacing_days >= 1, "bad knot spacing");
   OSPREY_REQUIRE(config_.iterations > config_.burnin, "burnin >= iterations");
   OSPREY_REQUIRE(config_.thin >= 1, "thin must be >= 1");
+  OSPREY_REQUIRE(config_.update_burnin >= 0, "bad update burnin");
+  OSPREY_REQUIRE(config_.update_iterations > config_.update_burnin,
+                 "update_burnin >= update_iterations");
   OSPREY_REQUIRE(config_.flow_liters_per_day > 0, "bad flow");
   OSPREY_REQUIRE(config_.shedding_scale > 0, "bad shedding scale");
 }
@@ -34,44 +39,17 @@ int GoldsteinEstimator::num_knots(int days) const {
 std::vector<double> GoldsteinEstimator::knots_to_daily(
     const std::vector<double>& log_knots, int days) const {
   std::vector<double> rt(static_cast<std::size_t>(days));
-  int spacing = config_.knot_spacing_days;
-  for (int t = 0; t < days; ++t) {
-    int k = t / spacing;
-    int k1 = std::min<int>(k + 1, static_cast<int>(log_knots.size()) - 1);
-    double frac = static_cast<double>(t - k * spacing) / spacing;
-    double log_rt = log_knots[static_cast<std::size_t>(k)] * (1.0 - frac) +
-                    log_knots[static_cast<std::size_t>(k1)] * frac;
-    rt[static_cast<std::size_t>(t)] = std::exp(log_rt);
-  }
+  num::simd::interp_log_knots_exp(log_knots.data(),
+                                  static_cast<int>(log_knots.size()),
+                                  config_.knot_spacing_days, days, 0,
+                                  rt.data());
   return rt;
 }
 
-std::vector<double> GoldsteinEstimator::incidence_from_rt(
-    const std::vector<double>& rt, double i0) const {
-  const int burnin = static_cast<int>(gen_interval_.size());
-  std::vector<double> inc(static_cast<std::size_t>(burnin) + rt.size(), i0);
-  for (std::size_t t = 0; t < rt.size(); ++t) {
-    std::size_t idx = static_cast<std::size_t>(burnin) + t;
-    inc[idx] = rt[t] * epi::renewal_pressure(inc, idx, gen_interval_);
-  }
-  return inc;
-}
-
-std::vector<double> GoldsteinEstimator::expected_concentration(
-    const std::vector<double>& inc, int days) const {
-  const int burnin = static_cast<int>(gen_interval_.size());
-  std::vector<double> mu(static_cast<std::size_t>(days), 0.0);
-  for (int t = 0; t < days; ++t) {
-    double load = 0.0;
-    for (std::size_t s = 0; s < shedding_.size(); ++s) {
-      int src = burnin + t - static_cast<int>(s);
-      if (src < 0) break;
-      load += shedding_[s] * inc[static_cast<std::size_t>(src)];
-    }
-    mu[static_cast<std::size_t>(t)] =
-        config_.shedding_scale * load / config_.flow_liters_per_day;
-  }
-  return mu;
+LikelihoodWorkspace GoldsteinEstimator::make_workspace(
+    const std::vector<epi::WwSample>& samples, int days) const {
+  return LikelihoodWorkspace(config_, gen_interval_, shedding_, samples,
+                             days);
 }
 
 double GoldsteinEstimator::neg_log_posterior(
@@ -80,42 +58,107 @@ double GoldsteinEstimator::neg_log_posterior(
   const int k = num_knots(days);
   OSPREY_REQUIRE(theta.size() == static_cast<std::size_t>(k) + 2,
                  "theta size mismatch");
-  const double log_i0 = theta[static_cast<std::size_t>(k)];
-  const double log_sigma = theta[static_cast<std::size_t>(k) + 1];
-  if (log_i0 > 25.0 || log_sigma > 5.0 || log_sigma < -7.0) return 1e12;
-  const double sigma = std::exp(log_sigma);
+  LikelihoodWorkspace ws = make_workspace(samples, days);
+  return ws.commit_full(theta);
+}
 
-  double nlp = 0.0;
-  // Random-walk prior over log R knots.
-  double s0 = config_.logr0_prior_sd;
-  nlp += 0.5 * theta[0] * theta[0] / (s0 * s0);
-  double srw = config_.rw_prior_sd;
-  for (int j = 1; j < k; ++j) {
-    double d = theta[static_cast<std::size_t>(j)] -
-               theta[static_cast<std::size_t>(j - 1)];
-    nlp += 0.5 * d * d / (srw * srw);
-  }
-  // Weak prior on the initial incidence level.
-  double dli = log_i0 - std::log(100.0);
-  nlp += 0.5 * dli * dli / (3.0 * 3.0);
-  // Half-normal prior on sigma (including the log-scale Jacobian).
-  double shn = config_.sigma_halfnormal_sd;
-  nlp += 0.5 * sigma * sigma / (shn * shn) - log_sigma;
+void GoldsteinEstimator::run_chain(LikelihoodWorkspace& ws,
+                                   std::vector<double>& theta,
+                                   std::vector<double>& step,
+                                   std::uint64_t seed, int iterations,
+                                   int burnin, int days,
+                                   RtPosterior& posterior) const {
+  const std::size_t dim = theta.size();
+  const int k = ws.num_knots();
+  OSPREY_REQUIRE(dim == ws.dim() && dim == step.size(),
+                 "chain dimension mismatch");
 
-  // Likelihood.
-  std::vector<double> log_knots(theta.begin(),
-                                theta.begin() + static_cast<std::ptrdiff_t>(k));
-  std::vector<double> rt = knots_to_daily(log_knots, days);
-  std::vector<double> inc = incidence_from_rt(rt, std::exp(log_i0));
-  std::vector<double> mu = expected_concentration(inc, days);
-  for (const epi::WwSample& s : samples) {
-    OSPREY_REQUIRE(s.day >= 0 && s.day < days, "sample outside horizon");
-    double m = mu[static_cast<std::size_t>(s.day)];
-    if (!(m > 0.0) || !(s.concentration > 0.0)) return 1e12;
-    double z = (std::log(s.concentration) - std::log(m)) / sigma;
-    nlp += 0.5 * z * z + log_sigma;
+  RngStream rng(seed);
+  double current = ws.commit_full(theta);
+
+  std::vector<std::size_t> accepts(dim, 0);
+  std::vector<std::size_t> proposals(dim, 0);
+  const int adapt_window = 50;
+
+  // Draws land at offsets 0, thin, 2*thin, ... within the post-burn-in
+  // span, so the count is the CEILING of span/thin — floor division
+  // would silently drop the final thinned draw whenever thin does not
+  // divide the span.
+  const int span = iterations - burnin;
+  const int n_draws = (span + config_.thin - 1) / config_.thin;
+  posterior.draws = osprey::num::Matrix(static_cast<std::size_t>(n_draws),
+                                        static_cast<std::size_t>(days));
+
+  std::vector<double> rt_buf(static_cast<std::size_t>(days));
+  std::size_t stored = 0;
+  std::uint64_t burn_acc = 0;
+  std::uint64_t burn_prop = 0;
+  std::uint64_t samp_acc = 0;
+  std::uint64_t samp_prop = 0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    const bool in_burnin = iter < burnin;
+    // Component-wise Metropolis sweep; the workspace recomputes only
+    // the suffix the perturbed component can influence.
+    for (std::size_t j = 0; j < dim; ++j) {
+      double old = theta[j];
+      theta[j] = old + step[j] * rng.normal();
+      double cand = ws.propose(theta, j);
+      ++proposals[j];
+      if (in_burnin) {
+        ++burn_prop;
+      } else {
+        ++samp_prop;
+      }
+      if (std::log(rng.uniform() + 1e-300) < current - cand) {
+        current = cand;
+        ws.accept();
+        ++accepts[j];
+        if (in_burnin) {
+          ++burn_acc;
+        } else {
+          ++samp_acc;
+        }
+      } else {
+        theta[j] = old;
+      }
+    }
+    // Adapt step sizes toward ~44% acceptance during burn-in.
+    if (in_burnin && (iter + 1) % adapt_window == 0) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        double rate = static_cast<double>(accepts[j]) /
+                      static_cast<double>(proposals[j]);
+        step[j] *= std::exp(rate - 0.44);
+        step[j] = std::clamp(step[j], 1e-4, 2.0);
+        accepts[j] = 0;
+        proposals[j] = 0;
+      }
+    }
+    if (iter >= burnin && (iter - burnin) % config_.thin == 0) {
+      // Draws always go through the interpolation kernel directly: the
+      // workspace R cache is stale whenever the committed state is
+      // degenerate, but theta itself is always well-defined.
+      num::simd::interp_log_knots_exp(theta.data(), k,
+                                      config_.knot_spacing_days, days, 0,
+                                      rt_buf.data());
+      for (int t = 0; t < days; ++t) {
+        posterior.draws(stored, static_cast<std::size_t>(t)) =
+            rt_buf[static_cast<std::size_t>(t)];
+      }
+      ++stored;
+    }
   }
-  return nlp;
+  OSPREY_CHECK(stored == static_cast<std::size_t>(n_draws),
+               "thinned draw count mismatch");
+
+  const std::uint64_t total_acc = burn_acc + samp_acc;
+  const std::uint64_t total_prop = burn_prop + samp_prop;
+  auto ratio = [](std::uint64_t a, std::uint64_t p) {
+    return p == 0 ? 0.0
+                  : static_cast<double>(a) / static_cast<double>(p);
+  };
+  posterior.acceptance_rate = ratio(total_acc, total_prop);
+  posterior.acceptance_rate_burnin = ratio(burn_acc, burn_prop);
+  posterior.acceptance_rate_sampling = ratio(samp_acc, samp_prop);
 }
 
 RtPosterior GoldsteinEstimator::estimate(
@@ -124,8 +167,8 @@ RtPosterior GoldsteinEstimator::estimate(
 }
 
 RtPosterior GoldsteinEstimator::estimate(
-    const std::vector<epi::WwSample>& samples, int days,
-    std::uint64_t seed) const {
+    const std::vector<epi::WwSample>& samples, int days, std::uint64_t seed,
+    GoldsteinChainState* out_state) const {
   OSPREY_REQUIRE(samples.size() >= 4, "need at least 4 samples");
   const int k = num_knots(days);
   const std::size_t dim = static_cast<std::size_t>(k) + 2;
@@ -143,74 +186,51 @@ RtPosterior GoldsteinEstimator::estimate(
   std::vector<double> theta(dim, 0.0);
   theta[static_cast<std::size_t>(k)] = std::log(i0_guess);
   theta[static_cast<std::size_t>(k) + 1] = std::log(0.5);
-
-  RngStream rng(seed);
-  double current = neg_log_posterior(theta, samples, days);
-
   std::vector<double> step(dim, 0.08);
-  std::vector<std::size_t> accepts(dim, 0);
-  std::vector<std::size_t> proposals(dim, 0);
-  const int adapt_window = 50;
 
-  // Draws land at offsets 0, thin, 2*thin, ... within the post-burn-in
-  // span, so the count is the CEILING of span/thin — floor division
-  // would silently drop the final thinned draw whenever thin does not
-  // divide the span.
-  const int span = config_.iterations - config_.burnin;
-  const int n_draws = (span + config_.thin - 1) / config_.thin;
+  LikelihoodWorkspace ws = make_workspace(samples, days);
   RtPosterior posterior;
-  posterior.draws =
-      osprey::num::Matrix(static_cast<std::size_t>(n_draws),
-                          static_cast<std::size_t>(days));
+  run_chain(ws, theta, step, seed, config_.iterations, config_.burnin, days,
+            posterior);
 
-  std::size_t stored = 0;
-  std::uint64_t total_acc = 0;
-  std::uint64_t total_prop = 0;
-  for (int iter = 0; iter < config_.iterations; ++iter) {
-    // Component-wise Metropolis sweep.
-    for (std::size_t j = 0; j < dim; ++j) {
-      double old = theta[j];
-      theta[j] = old + step[j] * rng.normal();
-      double cand = neg_log_posterior(theta, samples, days);
-      ++proposals[j];
-      ++total_prop;
-      if (std::log(rng.uniform() + 1e-300) < current - cand) {
-        current = cand;
-        ++accepts[j];
-        ++total_acc;
-      } else {
-        theta[j] = old;
-      }
-    }
-    // Adapt step sizes toward ~44% acceptance during burn-in.
-    if (iter < config_.burnin && (iter + 1) % adapt_window == 0) {
-      for (std::size_t j = 0; j < dim; ++j) {
-        double rate = static_cast<double>(accepts[j]) /
-                      static_cast<double>(proposals[j]);
-        step[j] *= std::exp(rate - 0.44);
-        step[j] = std::clamp(step[j], 1e-4, 2.0);
-        accepts[j] = 0;
-        proposals[j] = 0;
-      }
-    }
-    if (iter >= config_.burnin &&
-        (iter - config_.burnin) % config_.thin == 0) {
-      std::vector<double> log_knots(
-          theta.begin(), theta.begin() + static_cast<std::ptrdiff_t>(k));
-      std::vector<double> rt = knots_to_daily(log_knots, days);
-      for (int t = 0; t < days; ++t) {
-        posterior.draws(stored, static_cast<std::size_t>(t)) =
-            rt[static_cast<std::size_t>(t)];
-      }
-      ++stored;
-    }
+  if (out_state != nullptr) {
+    out_state->theta = std::move(theta);
+    out_state->step = std::move(step);
+    out_state->days = days;
+    out_state->updates = 0;
   }
-  OSPREY_CHECK(stored == static_cast<std::size_t>(n_draws),
-               "thinned draw count mismatch");
-  posterior.acceptance_rate =
-      total_prop == 0 ? 0.0
-                      : static_cast<double>(total_acc) /
-                            static_cast<double>(total_prop);
+  return posterior;
+}
+
+RtPosterior GoldsteinEstimator::estimate_update(
+    const std::vector<epi::WwSample>& samples, int days, std::uint64_t seed,
+    GoldsteinChainState& state) const {
+  OSPREY_REQUIRE(state.valid(), "invalid chain state");
+  OSPREY_REQUIRE(days >= state.days, "online horizon cannot shrink");
+  OSPREY_REQUIRE(samples.size() >= 4, "need at least 4 samples");
+  const int k = num_knots(days);
+  const int k_old = static_cast<int>(state.theta.size()) - 2;
+  OSPREY_REQUIRE(k >= k_old, "chain state has more knots than horizon");
+
+  // Extend the parameter vector over the newly observed days by
+  // replicating the last knot — the mean of the random-walk prior
+  // increment — and give new knots the last knot's adapted step.
+  std::vector<double> theta = state.theta;
+  std::vector<double> step = state.step;
+  theta.insert(theta.begin() + k_old, static_cast<std::size_t>(k - k_old),
+               theta[static_cast<std::size_t>(k_old) - 1]);
+  step.insert(step.begin() + k_old, static_cast<std::size_t>(k - k_old),
+              step[static_cast<std::size_t>(k_old) - 1]);
+
+  LikelihoodWorkspace ws = make_workspace(samples, days);
+  RtPosterior posterior;
+  run_chain(ws, theta, step, seed, config_.update_iterations,
+            config_.update_burnin, days, posterior);
+
+  state.theta = std::move(theta);
+  state.step = std::move(step);
+  state.days = days;
+  ++state.updates;
   return posterior;
 }
 

@@ -27,6 +27,11 @@ struct RtSeries {
 struct RtPosterior {
   osprey::num::Matrix draws;  // (n_draws, days)
   double acceptance_rate = 0.0;
+  /// Per-phase acceptance, split at the burn-in boundary. A healthy
+  /// adaptive chain sits near 0.44 in both; a warm-start refit whose
+  /// sampling-phase rate collapses signals a stale chain state.
+  double acceptance_rate_burnin = 0.0;
+  double acceptance_rate_sampling = 0.0;
 
   std::size_t n_draws() const { return draws.rows(); }
   std::size_t days() const { return draws.cols(); }

@@ -1,0 +1,405 @@
+/// Online/incremental Goldstein estimator tests: the bit-identity
+/// contract of the LikelihoodWorkspace, the knots_to_daily partial
+/// final-segment fix, and the warm-start estimate_update() path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "epi/kernels.hpp"
+#include "epi/wastewater.hpp"
+#include "num/rng.hpp"
+#include "num/stats.hpp"
+#include "rt/goldstein.hpp"
+#include "rt/likelihood_ws.hpp"
+#include "util/error.hpp"
+
+namespace oe = osprey::epi;
+namespace ort = osprey::rt;
+namespace on = osprey::num;
+
+namespace {
+
+ort::GoldsteinConfig fast_config(const oe::Plant& plant) {
+  ort::GoldsteinConfig cfg;
+  cfg.iterations = 1200;
+  cfg.burnin = 600;
+  cfg.thin = 3;
+  cfg.update_iterations = 300;
+  cfg.update_burnin = 100;
+  cfg.flow_liters_per_day = plant.avg_flow_mgd * 3.785e6;
+  cfg.seed = 99;
+  return cfg;
+}
+
+std::vector<oe::WwSample> make_samples(int days, std::uint64_t seed = 100) {
+  oe::Plant plant = oe::chicago_plants()[0];
+  oe::RtTruthParams truth = oe::chicago_truths()[0];
+  oe::WastewaterConfig ww;
+  ww.days = days;
+  oe::WastewaterGenerator gen(plant, truth, ww, seed);
+  return gen.samples();
+}
+
+/// Straight-line replication of the pre-workspace neg_log_posterior:
+/// fresh allocations, naive loops, the original accumulation order.
+double reference_nlp(const ort::GoldsteinEstimator& est,
+                     const std::vector<double>& theta,
+                     const std::vector<oe::WwSample>& samples, int days) {
+  const ort::GoldsteinConfig& cfg = est.config();
+  const int k = est.num_knots(days);
+  const double log_i0 = theta[static_cast<std::size_t>(k)];
+  const double log_sigma = theta[static_cast<std::size_t>(k) + 1];
+  if (log_i0 > 25.0 || log_sigma > 5.0 || log_sigma < -7.0) return 1e12;
+  const double sigma = std::exp(log_sigma);
+
+  double nlp = 0.0;
+  double s0 = cfg.logr0_prior_sd;
+  nlp += 0.5 * theta[0] * theta[0] / (s0 * s0);
+  double srw = cfg.rw_prior_sd;
+  for (int j = 1; j < k; ++j) {
+    double d = theta[static_cast<std::size_t>(j)] -
+               theta[static_cast<std::size_t>(j - 1)];
+    nlp += 0.5 * d * d / (srw * srw);
+  }
+  double dli = log_i0 - std::log(100.0);
+  nlp += 0.5 * dli * dli / (3.0 * 3.0);
+  double shn = cfg.sigma_halfnormal_sd;
+  nlp += 0.5 * sigma * sigma / (shn * shn) - log_sigma;
+
+  std::vector<double> log_knots(theta.begin(),
+                                theta.begin() + static_cast<std::ptrdiff_t>(k));
+  std::vector<double> rt = est.knots_to_daily(log_knots, days);
+  const std::vector<double>& w = est.generation_interval();
+  const int burnin = static_cast<int>(w.size());
+  std::vector<double> inc(static_cast<std::size_t>(burnin) + rt.size(),
+                          std::exp(log_i0));
+  for (std::size_t t = 0; t < rt.size(); ++t) {
+    std::size_t idx = static_cast<std::size_t>(burnin) + t;
+    inc[idx] = rt[t] * oe::renewal_pressure(inc, idx, w);
+  }
+  const std::vector<double>& shed = est.shedding_kernel();
+  std::vector<double> mu(static_cast<std::size_t>(days), 0.0);
+  for (int t = 0; t < days; ++t) {
+    double load = 0.0;
+    for (std::size_t s = 0; s < shed.size(); ++s) {
+      int src = burnin + t - static_cast<int>(s);
+      if (src < 0) break;
+      load += shed[s] * inc[static_cast<std::size_t>(src)];
+    }
+    mu[static_cast<std::size_t>(t)] =
+        cfg.shedding_scale * load / cfg.flow_liters_per_day;
+  }
+  for (const oe::WwSample& s : samples) {
+    double m = mu[static_cast<std::size_t>(s.day)];
+    if (!(m > 0.0) || !(s.concentration > 0.0)) return 1e12;
+    double z = (std::log(s.concentration) - std::log(m)) / sigma;
+    nlp += 0.5 * z * z + log_sigma;
+  }
+  return nlp;
+}
+
+}  // namespace
+
+// --- satellite: knots_to_daily partial final segment -------------------
+
+TEST(KnotsToDaily, PartialFinalSegmentReachesLastKnot) {
+  ort::GoldsteinConfig cfg;  // spacing 7
+  ort::GoldsteinEstimator est(cfg);
+  // days=16: knots at 0, 7, 14 and a final one pinned to day 15, so the
+  // last segment spans a single day.
+  ASSERT_EQ(est.num_knots(16), 4);
+  std::vector<double> lk = {0.1, -0.2, 0.3, 0.8};
+  std::vector<double> rt = est.knots_to_daily(lk, 16);
+  // Day 14 sits exactly on knot 2; day 15 must hit knot 3 exactly (the
+  // pre-fix code divided by the full spacing and only got 1/7 of the
+  // way toward it).
+  EXPECT_EQ(rt[14], std::exp(0.3));
+  EXPECT_EQ(rt[15], std::exp(0.8));
+}
+
+TEST(KnotsToDaily, PartialSegmentInterpolatesOverTrueLength) {
+  ort::GoldsteinConfig cfg;
+  ort::GoldsteinEstimator est(cfg);
+  // days=10: knots at 0, 7, and the final knot pinned to day 9; the
+  // last segment is 2 days long, so day 8 is its midpoint.
+  ASSERT_EQ(est.num_knots(10), 3);
+  std::vector<double> lk = {0.0, 0.4, 1.2};
+  std::vector<double> rt = est.knots_to_daily(lk, 10);
+  EXPECT_EQ(rt[7], std::exp(0.4));
+  EXPECT_DOUBLE_EQ(rt[8], std::exp(0.5 * 0.4 + 0.5 * 1.2));
+  EXPECT_EQ(rt[9], std::exp(1.2));
+}
+
+TEST(KnotsToDaily, ExactDivisionUnchanged) {
+  ort::GoldsteinConfig cfg;
+  ort::GoldsteinEstimator est(cfg);
+  // days=15: knots at 0, 7, 14 — spacing divides days-1, so every
+  // segment uses the full-spacing denominator (pre-fix arithmetic).
+  ASSERT_EQ(est.num_knots(15), 3);
+  std::vector<double> lk = {0.0, 0.7, -0.7};
+  std::vector<double> rt = est.knots_to_daily(lk, 15);
+  for (int t = 0; t < 15; ++t) {
+    int k = t / 7;
+    int k1 = std::min(k + 1, 2);
+    double frac = static_cast<double>(t - k * 7) / 7.0;
+    EXPECT_EQ(rt[static_cast<std::size_t>(t)],
+              std::exp(lk[static_cast<std::size_t>(k)] * (1.0 - frac) +
+                       lk[static_cast<std::size_t>(k1)] * frac))
+        << "day " << t;
+  }
+}
+
+// --- tentpole: incremental evaluation is exact algebra ------------------
+
+TEST(LikelihoodWorkspace, ProposeBitIdenticalToFullEvaluation) {
+  const int days = 60;
+  oe::Plant plant = oe::chicago_plants()[0];
+  ort::GoldsteinEstimator est(fast_config(plant));
+  std::vector<oe::WwSample> samples = make_samples(days);
+
+  ort::LikelihoodWorkspace ws = est.make_workspace(samples, days);
+  const std::size_t dim = ws.dim();
+  std::vector<double> theta(dim, 0.0);
+  theta[dim - 2] = std::log(50.0);
+  theta[dim - 1] = std::log(0.5);
+  ws.commit_full(theta);
+
+  // Seeded sweep of single-component perturbations, randomly accepted:
+  // every candidate value must equal a from-scratch evaluation of the
+  // same theta, bit for bit. EXPECT_EQ on doubles is exact equality.
+  on::RngStream rng(4242);
+  for (int round = 0; round < 40; ++round) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double old = theta[j];
+      theta[j] = old + 0.15 * rng.normal();
+      const double incremental = ws.propose(theta, j);
+      const double full = est.neg_log_posterior(theta, samples, days);
+      const double ref = reference_nlp(est, theta, samples, days);
+      EXPECT_EQ(incremental, full) << "round " << round << " component " << j;
+      EXPECT_EQ(incremental, ref) << "round " << round << " component " << j;
+      if (rng.uniform() < 0.5) {
+        ws.accept();
+      } else {
+        theta[j] = old;
+      }
+    }
+  }
+}
+
+TEST(LikelihoodWorkspace, DegenerateStatesFallBackExactly) {
+  const int days = 40;
+  oe::Plant plant = oe::chicago_plants()[0];
+  ort::GoldsteinEstimator est(fast_config(plant));
+  std::vector<oe::WwSample> samples = make_samples(days);
+
+  ort::LikelihoodWorkspace ws = est.make_workspace(samples, days);
+  const std::size_t dim = ws.dim();
+  std::vector<double> theta(dim, 0.0);
+  theta[dim - 2] = std::log(50.0);
+  theta[dim - 1] = std::log(0.5);
+  ws.commit_full(theta);
+
+  // Drive log sigma past the guard: the proposal must return the 1e12
+  // guard value, and ACCEPTING it must not poison later evaluations.
+  const double old_sigma = theta[dim - 1];
+  theta[dim - 1] = 6.0;
+  EXPECT_EQ(ws.propose(theta, dim - 1), 1e12);
+  ws.accept();
+  EXPECT_TRUE(ws.committed_degenerate());
+
+  // Recover: from the degenerate state every proposal is a full
+  // evaluation and must still match the reference bitwise.
+  theta[dim - 1] = old_sigma;
+  const double back = ws.propose(theta, dim - 1);
+  EXPECT_EQ(back, reference_nlp(est, theta, samples, days));
+  ws.accept();
+  EXPECT_FALSE(ws.committed_degenerate());
+
+  // And the workspace is exact again on the incremental path.
+  theta[2] += 0.2;
+  EXPECT_EQ(ws.propose(theta, 2), reference_nlp(est, theta, samples, days));
+}
+
+TEST(Goldstein, FullRefitBitIdenticalToReferenceChain) {
+  // Replicate the original (pre-workspace) estimator loop with naive
+  // full evaluations and compare every posterior draw bit-for-bit.
+  // days=57: spacing divides days-1, so this is also bit-identical to
+  // the pre-fix knots_to_daily arithmetic.
+  const int days = 57;
+  oe::Plant plant = oe::chicago_plants()[0];
+  ort::GoldsteinConfig cfg = fast_config(plant);
+  cfg.iterations = 300;
+  cfg.burnin = 150;
+  cfg.thin = 4;
+  ort::GoldsteinEstimator est(cfg);
+  std::vector<oe::WwSample> samples = make_samples(days);
+
+  ort::RtPosterior posterior = est.estimate(samples, days, cfg.seed);
+
+  const int k = est.num_knots(days);
+  const std::size_t dim = static_cast<std::size_t>(k) + 2;
+  std::vector<double> conc;
+  for (const auto& s : samples) conc.push_back(s.concentration);
+  double mean_c = std::max(on::mean(conc), 1e-12);
+  double i0_guess =
+      std::max(mean_c * cfg.flow_liters_per_day / cfg.shedding_scale, 1.0);
+  std::vector<double> theta(dim, 0.0);
+  theta[static_cast<std::size_t>(k)] = std::log(i0_guess);
+  theta[static_cast<std::size_t>(k) + 1] = std::log(0.5);
+
+  on::RngStream rng(cfg.seed);
+  double current = reference_nlp(est, theta, samples, days);
+  std::vector<double> step(dim, 0.08);
+  std::vector<std::size_t> accepts(dim, 0);
+  std::vector<std::size_t> proposals(dim, 0);
+  const int span = cfg.iterations - cfg.burnin;
+  const int n_draws = (span + cfg.thin - 1) / cfg.thin;
+  ASSERT_EQ(posterior.n_draws(), static_cast<std::size_t>(n_draws));
+  ASSERT_EQ(posterior.days(), static_cast<std::size_t>(days));
+
+  std::size_t stored = 0;
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      double old = theta[j];
+      theta[j] = old + step[j] * rng.normal();
+      double cand = reference_nlp(est, theta, samples, days);
+      ++proposals[j];
+      if (std::log(rng.uniform() + 1e-300) < current - cand) {
+        current = cand;
+        ++accepts[j];
+      } else {
+        theta[j] = old;
+      }
+    }
+    if (iter < cfg.burnin && (iter + 1) % 50 == 0) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        double rate = static_cast<double>(accepts[j]) /
+                      static_cast<double>(proposals[j]);
+        step[j] *= std::exp(rate - 0.44);
+        step[j] = std::clamp(step[j], 1e-4, 2.0);
+        accepts[j] = 0;
+        proposals[j] = 0;
+      }
+    }
+    if (iter >= cfg.burnin && (iter - cfg.burnin) % cfg.thin == 0) {
+      std::vector<double> log_knots(
+          theta.begin(), theta.begin() + static_cast<std::ptrdiff_t>(k));
+      std::vector<double> rt = est.knots_to_daily(log_knots, days);
+      for (int t = 0; t < days; ++t) {
+        EXPECT_EQ(posterior.draws(stored, static_cast<std::size_t>(t)),
+                  rt[static_cast<std::size_t>(t)])
+            << "draw " << stored << " day " << t;
+      }
+      ++stored;
+    }
+  }
+  EXPECT_EQ(stored, static_cast<std::size_t>(n_draws));
+}
+
+// --- warm-start online refits -------------------------------------------
+
+TEST(GoldsteinOnline, ChainStateCapturesAndExtends) {
+  oe::Plant plant = oe::chicago_plants()[0];
+  ort::GoldsteinConfig cfg = fast_config(plant);
+  ort::GoldsteinEstimator est(cfg);
+
+  std::vector<oe::WwSample> samples = make_samples(74);
+  std::vector<oe::WwSample> early;
+  for (const auto& s : samples) {
+    if (s.day < 60) early.push_back(s);
+  }
+
+  ort::GoldsteinChainState state;
+  EXPECT_FALSE(state.valid());
+  est.estimate(early, 60, cfg.seed, &state);
+  EXPECT_TRUE(state.valid());
+  EXPECT_EQ(state.days, 60);
+  EXPECT_EQ(state.updates, 0u);
+  EXPECT_EQ(state.theta.size(),
+            static_cast<std::size_t>(est.num_knots(60)) + 2);
+  EXPECT_EQ(state.step.size(), state.theta.size());
+
+  ort::RtPosterior update = est.estimate_update(samples, 74, 7, state);
+  EXPECT_EQ(state.days, 74);
+  EXPECT_EQ(state.updates, 1u);
+  EXPECT_EQ(state.theta.size(),
+            static_cast<std::size_t>(est.num_knots(74)) + 2);
+  const int span = cfg.update_iterations - cfg.update_burnin;
+  EXPECT_EQ(update.n_draws(),
+            static_cast<std::size_t>((span + cfg.thin - 1) / cfg.thin));
+  EXPECT_EQ(update.days(), 74u);
+
+  // A second update on the same horizon keeps advancing the lineage.
+  est.estimate_update(samples, 74, 8, state);
+  EXPECT_EQ(state.updates, 2u);
+
+  // The horizon may never shrink.
+  EXPECT_THROW(est.estimate_update(early, 60, 9, state),
+               osprey::util::InvalidArgument);
+}
+
+TEST(GoldsteinOnline, WarmUpdateAccuracyWithinToleranceOfCold) {
+  // Figure-2-style scenario: fit through day 90, then one more
+  // published sample arrives. The capped warm refit must stay close to
+  // the cold full refit in truth-tracking accuracy.
+  oe::Plant plant = oe::chicago_plants()[0];
+  oe::RtTruthParams truth_params = oe::chicago_truths()[0];
+  oe::WastewaterConfig ww;
+  ww.days = 120;
+  oe::WastewaterGenerator gen(plant, truth_params, ww, 100);
+
+  ort::GoldsteinConfig cfg = fast_config(plant);
+  ort::GoldsteinEstimator est(cfg);
+
+  std::vector<oe::WwSample> history = gen.samples_through(90);
+  int new_day = -1;
+  for (const auto& s : gen.samples()) {
+    if (s.day > 90) {
+      new_day = s.day;
+      break;
+    }
+  }
+  ASSERT_GT(new_day, 90);
+  const int days = new_day + 1;
+  std::vector<oe::WwSample> with_new = gen.samples_through(new_day);
+
+  ort::GoldsteinChainState state;
+  est.estimate(history, 91, cfg.seed, &state);
+  ort::RtPosterior warm = est.estimate_update(with_new, days, 1234, state);
+  ort::RtPosterior cold = est.estimate(with_new, days, cfg.seed);
+
+  std::vector<double> truth = gen.true_rt();
+  truth.resize(static_cast<std::size_t>(days));
+  auto mid = [](const std::vector<double>& v) {
+    return std::vector<double>(v.begin() + 10, v.end() - 10);
+  };
+  ort::RtSeries warm_series = warm.summarize();
+  ort::RtSeries cold_series = cold.summarize();
+  const double warm_rmse = on::rmse(mid(warm_series.median), mid(truth));
+  const double cold_rmse = on::rmse(mid(cold_series.median), mid(truth));
+  EXPECT_LT(warm_rmse, cold_rmse + 0.05);
+  EXPECT_LT(warm_rmse, 0.25);
+  EXPECT_GT(warm_series.coverage(truth), 0.7);
+}
+
+TEST(Goldstein, PerPhaseAcceptanceRates) {
+  oe::Plant plant = oe::chicago_plants()[0];
+  ort::GoldsteinConfig cfg = fast_config(plant);
+  ort::GoldsteinEstimator est(cfg);
+  std::vector<oe::WwSample> samples = make_samples(60);
+  ort::RtPosterior posterior = est.estimate(samples, 60);
+
+  EXPECT_GT(posterior.acceptance_rate_burnin, 0.0);
+  EXPECT_LT(posterior.acceptance_rate_burnin, 1.0);
+  EXPECT_GT(posterior.acceptance_rate_sampling, 0.0);
+  EXPECT_LT(posterior.acceptance_rate_sampling, 1.0);
+  // The overall rate is a proposal-weighted mean of the two phases.
+  const double lo = std::min(posterior.acceptance_rate_burnin,
+                             posterior.acceptance_rate_sampling);
+  const double hi = std::max(posterior.acceptance_rate_burnin,
+                             posterior.acceptance_rate_sampling);
+  EXPECT_GE(posterior.acceptance_rate, lo - 1e-12);
+  EXPECT_LE(posterior.acceptance_rate, hi + 1e-12);
+}
