@@ -27,6 +27,11 @@
 #   chaos   thread sanitizer build of the chaos suite: the 16-seed
 #           fault-injection sweep (ctest -L chaos) plus the
 #           retry/backoff property tests. See DESIGN.md §"Fault model".
+#   recovery durability gate: thread sanitizer build of the WAL /
+#           crash-recovery suite, then `ctest -L wal` (WAL framing,
+#           torn/corrupt-log fuzzing, snapshot round trips, whole-server
+#           crash drills, 16-seed kProcessCrash crash-replay sweep).
+#           See DESIGN.md §"Durability".
 #   serve   serving-tier gate: thread sanitizer build of the cache /
 #           front-end suite, then `ctest -L serve` (invalidation,
 #           stale-reason propagation, 16-seed flood replay). See
@@ -41,13 +46,13 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-ALL_STAGES=(lint tidy tsa tier1 obs bench asan ubsan tsan chaos serve)
+ALL_STAGES=(lint tidy tsa tier1 obs bench asan ubsan tsan chaos recovery serve)
 declare -A WANTED=()
 SKIP_TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
-    lint|tidy|tsa|tier1|obs|bench|asan|ubsan|tsan|chaos|serve) WANTED[$arg]=1 ;;
+    lint|tidy|tsa|tier1|obs|bench|asan|ubsan|tsan|chaos|recovery|serve) WANTED[$arg]=1 ;;
     *) echo "unknown argument: $arg" >&2
        echo "usage: scripts/check.sh [--skip-tsan] [stage ...]" >&2
        echo "stages: ${ALL_STAGES[*]}" >&2
@@ -167,6 +172,17 @@ stage_chaos() {
   (cd build-tsan && ctest --output-on-failure -R '^test_retry_policy$')
 }
 
+stage_recovery() {
+  if [[ "$SKIP_TSAN" == "1" ]]; then
+    echo "skipped (--skip-tsan)"
+    return 99
+  fi
+  cmake -B build-tsan -S . -DOSPREY_SANITIZE=thread >/dev/null &&
+  cmake --build build-tsan -j "$JOBS" \
+      --target test_aero_wal test_aero_recovery &&
+  (cd build-tsan && ctest --output-on-failure -j "$JOBS" -L wal)
+}
+
 stage_serve() {
   if [[ "$SKIP_TSAN" == "1" ]]; then
     echo "skipped (--skip-tsan)"
@@ -187,6 +203,7 @@ run_stage lint  stage_lint
 [[ $FAILED -eq 0 ]] && run_stage ubsan stage_ubsan
 [[ $FAILED -eq 0 ]] && run_stage tsan  stage_tsan
 [[ $FAILED -eq 0 ]] && run_stage chaos stage_chaos
+[[ $FAILED -eq 0 ]] && run_stage recovery stage_recovery
 [[ $FAILED -eq 0 ]] && run_stage serve stage_serve
 
 echo

@@ -8,193 +8,6 @@
 
 namespace osprey::aero {
 
-MetadataDb::MetadataDb(std::uint64_t uuid_seed) : uuids_(uuid_seed) {}
-
-std::string MetadataDb::register_object(const std::string& name,
-                                        const std::string& producer_flow) {
-  std::string uuid = uuids_.next();
-  DataObjectRecord rec;
-  rec.uuid = uuid;
-  rec.name = name;
-  rec.producer_flow = producer_flow;
-  objects_.emplace(uuid, std::move(rec));
-  ++updates_;
-  return uuid;
-}
-
-bool MetadataDb::has_object(const std::string& uuid) const {
-  ++queries_;
-  return objects_.count(uuid) > 0;
-}
-
-const DataObjectRecord& MetadataDb::object(const std::string& uuid) const {
-  ++queries_;
-  auto it = objects_.find(uuid);
-  if (it == objects_.end()) {
-    throw osprey::util::NotFound("no such data object: " + uuid);
-  }
-  return it->second;
-}
-
-const DataVersion& MetadataDb::add_version(
-    const std::string& uuid, const std::string& checksum,
-    std::uint64_t size_bytes, SimTime timestamp, const std::string& endpoint,
-    const std::string& collection, const std::string& path) {
-  auto it = objects_.find(uuid);
-  if (it == objects_.end()) {
-    throw osprey::util::NotFound("no such data object: " + uuid);
-  }
-  DataVersion v;
-  v.version = static_cast<int>(it->second.versions.size()) + 1;
-  v.checksum = checksum;
-  v.size_bytes = size_bytes;
-  v.timestamp = timestamp;
-  v.endpoint = endpoint;
-  v.collection = collection;
-  v.path = path;
-  it->second.versions.push_back(std::move(v));
-  ++updates_;
-  const DataVersion& added = it->second.versions.back();
-  if (version_listener_) version_listener_(uuid, added.version);
-  return added;
-}
-
-std::optional<DataVersion> MetadataDb::latest_version(
-    const std::string& uuid) const {
-  const DataObjectRecord& rec = object(uuid);
-  if (rec.versions.empty()) return std::nullopt;
-  return rec.versions.back();
-}
-
-int MetadataDb::latest_version_number(const std::string& uuid) const {
-  const DataObjectRecord& rec = object(uuid);
-  return rec.versions.empty() ? 0 : rec.versions.back().version;
-}
-
-std::vector<std::string> MetadataDb::object_uuids() const {
-  ++queries_;
-  std::vector<std::string> out;
-  out.reserve(objects_.size());
-  for (const auto& [uuid, rec] : objects_) {
-    (void)rec;
-    out.push_back(uuid);
-  }
-  return out;
-}
-
-std::vector<MetadataDb::ObjectSummary> MetadataDb::find_objects(
-    const std::string& name_prefix) const {
-  ++queries_;
-  std::vector<ObjectSummary> out;
-  for (const auto& [uuid, rec] : objects_) {
-    if (rec.name.compare(0, name_prefix.size(), name_prefix) != 0) continue;
-    ObjectSummary s;
-    s.uuid = uuid;
-    s.name = rec.name;
-    s.producer_flow = rec.producer_flow;
-    s.latest_version =
-        rec.versions.empty() ? 0 : rec.versions.back().version;
-    out.push_back(std::move(s));
-  }
-  std::sort(out.begin(), out.end(),
-            [](const ObjectSummary& a, const ObjectSummary& b) {
-              if (a.name != b.name) return a.name < b.name;
-              return a.uuid < b.uuid;
-            });
-  return out;
-}
-
-std::uint64_t MetadataDb::start_run(const std::string& flow_name,
-                                    FlowKind kind, const std::string& trigger,
-                                    std::vector<VersionRef> inputs,
-                                    const std::string& compute_endpoint,
-                                    SimTime started) {
-  RunRecord rec;
-  rec.run_id = runs_.size();
-  rec.flow_name = flow_name;
-  rec.kind = kind;
-  rec.trigger = trigger;
-  rec.inputs = std::move(inputs);
-  rec.compute_endpoint = compute_endpoint;
-  rec.started = started;
-  runs_.push_back(std::move(rec));
-  ++updates_;
-  return runs_.back().run_id;
-}
-
-void MetadataDb::finish_run(std::uint64_t run_id, RunStatus status,
-                            std::vector<VersionRef> outputs, SimTime ended) {
-  OSPREY_REQUIRE(run_id < runs_.size(), "unknown run id");
-  RunRecord& rec = runs_[run_id];
-  rec.status = status;
-  rec.outputs = std::move(outputs);
-  rec.ended = ended;
-  ++updates_;
-}
-
-const RunRecord& MetadataDb::run(std::uint64_t run_id) const {
-  OSPREY_REQUIRE(run_id < runs_.size(), "unknown run id");
-  ++queries_;
-  return runs_[run_id];
-}
-
-namespace {
-
-/// Generic BFS over the run graph. `forward` = false walks inputs
-/// (upstream); true walks outputs (downstream).
-MetadataDb::Lineage walk(const std::vector<RunRecord>& runs,
-                         const std::string& start, bool forward) {
-  MetadataDb::Lineage out;
-  std::set<std::string> seen_objects{start};
-  std::set<std::uint64_t> seen_runs;
-  std::vector<std::string> frontier{start};
-  while (!frontier.empty()) {
-    std::string current = frontier.back();
-    frontier.pop_back();
-    for (const RunRecord& run : runs) {
-      const auto& from = forward ? run.inputs : run.outputs;
-      const auto& to = forward ? run.outputs : run.inputs;
-      bool touches = false;
-      for (const VersionRef& ref : from) {
-        if (ref.uuid == current) {
-          touches = true;
-          break;
-        }
-      }
-      if (!touches) continue;
-      seen_runs.insert(run.run_id);
-      for (const VersionRef& ref : to) {
-        if (seen_objects.insert(ref.uuid).second) {
-          frontier.push_back(ref.uuid);
-        }
-      }
-    }
-  }
-  out.object_uuids.assign(seen_objects.begin(), seen_objects.end());
-  out.run_ids.assign(seen_runs.begin(), seen_runs.end());
-  return out;
-}
-
-}  // namespace
-
-MetadataDb::Lineage MetadataDb::upstream_lineage(
-    const std::string& uuid) const {
-  ++queries_;
-  if (objects_.count(uuid) == 0) {
-    throw osprey::util::NotFound("no such data object: " + uuid);
-  }
-  return walk(runs_, uuid, /*forward=*/false);
-}
-
-MetadataDb::Lineage MetadataDb::downstream_lineage(
-    const std::string& uuid) const {
-  ++queries_;
-  if (objects_.count(uuid) == 0) {
-    throw osprey::util::NotFound("no such data object: " + uuid);
-  }
-  return walk(runs_, uuid, /*forward=*/true);
-}
-
 namespace {
 
 using osprey::util::Value;
@@ -261,7 +74,278 @@ RunStatus run_status_from_name(const std::string& s) {
   throw osprey::util::InvalidArgument("unknown run status: " + s);
 }
 
+const char* flow_kind_name(FlowKind k) {
+  return k == FlowKind::kIngestion ? "ingestion" : "analysis";
+}
+
+FlowKind flow_kind_from_name(const std::string& s) {
+  return s == "ingestion" ? FlowKind::kIngestion : FlowKind::kAnalysis;
+}
+
 }  // namespace
+
+MetadataDb::MetadataDb(std::uint64_t uuid_seed) : uuids_(uuid_seed) {}
+
+// ---------------------------------------------------------------------
+// The apply path: the only place state mutates. Live mutators build an
+// operation record, push it through the WAL hook (append-before-mutate)
+// and then apply it; recovery replays persisted records through the
+// same function, so both paths take identical state transitions.
+// ---------------------------------------------------------------------
+
+void MetadataDb::apply(const osprey::util::Value& record) {
+  const std::string& op = record.at("op").as_string();
+  if (op == "register_object") {
+    // Drawing here (instead of trusting the record) keeps the generator
+    // in lockstep on both paths and turns any WAL/state divergence into
+    // a loud failure instead of silent uuid reuse.
+    std::string uuid = uuids_.next();
+    OSPREY_REQUIRE(uuid == record.at("uuid").as_string(),
+                   "uuid sequence diverged from the WAL record");
+    DataObjectRecord rec;
+    rec.uuid = uuid;
+    rec.name = record.at("name").as_string();
+    rec.producer_flow = record.at("producer_flow").as_string();
+    // osprey-lint: allow(wal-bypass) — the sanctioned apply() site
+    OSPREY_REQUIRE(objects_.emplace(uuid, std::move(rec)).second,
+                   "duplicate object uuid");
+  } else if (op == "add_version") {
+    auto it = objects_.find(record.at("uuid").as_string());
+    OSPREY_REQUIRE(it != objects_.end(), "add_version for unknown object");
+    DataVersion v = version_from_json(record);
+    OSPREY_REQUIRE(v.version ==
+                       static_cast<int>(it->second.versions.size()) + 1,
+                   "version numbers must be dense");
+    // osprey-lint: allow(wal-bypass) — the sanctioned apply() site
+    it->second.versions.push_back(std::move(v));
+  } else if (op == "start_run") {
+    RunRecord rec;
+    rec.run_id = static_cast<std::uint64_t>(record.at("run_id").as_int());
+    OSPREY_REQUIRE(rec.run_id == runs_.size(), "run ids must be dense");
+    rec.flow_name = record.at("flow_name").as_string();
+    rec.kind = flow_kind_from_name(record.at("kind").as_string());
+    rec.trigger = record.at("trigger").as_string();
+    rec.inputs = refs_from_json(record.at("inputs"));
+    rec.compute_endpoint = record.at("compute_endpoint").as_string();
+    rec.started = record.at("started").as_int();
+    // osprey-lint: allow(wal-bypass) — the sanctioned apply() site
+    runs_.push_back(std::move(rec));
+  } else if (op == "finish_run") {
+    std::uint64_t run_id =
+        static_cast<std::uint64_t>(record.at("run_id").as_int());
+    OSPREY_REQUIRE(run_id < runs_.size(), "unknown run id");
+    RunRecord& rec = runs_[run_id];
+    rec.status = run_status_from_name(record.at("status").as_string());
+    rec.outputs = refs_from_json(record.at("outputs"));
+    rec.ended = record.at("ended").as_int();
+  } else {
+    throw osprey::util::InvalidArgument("unknown metadata op: " + op);
+  }
+}
+
+std::string MetadataDb::register_object(const std::string& name,
+                                        const std::string& producer_flow) {
+  // Peek the uuid the generator will assign so the WAL record — written
+  // before any state changes — already carries it.
+  osprey::util::UuidFactory peek = uuids_;
+  std::string uuid = peek.next();
+  ValueObject record;
+  record["op"] = Value("register_object");
+  record["uuid"] = Value(uuid);
+  record["name"] = Value(name);
+  record["producer_flow"] = Value(producer_flow);
+  Value rec(std::move(record));
+  if (wal_hook_) wal_hook_(rec);
+  apply(rec);
+  ++updates_;
+  return uuid;
+}
+
+bool MetadataDb::has_object(const std::string& uuid) const {
+  ++queries_;
+  return objects_.count(uuid) > 0;
+}
+
+const DataObjectRecord& MetadataDb::object(const std::string& uuid) const {
+  ++queries_;
+  auto it = objects_.find(uuid);
+  if (it == objects_.end()) {
+    throw osprey::util::NotFound("no such data object: " + uuid);
+  }
+  return it->second;
+}
+
+const DataVersion& MetadataDb::add_version(
+    const std::string& uuid, const std::string& checksum,
+    std::uint64_t size_bytes, SimTime timestamp, const std::string& endpoint,
+    const std::string& collection, const std::string& path) {
+  auto it = objects_.find(uuid);
+  if (it == objects_.end()) {
+    throw osprey::util::NotFound("no such data object: " + uuid);
+  }
+  DataVersion v;
+  v.version = static_cast<int>(it->second.versions.size()) + 1;
+  v.checksum = checksum;
+  v.size_bytes = size_bytes;
+  v.timestamp = timestamp;
+  v.endpoint = endpoint;
+  v.collection = collection;
+  v.path = path;
+  Value rec = version_to_json(v);
+  rec.as_object()["op"] = Value("add_version");
+  rec.as_object()["uuid"] = Value(uuid);
+  if (wal_hook_) wal_hook_(rec);
+  apply(rec);
+  ++updates_;
+  const DataVersion& added = it->second.versions.back();
+  if (version_listener_) version_listener_(uuid, added.version);
+  return added;
+}
+
+std::optional<DataVersion> MetadataDb::latest_version(
+    const std::string& uuid) const {
+  const DataObjectRecord& rec = object(uuid);
+  if (rec.versions.empty()) return std::nullopt;
+  return rec.versions.back();
+}
+
+int MetadataDb::latest_version_number(const std::string& uuid) const {
+  const DataObjectRecord& rec = object(uuid);
+  return rec.versions.empty() ? 0 : rec.versions.back().version;
+}
+
+std::vector<std::string> MetadataDb::object_uuids() const {
+  ++queries_;
+  std::vector<std::string> out;
+  out.reserve(objects_.size());
+  for (const auto& [uuid, rec] : objects_) {
+    (void)rec;
+    out.push_back(uuid);
+  }
+  return out;
+}
+
+std::vector<MetadataDb::ObjectSummary> MetadataDb::find_objects(
+    const std::string& name_prefix) const {
+  ++queries_;
+  std::vector<ObjectSummary> out;
+  for (const auto& [uuid, rec] : objects_) {
+    if (rec.name.compare(0, name_prefix.size(), name_prefix) != 0) continue;
+    ObjectSummary s;
+    s.uuid = uuid;
+    s.name = rec.name;
+    s.producer_flow = rec.producer_flow;
+    s.latest_version =
+        rec.versions.empty() ? 0 : rec.versions.back().version;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ObjectSummary& a, const ObjectSummary& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.uuid < b.uuid;
+            });
+  return out;
+}
+
+std::uint64_t MetadataDb::start_run(const std::string& flow_name,
+                                    FlowKind kind, const std::string& trigger,
+                                    std::vector<VersionRef> inputs,
+                                    const std::string& compute_endpoint,
+                                    SimTime started) {
+  std::uint64_t run_id = runs_.size();
+  ValueObject record;
+  record["op"] = Value("start_run");
+  record["run_id"] = Value(static_cast<std::int64_t>(run_id));
+  record["flow_name"] = Value(flow_name);
+  record["kind"] = Value(flow_kind_name(kind));
+  record["trigger"] = Value(trigger);
+  record["inputs"] = refs_to_json(inputs);
+  record["compute_endpoint"] = Value(compute_endpoint);
+  record["started"] = Value(started);
+  Value rec(std::move(record));
+  if (wal_hook_) wal_hook_(rec);
+  apply(rec);
+  ++updates_;
+  return run_id;
+}
+
+void MetadataDb::finish_run(std::uint64_t run_id, RunStatus status,
+                            std::vector<VersionRef> outputs, SimTime ended) {
+  OSPREY_REQUIRE(run_id < runs_.size(), "unknown run id");
+  ValueObject record;
+  record["op"] = Value("finish_run");
+  record["run_id"] = Value(static_cast<std::int64_t>(run_id));
+  record["status"] = Value(run_status_name(status));
+  record["outputs"] = refs_to_json(outputs);
+  record["ended"] = Value(ended);
+  Value rec(std::move(record));
+  if (wal_hook_) wal_hook_(rec);
+  apply(rec);
+  ++updates_;
+}
+
+const RunRecord& MetadataDb::run(std::uint64_t run_id) const {
+  OSPREY_REQUIRE(run_id < runs_.size(), "unknown run id");
+  ++queries_;
+  return runs_[run_id];
+}
+
+namespace {
+
+/// Generic BFS over the run graph. `forward` = false walks inputs
+/// (upstream); true walks outputs (downstream).
+MetadataDb::Lineage walk(const std::vector<RunRecord>& runs,
+                         const std::string& start, bool forward) {
+  MetadataDb::Lineage out;
+  std::set<std::string> seen_objects{start};
+  std::set<std::uint64_t> seen_runs;
+  std::vector<std::string> frontier{start};
+  while (!frontier.empty()) {
+    std::string current = frontier.back();
+    frontier.pop_back();
+    for (const RunRecord& run : runs) {
+      const auto& from = forward ? run.inputs : run.outputs;
+      const auto& to = forward ? run.outputs : run.inputs;
+      bool touches = false;
+      for (const VersionRef& ref : from) {
+        if (ref.uuid == current) {
+          touches = true;
+          break;
+        }
+      }
+      if (!touches) continue;
+      seen_runs.insert(run.run_id);
+      for (const VersionRef& ref : to) {
+        if (seen_objects.insert(ref.uuid).second) {
+          frontier.push_back(ref.uuid);
+        }
+      }
+    }
+  }
+  out.object_uuids.assign(seen_objects.begin(), seen_objects.end());
+  out.run_ids.assign(seen_runs.begin(), seen_runs.end());
+  return out;
+}
+
+}  // namespace
+
+MetadataDb::Lineage MetadataDb::upstream_lineage(
+    const std::string& uuid) const {
+  ++queries_;
+  if (objects_.count(uuid) == 0) {
+    throw osprey::util::NotFound("no such data object: " + uuid);
+  }
+  return walk(runs_, uuid, /*forward=*/false);
+}
+
+MetadataDb::Lineage MetadataDb::downstream_lineage(
+    const std::string& uuid) const {
+  ++queries_;
+  if (objects_.count(uuid) == 0) {
+    throw osprey::util::NotFound("no such data object: " + uuid);
+  }
+  return walk(runs_, uuid, /*forward=*/true);
+}
 
 osprey::util::Value MetadataDb::to_json() const {
   ++queries_;
@@ -271,11 +355,11 @@ osprey::util::Value MetadataDb::to_json() const {
     obj["uuid"] = Value(uuid);
     obj["name"] = Value(rec.name);
     obj["producer_flow"] = Value(rec.producer_flow);
-    ValueArray versions;
+    ValueArray version_arr;
     for (const DataVersion& v : rec.versions) {
-      versions.push_back(version_to_json(v));
+      version_arr.push_back(version_to_json(v));
     }
-    obj["versions"] = Value(std::move(versions));
+    obj["versions"] = Value(std::move(version_arr));
     objects.emplace_back(std::move(obj));
   }
   ValueArray runs;
@@ -283,8 +367,7 @@ osprey::util::Value MetadataDb::to_json() const {
     ValueObject obj;
     obj["run_id"] = Value(static_cast<std::int64_t>(run.run_id));
     obj["flow_name"] = Value(run.flow_name);
-    obj["kind"] = Value(run.kind == FlowKind::kIngestion ? "ingestion"
-                                                         : "analysis");
+    obj["kind"] = Value(flow_kind_name(run.kind));
     obj["trigger"] = Value(run.trigger);
     obj["inputs"] = refs_to_json(run.inputs);
     obj["outputs"] = refs_to_json(run.outputs);
@@ -295,16 +378,20 @@ osprey::util::Value MetadataDb::to_json() const {
     runs.emplace_back(std::move(obj));
   }
   ValueObject root;
-  root["snapshot_format"] = Value(std::int64_t{1});
+  root["snapshot_format"] = Value(std::int64_t{2});
+  root["uuid_state"] = Value(static_cast<std::int64_t>(uuids_.state()));
   root["objects"] = Value(std::move(objects));
   root["runs"] = Value(std::move(runs));
   return Value(std::move(root));
 }
 
-MetadataDb MetadataDb::from_json(const osprey::util::Value& json) {
-  OSPREY_REQUIRE(json.get_or("snapshot_format", std::int64_t{0}) == 1,
+void MetadataDb::load_snapshot(const osprey::util::Value& json) {
+  std::int64_t format = json.get_or("snapshot_format", std::int64_t{0});
+  OSPREY_REQUIRE(format == 1 || format == 2,
                  "unsupported metadata snapshot format");
-  MetadataDb db;
+  // osprey-lint: allow(wal-bypass) — snapshot restore resets state
+  objects_.clear();
+  runs_.clear();  // osprey-lint: allow(wal-bypass)
   for (const Value& obj : json.at("objects").as_array()) {
     DataObjectRecord rec;
     rec.uuid = obj.at("uuid").as_string();
@@ -313,18 +400,17 @@ MetadataDb MetadataDb::from_json(const osprey::util::Value& json) {
     for (const Value& v : obj.at("versions").as_array()) {
       rec.versions.push_back(version_from_json(v));
     }
-    OSPREY_REQUIRE(db.objects_.emplace(rec.uuid, rec).second,
+    // osprey-lint: allow(wal-bypass) — snapshot restore
+    OSPREY_REQUIRE(objects_.emplace(rec.uuid, rec).second,
                    "duplicate object uuid in snapshot");
   }
   for (const Value& r : json.at("runs").as_array()) {
     RunRecord rec;
     rec.run_id = static_cast<std::uint64_t>(r.at("run_id").as_int());
-    OSPREY_REQUIRE(rec.run_id == db.runs_.size(),
+    OSPREY_REQUIRE(rec.run_id == runs_.size(),
                    "run ids must be dense in a snapshot");
     rec.flow_name = r.at("flow_name").as_string();
-    rec.kind = r.at("kind").as_string() == "ingestion"
-                   ? FlowKind::kIngestion
-                   : FlowKind::kAnalysis;
+    rec.kind = flow_kind_from_name(r.at("kind").as_string());
     rec.trigger = r.at("trigger").as_string();
     rec.inputs = refs_from_json(r.at("inputs"));
     rec.outputs = refs_from_json(r.at("outputs"));
@@ -332,8 +418,18 @@ MetadataDb MetadataDb::from_json(const osprey::util::Value& json) {
     rec.status = run_status_from_name(r.at("status").as_string());
     rec.started = r.at("started").as_int();
     rec.ended = r.at("ended").as_int();
-    db.runs_.push_back(std::move(rec));
+    // osprey-lint: allow(wal-bypass) — snapshot restore
+    runs_.push_back(std::move(rec));
   }
+  // Format 1 predates uuid-state persistence; restoring its original
+  // default seed reproduces the old (seed-reset) behaviour exactly.
+  uuids_.set_state(static_cast<std::uint64_t>(
+      json.get_or("uuid_state", std::int64_t{0xAE70})));
+}
+
+MetadataDb MetadataDb::from_json(const osprey::util::Value& json) {
+  MetadataDb db;
+  db.load_snapshot(json);
   return db;
 }
 

@@ -68,6 +68,14 @@ struct RunRecord {
 /// The metadata store, with operation counters so the workflow benches
 /// can report metadata-query/update traffic (the solid arrows of the
 /// paper's Figure 1).
+///
+/// Durability discipline (DESIGN.md §4f): every mutation is expressed
+/// as a serializable operation record. The public mutators build the
+/// record, hand it to the write-ahead hook (aero::Wal appends + syncs
+/// it) BEFORE any state changes, then route it through the single
+/// private apply() — the only code allowed to touch objects_/runs_.
+/// Recovery replays the same records through the same apply(), so a
+/// recovered database is byte-identical to one that never crashed.
 class MetadataDb {
  public:
   explicit MetadataDb(std::uint64_t uuid_seed = 0xAE70);
@@ -151,20 +159,49 @@ class MetadataDb {
   Lineage downstream_lineage(const std::string& uuid) const;
 
   /// Durable snapshot of the whole database (objects, versions, run
-  /// provenance) as a JSON-like Value — what a production AERO server
-  /// persists across restarts ("reproducible science" requires the
-  /// metadata to outlive the process).
+  /// provenance, uuid-generator state) as a JSON-like Value — what a
+  /// production AERO server persists across restarts ("reproducible
+  /// science" requires the metadata to outlive the process). Written as
+  /// snapshot_format 2; format-1 snapshots (no uuid_state) still load.
   osprey::util::Value to_json() const;
   /// Restore a database from a to_json() snapshot.
   static MetadataDb from_json(const osprey::util::Value& json);
+  /// In-place restore: replaces objects/runs/uuid state while keeping
+  /// the version listener and WAL hook attached (how aero::Wal loads a
+  /// checkpoint into a live server's db during recovery).
+  void load_snapshot(const osprey::util::Value& json);
+
+  // --- write-ahead logging -------------------------------------------
+  /// Hook invoked with every mutation's operation record BEFORE the
+  /// mutation is applied. aero::Wal installs itself here; an empty
+  /// function detaches (mutations then apply directly, undurably).
+  using WalHook = std::function<void(const osprey::util::Value& record)>;
+  void set_wal_hook(WalHook hook) { wal_hook_ = std::move(hook); }
+
+  /// Replay one WAL operation record (recovery path). Applies the same
+  /// state transition the original mutation did — including advancing
+  /// the uuid generator for register_object records — without firing
+  /// the WAL hook, listeners, or traffic counters. Throws on records
+  /// inconsistent with the current state (non-dense run ids, version
+  /// gaps, uuid-sequence divergence).
+  void apply_replay(const osprey::util::Value& record) { apply(record); }
+
+  /// Current uuid-generator state (persisted in snapshots).
+  std::uint64_t uuid_state() const { return uuids_.state(); }
 
  private:
+  /// The single state-transition function: every mutation — live or
+  /// replayed — goes through here, and ONLY here may the backing
+  /// containers be touched (enforced by osprey_lint's wal-bypass rule).
+  void apply(const osprey::util::Value& record);
+
   osprey::util::UuidFactory uuids_;
   std::map<std::string, DataObjectRecord> objects_;
   std::vector<RunRecord> runs_;
   mutable std::uint64_t queries_ = 0;
   std::uint64_t updates_ = 0;
   VersionListener version_listener_;
+  WalHook wal_hook_;
 };
 
 }  // namespace osprey::aero

@@ -102,6 +102,50 @@ AeroServer::AeroServer(fabric::EventLoop& loop, fabric::AuthService& auth,
       [this](const std::string& uuid, int) { notify_updated(uuid); });
 }
 
+RecoveryStats AeroServer::enable_durability(osprey::util::DurableFs& fs,
+                                            WalOptions options) {
+  OSPREY_REQUIRE(wal_ == nullptr, "durability is already enabled");
+  OSPREY_REQUIRE(db_.update_count() == 0,
+                 "enable_durability must precede flow registration");
+  wal_ = std::make_unique<Wal>(fs, std::move(options), metrics_, tracer_,
+                               [this] { return obs::sim_ns(loop_.now()); });
+  RecoveryStats stats = wal_->recover(db_);
+  // Runs in flight at the crash can never complete — their compute and
+  // transfers died with the process. Adjudicate them failed (through
+  // the WAL, so the adjudication itself is durable) and leave a
+  // recovery incident; re-triggers then start from clean provenance.
+  for (const RunRecord& run : db_.runs()) {
+    if (run.status != RunStatus::kRunning) continue;
+    std::uint64_t run_id = run.run_id;
+    db_.finish_run(run_id, RunStatus::kFailed, {}, loop_.now());
+    record_incident(fabric::IncidentCategory::kRecovery, "run-interrupted",
+                    run.flow_name,
+                    "run #" + std::to_string(run_id) +
+                        " adjudicated failed by crash recovery");
+  }
+  // Re-announce every recovered object: any serving-tier cache that
+  // re-attaches after the restart starts from invalidated entries, so a
+  // pre-crash answer can never be served as fresh.
+  for (const std::string& uuid : db_.object_uuids()) {
+    notify_updated(uuid);
+  }
+  if (stats.checkpoint_loaded || stats.replayed > 0) {
+    OSPREY_LOG_INFO("aero", "recovered metadata: checkpoint lsn "
+                            << stats.checkpoint_lsn << ", " << stats.replayed
+                            << " WAL record(s) replayed, " << stats.torn
+                            << " torn, " << stats.corrupt << " corrupt");
+  }
+  return stats;
+}
+
+std::string AeroServer::intern_object(const std::string& name,
+                                      const std::string& producer) {
+  for (const MetadataDb::ObjectSummary& s : db_.find_objects(name)) {
+    if (s.name == name && s.producer_flow == producer) return s.uuid;
+  }
+  return db_.register_object(name, producer);
+}
+
 IngestionHandles AeroServer::register_ingestion(IngestionFlowSpec spec) {
   OSPREY_REQUIRE(spec.source != nullptr, "ingestion needs a data source");
   OSPREY_REQUIRE(spec.compute != nullptr, "ingestion needs a compute endpoint");
@@ -111,8 +155,8 @@ IngestionHandles AeroServer::register_ingestion(IngestionFlowSpec spec) {
                  "transformation function is not registered on the endpoint");
 
   Ingestion ing;
-  ing.raw_uuid = db_.register_object(spec.name + "/raw", spec.name);
-  ing.output_uuid = db_.register_object(spec.name + "/transformed", spec.name);
+  ing.raw_uuid = intern_object(spec.name + "/raw", spec.name);
+  ing.output_uuid = intern_object(spec.name + "/transformed", spec.name);
   ing.retry = effective_policy(spec);
   ing.breaker = osprey::util::CircuitBreaker(spec.breaker);
   ing.retry_key = osprey::util::stable_key(spec.name.c_str());
@@ -200,7 +244,7 @@ std::vector<std::string> AeroServer::register_analysis(AnalysisFlowSpec spec) {
   Analysis analysis;
   for (const std::string& name : spec.output_names) {
     analysis.output_uuids.push_back(
-        db_.register_object(spec.name + "/" + name, spec.name));
+        intern_object(spec.name + "/" + name, spec.name));
   }
   for (const std::string& uuid : spec.input_uuids) {
     analysis.consumed_version[uuid] = db_.latest_version_number(uuid);

@@ -28,6 +28,7 @@
 
 #include "aero/metadata_db.hpp"
 #include "aero/source.hpp"
+#include "aero/wal.hpp"
 #include "fabric/compute.hpp"
 #include "fabric/fault.hpp"
 #include "fabric/flows.hpp"
@@ -126,6 +127,20 @@ class AeroServer {
 
   AeroServer(const AeroServer&) = delete;
   AeroServer& operator=(const AeroServer&) = delete;
+
+  /// Durable metadata (DESIGN.md §4f): recover db() from the WAL +
+  /// checkpoints under `fs`, adjudicate runs the crash interrupted
+  /// (kRunning → kFailed plus a "run-interrupted" recovery incident),
+  /// re-announce every recovered object to update listeners so rebuilt
+  /// serving-tier caches can never treat a pre-crash answer as fresh,
+  /// and write-ahead-log every subsequent mutation. Must be called
+  /// before any flow registration; registration is idempotent across
+  /// restarts (existing data objects are reused by name+producer). `fs`
+  /// must outlive the server.
+  RecoveryStats enable_durability(osprey::util::DurableFs& fs,
+                                  WalOptions options = {});
+  /// The owned WAL (nullptr until enable_durability).
+  Wal* wal() { return wal_.get(); }
 
   /// Register an ingestion flow; arms its polling timer and returns the
   /// UUIDs of the raw and transformed data objects.
@@ -272,6 +287,10 @@ class AeroServer {
     obs::SpanId span = obs::kNoSpan;
   };
 
+  /// Existing object with this exact name+producer (recovered across a
+  /// restart), or a freshly registered one.
+  std::string intern_object(const std::string& name,
+                            const std::string& producer);
   void poll_ingestion(std::size_t index);
   Ingestion* find_ingestion(const std::string& name);
   const Ingestion* find_ingestion(const std::string& name) const;
@@ -313,6 +332,9 @@ class AeroServer {
   std::string identity_;
   std::string token_;
   MetadataDb db_;
+  /// Declared after db_ so it is destroyed first (its destructor
+  /// detaches the WAL hook from a still-live db).
+  std::unique_ptr<Wal> wal_;
 
   std::vector<Ingestion> ingestions_;
   std::vector<Analysis> analyses_;

@@ -17,6 +17,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kAclRace: return "acl-race";
     case FaultKind::kSourceOutage: return "source-outage";
     case FaultKind::kFlowStall: return "flow-stall";
+    case FaultKind::kProcessCrash: return "process-crash";
   }
   return "?";
 }

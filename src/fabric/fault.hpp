@@ -41,9 +41,11 @@ enum class FaultKind {
   kAclRace,          // storage ACL propagation race (transient AuthError)
   kSourceOutage,     // upstream data source returns errors (window)
   kFlowStall,        // a flow step starts stall_delay late
+  kProcessCrash,     // a service process dies mid-flow (volatile state
+                     // lost; durable files survive — see aero::Wal)
 };
 
-inline constexpr int kNumFaultKinds = 9;
+inline constexpr int kNumFaultKinds = 10;
 
 const char* fault_kind_name(FaultKind kind);
 

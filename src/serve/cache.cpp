@@ -1,5 +1,7 @@
 #include "serve/cache.hpp"
 
+#include "util/error.hpp"
+
 namespace osprey::serve {
 
 const char* cache_outcome_name(CacheOutcome outcome) {
@@ -13,7 +15,7 @@ const char* cache_outcome_name(CacheOutcome outcome) {
 
 ResultCache::ResultCache(aero::AeroServer& server,
                          obs::MetricsRegistry& metrics)
-    : server_(server) {
+    : server_(&server) {
   hits_ = &metrics.counter("serve_cache_hits_total",
                            "lookups answered from a validated entry");
   misses_ = &metrics.counter("serve_cache_misses_total",
@@ -24,11 +26,34 @@ ResultCache::ResultCache(aero::AeroServer& server,
   invalidations_ = &metrics.counter(
       "serve_cache_invalidations_total",
       "entries invalidated by version bumps or degradation flips");
-  listener_id_ = server_.add_update_listener(
+  listener_id_ = server_->add_update_listener(
       [this](const std::string& uuid) { invalidate(uuid); });
 }
 
-ResultCache::~ResultCache() { server_.remove_update_listener(listener_id_); }
+ResultCache::~ResultCache() { detach(); }
+
+void ResultCache::detach() {
+  if (server_ == nullptr) return;
+  server_->remove_update_listener(listener_id_);
+  listener_id_ = 0;
+  server_ = nullptr;
+}
+
+void ResultCache::rebind(aero::AeroServer& server) {
+  detach();
+  // Invalidate everything cached before the restart: the recovered
+  // origin decides afresh what is current and what is stale.
+  for (auto& [uuid, entry] : entries_) {
+    (void)uuid;
+    if (entry.valid) {
+      entry.valid = false;
+      invalidations_->inc();
+    }
+  }
+  server_ = &server;
+  listener_id_ = server_->add_update_listener(
+      [this](const std::string& uuid) { invalidate(uuid); });
+}
 
 ResultCache::Result ResultCache::lookup(const std::string& uuid) {
   auto it = entries_.find(uuid);
@@ -55,9 +80,10 @@ void ResultCache::invalidate(const std::string& uuid) {
 
 aero::AeroServer::ServedEstimate ResultCache::fetch_origin(
     const std::string& uuid) {
+  OSPREY_REQUIRE(server_ != nullptr, "ResultCache is detached from its origin");
   // The cache is the serving tier's one sanctioned origin client; all
   // other serve-tier code must go through lookup().
-  return server_.serve_latest(uuid);  // osprey-lint: allow(serve-direct-origin)
+  return server_->serve_latest(uuid);  // osprey-lint: allow(serve-direct-origin)
 }
 
 }  // namespace osprey::serve

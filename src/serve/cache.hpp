@@ -61,6 +61,17 @@ class ResultCache {
   /// can exercise invalidation directly.
   void invalidate(const std::string& uuid);
 
+  // --- crash-recovery rebinding (DESIGN.md §4f) ----------------------
+  /// Unhook from the origin server (e.g. just before it is destroyed in
+  /// a process-crash drill). Detached lookups throw; entries are kept
+  /// for rebind().
+  void detach();
+  /// Attach to a (re)started origin. EVERY entry is invalidated first:
+  /// the new server may have recovered past the cached state, so
+  /// nothing cached across a restart may ever be served as a fresh hit.
+  void rebind(aero::AeroServer& server);
+  bool attached() const { return server_ != nullptr; }
+
   std::size_t size() const { return entries_.size(); }
   std::uint64_t hits() const { return hits_->value(); }
   std::uint64_t misses() const { return misses_->value(); }
@@ -75,7 +86,7 @@ class ResultCache {
     aero::AeroServer::ServedEstimate estimate;
   };
 
-  aero::AeroServer& server_;
+  aero::AeroServer* server_ = nullptr;  // null while detached
   std::uint64_t listener_id_ = 0;
   std::map<std::string, Entry> entries_;
 

@@ -20,6 +20,13 @@ class UuidFactory {
   /// "3f2a9c1e-7b4d-4e8a-9c3f-1a2b3c4d5e6f".
   std::string next();
 
+  /// The generator state. Persisted in durable snapshots (AERO metadata
+  /// checkpoints) so a restored factory continues the exact sequence the
+  /// original would have produced — identifiers never collide or diverge
+  /// across a crash/recovery boundary.
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t state) { state_ = state; }
+
  private:
   std::uint64_t state_;
   std::uint64_t next_u64();

@@ -136,3 +136,85 @@ TEST(MetadataDb, FindObjectsByNamePrefix) {
   EXPECT_TRUE(db.find_objects("nothing/").empty());
   (void)c;
 }
+
+// --- lineage edge cases ----------------------------------------------
+
+TEST(MetadataDbLineage, EmptyDbThrowsForUnknownObject) {
+  oa::MetadataDb db;
+  EXPECT_THROW(db.upstream_lineage("nope"), osprey::util::NotFound);
+  EXPECT_THROW(db.downstream_lineage("nope"), osprey::util::NotFound);
+}
+
+TEST(MetadataDbLineage, ObjectWithNoRunsIsItsOwnLineage) {
+  oa::MetadataDb db;
+  std::string lonely = db.register_object("lonely", "");
+  oa::MetadataDb::Lineage up = db.upstream_lineage(lonely);
+  EXPECT_EQ(up.object_uuids, std::vector<std::string>{lonely});
+  EXPECT_TRUE(up.run_ids.empty());
+  oa::MetadataDb::Lineage down = db.downstream_lineage(lonely);
+  EXPECT_EQ(down.object_uuids, std::vector<std::string>{lonely});
+  EXPECT_TRUE(down.run_ids.empty());
+}
+
+TEST(MetadataDbLineage, SelfReferentialRunTerminates) {
+  // A run that reads AND writes the same object (an in-place refinement)
+  // must not send the BFS into a cycle.
+  oa::MetadataDb db;
+  std::string obj = db.register_object("state", "refine");
+  db.add_version(obj, "c1", 1, 0, "e", "col", "p");
+  std::uint64_t run =
+      db.start_run("refine", oa::FlowKind::kAnalysis, "t", {{obj, 1}}, "ep", 1);
+  db.add_version(obj, "c2", 2, 2, "e", "col", "p");
+  db.finish_run(run, oa::RunStatus::kSucceeded, {{obj, 2}}, 3);
+
+  oa::MetadataDb::Lineage up = db.upstream_lineage(obj);
+  EXPECT_EQ(up.object_uuids, std::vector<std::string>{obj});
+  EXPECT_EQ(up.run_ids, std::vector<std::uint64_t>{run});
+  oa::MetadataDb::Lineage down = db.downstream_lineage(obj);
+  EXPECT_EQ(down.object_uuids, std::vector<std::string>{obj});
+  EXPECT_EQ(down.run_ids, std::vector<std::uint64_t>{run});
+}
+
+TEST(MetadataDbLineage, TwoObjectCycleTerminatesAndCoversBoth) {
+  oa::MetadataDb db;
+  std::string a = db.register_object("a", "");
+  std::string b = db.register_object("b", "");
+  db.add_version(a, "ca", 1, 0, "e", "col", "p");
+  std::uint64_t r1 =
+      db.start_run("a-to-b", oa::FlowKind::kAnalysis, "t", {{a, 1}}, "ep", 1);
+  db.add_version(b, "cb", 1, 2, "e", "col", "p");
+  db.finish_run(r1, oa::RunStatus::kSucceeded, {{b, 1}}, 2);
+  std::uint64_t r2 =
+      db.start_run("b-to-a", oa::FlowKind::kAnalysis, "t", {{b, 1}}, "ep", 3);
+  db.add_version(a, "ca2", 2, 4, "e", "col", "p");
+  db.finish_run(r2, oa::RunStatus::kSucceeded, {{a, 2}}, 4);
+
+  oa::MetadataDb::Lineage down = db.downstream_lineage(a);
+  EXPECT_EQ(down.object_uuids.size(), 2u);
+  EXPECT_EQ(down.run_ids.size(), 2u);
+  oa::MetadataDb::Lineage up = db.upstream_lineage(b);
+  EXPECT_EQ(up.object_uuids.size(), 2u);
+}
+
+TEST(MetadataDbLineage, ProvenanceDotIsByteIdenticalAcrossReplays) {
+  // Two independent replays of the same mutation sequence must render
+  // the exact same provenance bytes — the property the crash-recovery
+  // acceptance check builds on.
+  auto build = [] {
+    oa::MetadataDb db;
+    std::string raw = db.register_object("ww/raw", "ingest");
+    std::string rt = db.register_object("ww/rt", "estimate");
+    db.add_version(raw, "c1", 10, 0, "eagle", "col", "p");
+    std::uint64_t run = db.start_run("estimate", oa::FlowKind::kAnalysis,
+                                     "update", {{raw, 1}}, "bebop", 5);
+    db.add_version(rt, "c2", 20, 6, "eagle", "col", "q");
+    db.finish_run(run, oa::RunStatus::kSucceeded, {{rt, 1}}, 7);
+    db.start_run("estimate", oa::FlowKind::kAnalysis, "update", {{raw, 1}},
+                 "bebop", 9);  // left in flight on purpose
+    return db.provenance_dot();
+  };
+  std::string first = build();
+  std::string second = build();
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}

@@ -132,6 +132,29 @@ TEST(LintAnalyzer, AdhocCounterInFabric) {
   EXPECT_EQ(found[0].line, 2u);
 }
 
+TEST(LintAnalyzer, WalBypassFlagsDirectMetadataMutation) {
+  ol::Analyzer a(test_layers());
+  a.add_file("src/aero/db.cpp",
+             "void f() { runs_.push_back(r); }\n"
+             "void g() { objects_.emplace(k, v); }\n"
+             "int h() { return runs_.size(); }\n"      // read: passes
+             "auto i() { return objects_.find(k); }\n"  // read: passes
+             "// osprey-lint: allow(wal-bypass) sanctioned apply() site\n"
+             "void j() { runs_.clear(); }\n");
+  std::vector<ol::Finding> found = run_rule(a, "wal-bypass");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].line, 1u);
+  EXPECT_EQ(found[1].line, 2u);
+}
+
+TEST(LintAnalyzer, WalBypassScopedToAeroModule) {
+  ol::Analyzer a(test_layers());
+  // Identical token stream outside src/aero — other modules may name
+  // their own members runs_/objects_ without implying a WAL contract.
+  a.add_file("src/fabric/svc.cpp", "void f() { runs_.push_back(r); }\n");
+  EXPECT_TRUE(run_rule(a, "wal-bypass").empty());
+}
+
 TEST(LintAnalyzer, StaleSuppressionFiresAndCannotBeSuppressed) {
   ol::Analyzer a(test_layers());
   a.add_file("src/fabric/old.hpp",

@@ -42,6 +42,9 @@ bool fabric_applies(const std::string& p) {
 bool serve_applies(const std::string& p) {
   return starts_with(p, "src/serve/");
 }
+bool aero_applies(const std::string& p) {
+  return starts_with(p, "src/aero/");
+}
 
 bool counter_name(const std::string& s) {
   if (s.size() < 2 || s.back() != '_') return false;
@@ -112,6 +115,10 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"serve-direct-origin",
        "AeroServer::serve_latest() from serve-tier code — reads go through "
        "serve::ResultCache::lookup() for hit/miss/revalidate accounting"},
+      {"wal-bypass",
+       "direct mutation of MetadataDb backing state (objects_/runs_) in "
+       "src/aero — every mutation goes through the WAL append path; only "
+       "MetadataDb::apply()/load_snapshot() carry allows"},
       {"test-registration",
        "tests/test_*.cpp not listed in tests/CMakeLists.txt — it would "
        "silently never run"},
@@ -192,6 +199,7 @@ void Analyzer::token_rules(const std::string& path, const Entry& e,
   const bool thread_on = raw_thread_applies(path);
   const bool fabric_on = fabric_applies(path);
   const bool serve_on = serve_applies(path);
+  const bool aero_on = aero_applies(path);
 
   auto bare_or_std = [&](std::size_t j) {
     if (j == 0) return true;
@@ -270,6 +278,27 @@ void Analyzer::token_rules(const std::string& path, const Entry& e,
                "ad-hoc counter member in src/fabric; register an "
                "obs::Counter on the service's MetricsRegistry instead so "
                "the value reaches snapshots and the Prometheus export");
+      }
+    }
+    if (aero_on && (s == "objects_" || s == "runs_") &&
+        j + 2 < toks.size() && is_punct(toks[j + 1], ".") &&
+        is_ident(toks[j + 2])) {
+      // objects_.push_back(...), runs_.clear(), ... — a mutation of the
+      // MetadataDb backing containers that did not come through the WAL
+      // funnel. Reads (objects_.find, runs_.size, iteration) pass.
+      static const char* kMutators[] = {"emplace", "emplace_back",
+                                        "push_back", "pop_back",
+                                        "erase", "insert", "clear"};
+      const std::string& method = toks[j + 2].text;
+      for (const char* m : kMutators) {
+        if (method == m) {
+          report("wal-bypass", t.line,
+                 "direct mutation of MetadataDb backing state (" + s + "." +
+                     method + "); every mutation must flow through the WAL "
+                     "append path — MetadataDb::apply()/load_snapshot() are "
+                     "the only sanctioned sites (each carries an allow)");
+          break;
+        }
       }
     }
     if (serve_on && s == "serve_latest" && call_next) {
