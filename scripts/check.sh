@@ -36,6 +36,13 @@
 #           front-end suite, then `ctest -L serve` (invalidation,
 #           stale-reason propagation, 16-seed flood replay). See
 #           DESIGN.md §"Serving tier".
+#   shard   sharded-fabric gate: thread sanitizer build of the
+#           src/shard suite, then `ctest -L shard` (mailbox total
+#           order, campaign round trips, per-partition WAL recovery,
+#           and the 16-seed cross-shard-count byte-identity sweep with
+#           chaos on), plus the scale bench at OSPREY_BENCH_SMOKE=1
+#           checking results/BENCH_scale_workflow.json is emitted.
+#           See DESIGN.md §"Sharded fabric".
 #
 # Usage: scripts/check.sh [--skip-tsan] [stage ...]
 #   No stage arguments = run all stages in order. Naming stages runs
@@ -46,13 +53,13 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-ALL_STAGES=(lint tidy tsa tier1 obs bench asan ubsan tsan chaos recovery serve)
+ALL_STAGES=(lint tidy tsa tier1 obs bench asan ubsan tsan chaos recovery serve shard)
 declare -A WANTED=()
 SKIP_TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
-    lint|tidy|tsa|tier1|obs|bench|asan|ubsan|tsan|chaos|recovery|serve) WANTED[$arg]=1 ;;
+    lint|tidy|tsa|tier1|obs|bench|asan|ubsan|tsan|chaos|recovery|serve|shard) WANTED[$arg]=1 ;;
     *) echo "unknown argument: $arg" >&2
        echo "usage: scripts/check.sh [--skip-tsan] [stage ...]" >&2
        echo "stages: ${ALL_STAGES[*]}" >&2
@@ -193,6 +200,22 @@ stage_serve() {
   (cd build-tsan && ctest --output-on-failure -j "$JOBS" -L serve)
 }
 
+stage_shard() {
+  if [[ "$SKIP_TSAN" == "1" ]]; then
+    echo "skipped (--skip-tsan)"
+    return 99
+  fi
+  cmake -B build-tsan -S . -DOSPREY_SANITIZE=thread >/dev/null &&
+  cmake --build build-tsan -j "$JOBS" \
+      --target test_shard_fabric test_shard_replay &&
+  (cd build-tsan && ctest --output-on-failure -j "$JOBS" -L shard) &&
+  cmake -B build -S . >/dev/null &&
+  cmake --build build -j "$JOBS" --target bench_scale_workflow &&
+  OSPREY_BENCH_SMOKE=1 ./build/bench/bench_scale_workflow &&
+  test -s results/BENCH_scale_workflow.json &&
+  echo "bench artifact: results/BENCH_scale_workflow.json"
+}
+
 run_stage lint  stage_lint
 [[ $FAILED -eq 0 ]] && run_stage tidy  stage_tidy
 [[ $FAILED -eq 0 ]] && run_stage tsa   stage_tsa
@@ -205,6 +228,7 @@ run_stage lint  stage_lint
 [[ $FAILED -eq 0 ]] && run_stage chaos stage_chaos
 [[ $FAILED -eq 0 ]] && run_stage recovery stage_recovery
 [[ $FAILED -eq 0 ]] && run_stage serve stage_serve
+[[ $FAILED -eq 0 ]] && run_stage shard stage_shard
 
 echo
 echo "== summary =="

@@ -21,7 +21,7 @@ scripts/check.sh tier1 obs bench
 
 if [[ "$MODE" == "full" ]]; then
   echo "=== ci: sanitizer stages ==="
-  scripts/check.sh asan ubsan tsan chaos recovery serve
+  scripts/check.sh asan ubsan tsan chaos recovery serve shard
 fi
 
 echo "=== ci: done ==="

@@ -52,14 +52,15 @@ AeroServer::AeroServer(fabric::EventLoop& loop, fabric::AuthService& auth,
                        fabric::TimerService& timers,
                        fabric::TransferService& transfers,
                        fabric::FlowsService& flows, std::string identity,
-                       obs::MetricsRegistry* metrics)
+                       obs::MetricsRegistry* metrics, std::uint64_t uuid_seed)
     : loop_(loop),
       auth_(auth),
       timers_(timers),
       transfers_(transfers),
       flows_(flows),
       identity_(std::move(identity)),
-      token_(auth.issue_full_token(identity_)) {
+      token_(auth.issue_full_token(identity_)),
+      db_(uuid_seed) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
     metrics = owned_metrics_.get();
@@ -303,7 +304,12 @@ void AeroServer::poll_ingestion(std::size_t index) {
     clear_degraded({ing.raw_uuid, ing.output_uuid}, ing.spec.name);
   }
   if (!payload.has_value()) return;
+  // Identical bytes hash to an identical checksum: skip the SHA-256 on
+  // an unchanged poll. This is pure short-circuit — the checksum
+  // comparison below is unchanged for payloads that differ.
+  if (ing.last_payload.has_value() && *payload == *ing.last_payload) return;
   std::string checksum = osprey::crypto::Sha256::hash_hex(*payload);
+  ing.last_payload = *payload;
   if (checksum == ing.last_checksum) return;  // no upstream change
 
   updates_detected_->inc();

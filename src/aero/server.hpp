@@ -119,11 +119,16 @@ class AeroServer {
   /// token is issued at construction). Collections the flows touch must
   /// be readable/writable by this identity. The Figure-1 counters live
   /// in `metrics` (non-owning); when nullptr the server owns a private
-  /// registry, so standalone construction keeps working.
+  /// registry, so standalone construction keeps working. `uuid_seed`
+  /// seeds the metadata db's uuid generator — sharded deployments give
+  /// every partition's server a distinct, stable seed so object uuids
+  /// never collide across partitions (and recovery, which replays uuid
+  /// draws in lockstep, sees the same stream after a restart).
   AeroServer(fabric::EventLoop& loop, fabric::AuthService& auth,
              fabric::TimerService& timers, fabric::TransferService& transfers,
              fabric::FlowsService& flows, std::string identity = "aero",
-             obs::MetricsRegistry* metrics = nullptr);
+             obs::MetricsRegistry* metrics = nullptr,
+             std::uint64_t uuid_seed = 0xAE70);
 
   AeroServer(const AeroServer&) = delete;
   AeroServer& operator=(const AeroServer&) = delete;
@@ -250,6 +255,11 @@ class AeroServer {
     std::string raw_uuid;
     std::string output_uuid;
     std::string last_checksum;  // of the upstream payload last ingested
+    /// Raw bytes of the last polled payload. Byte-identical bytes hash
+    /// to an identical checksum, so the poll path compares these first
+    /// and skips the SHA-256 entirely on the (overwhelmingly common)
+    /// unchanged poll — the scale bottleneck at sub-daily cadences.
+    std::optional<std::string> last_payload;
     bool running = false;
     bool pending = false;       // an update arrived while running
     std::string pending_payload;

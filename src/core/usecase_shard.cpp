@@ -1,0 +1,35 @@
+#include "core/usecase_shard.hpp"
+
+#include "util/error.hpp"
+
+namespace osprey::core {
+
+using osprey::shard::CampaignSpec;
+using osprey::shard::FeedSpec;
+using osprey::util::kDay;
+
+CampaignSpec make_surveillance_campaign(const std::string& name,
+                                        int num_feeds, int days,
+                                        osprey::shard::SimTime poll_period) {
+  OSPREY_REQUIRE(num_feeds >= 1, "need at least one feed");
+  OSPREY_REQUIRE(days >= 1, "need at least one day");
+  CampaignSpec campaign;
+  campaign.name = name;
+  campaign.aggregate = true;
+  campaign.aggregate_poll = poll_period;
+  campaign.feeds.reserve(static_cast<std::size_t>(num_feeds));
+  for (int f = 0; f < num_feeds; ++f) {
+    FeedSpec feed;
+    feed.name = name + "-feed" + std::to_string(f);
+    feed.poll_period = poll_period;
+    for (int week = 0; week * 7 < days; ++week) {
+      feed.timeline.emplace_back(
+          (week * 7 + f % 7) * kDay,
+          "feed" + std::to_string(f) + "-week" + std::to_string(week));
+    }
+    campaign.feeds.push_back(std::move(feed));
+  }
+  return campaign;
+}
+
+}  // namespace osprey::core

@@ -129,6 +129,20 @@ void FaultPlan::script_window(FaultKind kind, const std::string& site,
   windows_.push_back(Window{kind, site, begin, end, false});
 }
 
+FaultPlan FaultPlan::fork(std::uint64_t salt) const {
+  FaultPlan out(mix64(seed_ ^ mix64(salt)));
+  std::copy(std::begin(kind_rates_), std::end(kind_rates_),
+            std::begin(out.kind_rates_));
+  out.site_rates_ = site_rates_;
+  out.scripted_ = scripted_;
+  out.windows_ = windows_;
+  for (Window& w : out.windows_) w.reported = false;
+  out.active_begin_ = active_begin_;
+  out.active_end_ = active_end_;
+  out.stall_delay = stall_delay;
+  return out;
+}
+
 void FaultPlan::set_active_window(SimTime begin, SimTime end) {
   OSPREY_REQUIRE(end > begin, "active window must have positive length");
   active_begin_ = begin;

@@ -128,6 +128,14 @@ class FaultPlan {
   /// can converge or settle into a degraded state.
   void set_active_window(SimTime begin, SimTime end);
 
+  /// A structurally identical plan for an isolated replica (e.g. one
+  /// shard partition): same rates, scripted operations, outage/active
+  /// windows and stall delay, but a fresh seed mixed from `salt`, zero
+  /// operation counters and an empty incident log. Each replica then
+  /// draws its own deterministic fault stream — a pure function of
+  /// (master seed, salt) — independent of every other replica.
+  FaultPlan fork(std::uint64_t salt) const;
+
   // --- service-side queries ----------------------------------------
   /// Called once per fault-prone operation. Advances the (kind, site)
   /// counter, decides scripted-then-probabilistic, and records a kFault

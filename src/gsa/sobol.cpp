@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "num/simd.hpp"
 #include "num/stats.hpp"
 #include "util/error.hpp"
 
@@ -47,17 +48,21 @@ SobolIndices saltelli_indices(const BatchModelFn& model,
   if (var_y <= 0.0) return out;  // constant model: all indices zero
 
   Matrix ab = a;
+  // Jansen squared-difference terms, batched through the SoA kernel;
+  // the i-ascending accumulation below matches the scalar loop exactly,
+  // so replicate fan-outs stay bitwise identical to the legacy path.
+  std::vector<double> db2(n_base), da2(n_base);
   for (std::size_t j = 0; j < d; ++j) {
     // AB_j: A with column j replaced from B.
     for (std::size_t i = 0; i < n_base; ++i) ab(i, j) = b(i, j);
     Vector yab = model(ab);
+    osprey::num::simd::sub_square(yb.data(), yab.data(), db2.data(), n_base);
+    osprey::num::simd::sub_square(ya.data(), yab.data(), da2.data(), n_base);
     double s1_acc = 0.0;
     double st_acc = 0.0;
     for (std::size_t i = 0; i < n_base; ++i) {
-      double db = yb[i] - yab[i];
-      double da = ya[i] - yab[i];
-      s1_acc += db * db;
-      st_acc += da * da;
+      s1_acc += db2[i];
+      st_acc += da2[i];
     }
     double n = static_cast<double>(n_base);
     // Jansen estimators.

@@ -129,4 +129,24 @@ void scale(double s, double* out, std::size_t n) {
   for (std::size_t t = 0; t < n; ++t) out[t] *= s;
 }
 
+void sub_square(const double* a, const double* b, double* out, std::size_t n) {
+  std::size_t t = 0;
+#if OSPREY_SIMD_VEC_EXT
+  for (; t + kLanes <= n; t += kLanes) {
+    Vec4d av = {a[t], a[t + 1], a[t + 2], a[t + 3]};
+    Vec4d bv = {b[t], b[t + 1], b[t + 2], b[t + 3]};
+    Vec4d d = av - bv;
+    d *= d;
+    out[t] = d[0];
+    out[t + 1] = d[1];
+    out[t + 2] = d[2];
+    out[t + 3] = d[3];
+  }
+#endif
+  for (; t < n; ++t) {
+    const double d = a[t] - b[t];
+    out[t] = d * d;
+  }
+}
+
 }  // namespace osprey::num::simd

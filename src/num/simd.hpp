@@ -90,4 +90,10 @@ void axpy(double w, const double* x, double* out, std::size_t n);
 /// out[t] *= s for t in [0, n).
 void scale(double s, double* out, std::size_t n);
 
+/// out[i] = (a[i] - b[i])^2 for i in [0, n): the squared-difference
+/// terms of the Jansen Sobol' estimators. Element-wise — callers keep
+/// their own accumulation order over out[], so batched GSA replicate
+/// fan-outs stay bitwise identical to the scalar path.
+void sub_square(const double* a, const double* b, double* out, std::size_t n);
+
 }  // namespace osprey::num::simd

@@ -20,9 +20,9 @@ std::vector<SpanRecord> canonical_spans(std::vector<SpanRecord> spans) {
       spans.begin(), spans.end(),
       [](const SpanRecord& a, const SpanRecord& b) {
         return std::tie(a.begin_ns, a.end_ns, a.category, a.name, a.detail,
-                        a.instant, a.id) <
+                        a.shard, a.instant, a.id) <
                std::tie(b.begin_ns, b.end_ns, b.category, b.name, b.detail,
-                        b.instant, b.id);
+                        b.shard, b.instant, b.id);
       });
   std::map<SpanId, SpanId> renumber;
   renumber[kNoSpan] = kNoSpan;
@@ -50,6 +50,7 @@ std::string chrome_trace_json(const std::vector<SpanRecord>& spans) {
     if (!s.ok) args["ok"] = false;
     if (s.open) args["open"] = true;
     if (!s.detail.empty()) args["detail"] = s.detail;
+    if (!s.shard.empty()) args["shard"] = s.shard;
     if (s.wall_begin_ns != 0) {
       args["wall_begin_ns"] = static_cast<std::int64_t>(s.wall_begin_ns);
     }
@@ -103,6 +104,7 @@ std::vector<SpanRecord> parse_chrome_trace(const std::string& json) {
       s.ok = !args.contains("ok") || args.at("ok").as_bool();
       s.open = args.contains("open") && args.at("open").as_bool();
       s.detail = args.get_or("detail", std::string());
+      s.shard = args.get_or("shard", std::string());
       s.wall_begin_ns = static_cast<std::uint64_t>(
           args.get_or("wall_begin_ns", std::int64_t{0}));
       s.wall_end_ns = static_cast<std::uint64_t>(

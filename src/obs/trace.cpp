@@ -51,10 +51,21 @@ SpanId TraceRecorder::begin_span(Category category, std::string name,
   rec.detail = std::move(detail);
   if (wall != nullptr) rec.wall_begin_ns = wall->now_ns();
   osprey::util::MutexLock lock(mutex_);
+  rec.shard = shard_label_;
   rec.id = static_cast<SpanId>(spans_.size()) + 1;
   spans_.push_back(std::move(rec));
   ++open_;
   return spans_.back().id;
+}
+
+void TraceRecorder::set_shard_label(std::string label) {
+  osprey::util::MutexLock lock(mutex_);
+  shard_label_ = std::move(label);
+}
+
+std::string TraceRecorder::shard_label() const {
+  osprey::util::MutexLock lock(mutex_);
+  return shard_label_;
 }
 
 void TraceRecorder::end_span(SpanId id, std::uint64_t end_ns, bool ok,
@@ -92,6 +103,7 @@ SpanId TraceRecorder::instant(Category category, std::string name,
     rec.wall_end_ns = rec.wall_begin_ns;
   }
   osprey::util::MutexLock lock(mutex_);
+  rec.shard = shard_label_;
   rec.id = static_cast<SpanId>(spans_.size()) + 1;
   spans_.push_back(std::move(rec));
   return spans_.back().id;

@@ -78,6 +78,10 @@ struct SpanRecord {
   bool ok = true;        // false: the operation the span covers failed
   bool instant = false;  // zero-duration marker event
   std::string detail;    // free-form annotation (bytes, error, cause)
+  /// Shard-label dimension (set_shard_label): which shard/partition
+  /// recorded the span. Empty on unsharded recorders, so single-loop
+  /// traces export byte-identically to before the dimension existed.
+  std::string shard;
   // Optional real-time annotation (set_wall_clock); 0 when disabled.
   std::uint64_t wall_begin_ns = 0;
   std::uint64_t wall_end_ns = 0;
@@ -111,6 +115,13 @@ class TraceRecorder {
     wall_.store(wall, std::memory_order_release);
   }
 
+  /// Stamp every subsequently recorded span/instant with `label` (the
+  /// shard-label dimension; "" reverts to unlabeled). Set once at
+  /// wiring time, before recording starts: per-shard recorders get the
+  /// partition key, so merged exports keep each span attributable.
+  void set_shard_label(std::string label);
+  std::string shard_label() const;
+
   /// Open a span at virtual `begin_ns`. `parent` defaults to the
   /// calling thread's current span.
   SpanId begin_span(Category category, std::string name,
@@ -137,6 +148,7 @@ class TraceRecorder {
  private:
   mutable osprey::util::Mutex mutex_;
   std::vector<SpanRecord> spans_ OSPREY_GUARDED_BY(mutex_);
+  std::string shard_label_ OSPREY_GUARDED_BY(mutex_);
   std::size_t open_ OSPREY_GUARDED_BY(mutex_) = 0;
   std::atomic<bool> enabled_{true};
   std::atomic<const osprey::util::Clock*> wall_{nullptr};

@@ -55,11 +55,19 @@ void ResultCache::rebind(aero::AeroServer& server) {
       [this](const std::string& uuid) { invalidate(uuid); });
 }
 
+void ResultCache::rebind(aero::AeroServer& server, std::string shard) {
+  shard_ = std::move(shard);
+  rebind(server);
+}
+
 ResultCache::Result ResultCache::lookup(const std::string& uuid) {
   auto it = entries_.find(uuid);
-  if (it != entries_.end() && it->second.valid) {
+  // A hit requires the entry to carry the cache's CURRENT shard
+  // qualifier; an entry fetched under a previous qualifier is as
+  // untrustworthy as an invalidated one and must revalidate.
+  if (it != entries_.end() && it->second.valid && it->second.shard == shard_) {
     hits_->inc();
-    return Result{CacheOutcome::kHit, it->second.estimate};
+    return Result{CacheOutcome::kHit, it->second.estimate, shard_};
   }
   CacheOutcome outcome =
       it == entries_.end() ? CacheOutcome::kMiss : CacheOutcome::kRevalidate;
@@ -67,7 +75,8 @@ ResultCache::Result ResultCache::lookup(const std::string& uuid) {
   Entry& entry = entries_[uuid];
   entry.estimate = fetch_origin(uuid);
   entry.valid = true;
-  return Result{outcome, entry.estimate};
+  entry.shard = shard_;
+  return Result{outcome, entry.estimate, shard_};
 }
 
 void ResultCache::invalidate(const std::string& uuid) {

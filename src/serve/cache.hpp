@@ -49,7 +49,19 @@ class ResultCache {
   struct Result {
     CacheOutcome outcome = CacheOutcome::kMiss;
     aero::AeroServer::ServedEstimate estimate;
+    /// Shard qualifier the answer was fetched under ("" unsharded).
+    std::string shard;
   };
+
+  /// Shard qualifier for every subsequently cached answer (DESIGN.md
+  /// §7): in a sharded fabric each partition's cache is stamped with
+  /// its partition key, and an entry only counts as a hit when its
+  /// qualifier matches the cache's CURRENT one. Rebinding to a
+  /// different shard (or a recovered instance of the same shard)
+  /// therefore forces revalidation — a version fetched under one
+  /// shard's origin can never be served as a fresh hit under another.
+  void set_shard(std::string shard) { shard_ = std::move(shard); }
+  const std::string& shard() const { return shard_; }
 
   /// Serve `uuid` from cache, fetching from the origin on miss or
   /// revalidate. The returned estimate carries AERO's staleness signal
@@ -70,6 +82,10 @@ class ResultCache {
   /// the new server may have recovered past the cached state, so
   /// nothing cached across a restart may ever be served as a fresh hit.
   void rebind(aero::AeroServer& server);
+  /// Rebind AND adopt a new shard qualifier in one step (the sharded
+  /// crash-recovery path: the restarted partition re-qualifies every
+  /// subsequently served version).
+  void rebind(aero::AeroServer& server, std::string shard);
   bool attached() const { return server_ != nullptr; }
 
   std::size_t size() const { return entries_.size(); }
@@ -84,10 +100,12 @@ class ResultCache {
   struct Entry {
     bool valid = false;  // false => next lookup revalidates
     aero::AeroServer::ServedEstimate estimate;
+    std::string shard;  // qualifier the estimate was fetched under
   };
 
   aero::AeroServer* server_ = nullptr;  // null while detached
   std::uint64_t listener_id_ = 0;
+  std::string shard_;
   std::map<std::string, Entry> entries_;
 
   obs::Counter* hits_ = nullptr;

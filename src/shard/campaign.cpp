@@ -1,0 +1,42 @@
+#include "shard/campaign.hpp"
+
+#include "util/error.hpp"
+
+namespace osprey::shard {
+
+using osprey::util::Value;
+using osprey::util::ValueArray;
+using osprey::util::ValueObject;
+
+Value FeedSpec::to_value() const {
+  ValueObject obj;
+  obj["name"] = Value(name);
+  ValueArray entries;
+  entries.reserve(timeline.size());
+  for (const auto& [time, payload] : timeline) {
+    ValueObject entry;
+    entry["time"] = Value(static_cast<std::int64_t>(time));
+    entry["payload"] = Value(payload);
+    entries.push_back(Value(std::move(entry)));
+  }
+  obj["timeline"] = Value(std::move(entries));
+  obj["poll_period"] = Value(static_cast<std::int64_t>(poll_period));
+  obj["max_retries"] = Value(static_cast<std::int64_t>(max_retries));
+  return Value(std::move(obj));
+}
+
+FeedSpec FeedSpec::from_value(const Value& v) {
+  OSPREY_REQUIRE(v.is_object(), "FeedSpec value must be an object");
+  FeedSpec spec;
+  spec.name = v.at("name").as_string();
+  for (const Value& entry : v.at("timeline").as_array()) {
+    spec.timeline.emplace_back(
+        static_cast<SimTime>(entry.at("time").as_int()),
+        entry.at("payload").as_string());
+  }
+  spec.poll_period = static_cast<SimTime>(v.at("poll_period").as_int());
+  spec.max_retries = static_cast<int>(v.at("max_retries").as_int());
+  return spec;
+}
+
+}  // namespace osprey::shard

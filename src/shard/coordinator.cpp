@@ -1,0 +1,158 @@
+#include "shard/coordinator.hpp"
+
+#include "util/error.hpp"
+
+namespace osprey::shard {
+
+using osprey::util::Value;
+using osprey::util::ValueArray;
+using osprey::util::ValueObject;
+
+Coordinator::Coordinator(std::uint64_t seed) : outbox_(kOrigin, seed) {
+  tracer_.set_shard_label("coordinator");
+  messages_ = &metrics_.counter("shard_coord_messages_total",
+                                "envelopes delivered to the coordinator");
+  version_reports_ =
+      &metrics_.counter("shard_coord_versions_total",
+                        "data-version reports received from partitions");
+  rounds_ = &metrics_.counter("shard_coord_rounds_total",
+                              "cross-region aggregation rounds dispatched");
+  campaigns_registered_ = &metrics_.counter(
+      "shard_coord_campaigns_total", "campaigns registered on the fabric");
+}
+
+std::string Coordinator::hub_key(const std::string& campaign) {
+  return campaign + "-hub";
+}
+
+void Coordinator::register_campaign(const CampaignSpec& spec) {
+  OSPREY_REQUIRE(!spec.name.empty(), "campaign needs a name");
+  OSPREY_REQUIRE(!spec.feeds.empty(), "campaign needs at least one feed");
+  OSPREY_REQUIRE(campaigns_.count(spec.name) == 0,
+                 "campaign already registered: " + spec.name);
+
+  Campaign campaign;
+  campaign.name = spec.name;
+  campaign.aggregate = spec.aggregate;
+  for (const FeedSpec& feed : spec.feeds) {
+    OSPREY_REQUIRE(campaign.by_feed.count(feed.name) == 0,
+                   "duplicate feed in campaign: " + feed.name);
+    OSPREY_REQUIRE(feed_campaign_.count(feed.name) == 0,
+                   "feed already registered on the fabric: " + feed.name);
+    campaign.by_feed[feed.name] = campaign.members.size();
+    campaign.members.push_back(Member{feed.name, 0, 0, {}, {}});
+    feed_campaign_[feed.name] = spec.name;
+    ValueObject payload;
+    payload["campaign"] = Value(spec.name);
+    payload["feed"] = feed.to_value();
+    outbox_.post(tick_, feed.name, "register-feed", Value(std::move(payload)));
+  }
+  if (spec.aggregate) {
+    ValueObject payload;
+    payload["campaign"] = Value(spec.name);
+    payload["poll_period"] =
+        Value(static_cast<std::int64_t>(spec.aggregate_poll));
+    payload["members"] = Value(static_cast<std::int64_t>(spec.feeds.size()));
+    outbox_.post(tick_, hub_key(spec.name), "register-aggregate",
+                 Value(std::move(payload)));
+  }
+  campaigns_[spec.name] = std::move(campaign);
+  campaigns_registered_->inc();
+  tracer_.instant(obs::Category::kOther, "coord:register:" + spec.name,
+                  now_ns_, obs::kNoSpan,
+                  std::to_string(spec.feeds.size()) + " feeds");
+}
+
+void Coordinator::begin_tick(std::uint64_t tick, std::uint64_t now_ns) {
+  tick_ = tick;
+  now_ns_ = now_ns;
+}
+
+void Coordinator::deliver(const std::vector<Envelope>& merged) {
+  for (const Envelope& env : merged) {
+    messages_->inc();
+    if (env.topic == "version") {
+      on_version(env);
+    }
+    // Unknown topics are counted but otherwise ignored: forward
+    // compatibility for partition-side extensions.
+  }
+}
+
+void Coordinator::on_version(const Envelope& env) {
+  version_reports_->inc();
+  VersionInfo info;
+  info.partition = env.payload.at("partition").as_string();
+  info.feed = env.payload.get_or("feed", std::string());
+  info.kind = env.payload.at("kind").as_string();
+  info.uuid = env.payload.at("uuid").as_string();
+  info.version = static_cast<int>(env.payload.at("version").as_int());
+  info.checksum = env.payload.at("checksum").as_string();
+  info.timestamp = env.payload.at("timestamp").as_int();
+  versions_[info.partition + "/" + info.uuid] = info;
+
+  if (info.kind == "aggregate") {
+    // Hub partitions are keyed "<campaign>-hub"; recover the campaign
+    // from the partition key.
+    for (auto& [name, campaign] : campaigns_) {
+      if (hub_key(name) == info.partition) {
+        ++campaign.aggregates;
+        break;
+      }
+    }
+    return;
+  }
+  if (info.kind != "analysis") return;
+  auto cit = feed_campaign_.find(info.feed);
+  if (cit == feed_campaign_.end()) return;
+  Campaign& campaign = campaigns_.at(cit->second);
+  Member& member = campaign.members[campaign.by_feed.at(info.feed)];
+  member.latest = info.version;
+  member.uuid = info.uuid;
+  member.checksum = info.checksum;
+  if (campaign.aggregate) maybe_dispatch_round(campaign);
+}
+
+void Coordinator::maybe_dispatch_round(Campaign& campaign) {
+  for (const Member& member : campaign.members) {
+    if (member.latest <= member.consumed) return;
+  }
+  ++campaign.rounds;
+  rounds_->inc();
+  ValueArray inputs;
+  inputs.reserve(campaign.members.size());
+  for (Member& member : campaign.members) {
+    member.consumed = member.latest;
+    ValueObject input;
+    input["feed"] = Value(member.feed);
+    input["uuid"] = Value(member.uuid);
+    input["version"] = Value(static_cast<std::int64_t>(member.latest));
+    input["checksum"] = Value(member.checksum);
+    inputs.push_back(Value(std::move(input)));
+  }
+  ValueObject payload;
+  payload["campaign"] = Value(campaign.name);
+  payload["round"] = Value(static_cast<std::int64_t>(campaign.rounds));
+  payload["inputs"] = Value(std::move(inputs));
+  outbox_.post(tick_, hub_key(campaign.name), "aggregate-input",
+               Value(std::move(payload)));
+  tracer_.instant(obs::Category::kOther, "coord:round:" + campaign.name,
+                  now_ns_, obs::kNoSpan,
+                  "round " + std::to_string(campaign.rounds));
+}
+
+std::vector<Envelope> Coordinator::collect() { return outbox_.drain(); }
+
+std::uint64_t Coordinator::rounds_dispatched(
+    const std::string& campaign) const {
+  auto it = campaigns_.find(campaign);
+  return it == campaigns_.end() ? 0 : it->second.rounds;
+}
+
+std::uint64_t Coordinator::aggregates_published(
+    const std::string& campaign) const {
+  auto it = campaigns_.find(campaign);
+  return it == campaigns_.end() ? 0 : it->second.aggregates;
+}
+
+}  // namespace osprey::shard

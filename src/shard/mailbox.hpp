@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file mailbox.hpp
+/// Deterministic cross-shard messaging for the ShardedFabric
+/// (DESIGN.md §7). All communication between partitions and the
+/// coordination layer travels as Envelopes through seeded,
+/// counter-stamped Outboxes, and is merged at epoch barriers in a
+/// total order that depends only on logical state:
+///
+///   (tick, origin, seq)
+///
+/// where `origin` is the sender's STABLE partition ordinal (coordinator
+/// = 0, partitions numbered in registration order) — never an ephemeral
+/// shard/thread id. Two runs of the same workload therefore deliver the
+/// same envelopes in the same order regardless of how many OS threads
+/// executed the shards or how they interleaved, which is what makes the
+/// fabric's merged artifacts byte-identical across shard counts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/value.hpp"
+
+namespace osprey::shard {
+
+/// One cross-shard message.
+struct Envelope {
+  std::uint64_t tick = 0;    // epoch the message was posted in
+  std::uint32_t origin = 0;  // stable ordinal of the sender (0 = coordinator)
+  std::uint64_t seq = 0;     // per-origin post counter
+  /// Seeded provenance stamp: mix(outbox seed, origin, seq). Replays of
+  /// the same seed reproduce it bit-for-bit; two runs with different
+  /// seeds are distinguishable at a glance in dumped mailboxes.
+  std::uint64_t stamp = 0;
+  std::string topic;  // "register-feed", "version", "aggregate-input", ...
+  std::string dest;   // destination partition key ("" = coordinator)
+  osprey::util::Value payload;
+};
+
+/// Strict total order for the barrier merge: (tick, origin, seq).
+bool envelope_before(const Envelope& a, const Envelope& b);
+
+/// FNV-1a of a partition key — the STABLE hash used for both shard
+/// placement and per-partition seed derivation (never std::hash, whose
+/// value may differ across libraries/processes).
+std::uint64_t stable_key_hash(const std::string& key);
+
+/// Shard owning `key` out of `num_shards` (stable hash mod shards).
+std::size_t shard_of(const std::string& key, std::size_t num_shards);
+
+/// Per-sender message buffer. Single-owner: only the owning partition
+/// (or the coordinator) posts into its outbox, inside its own epoch, so
+/// no locking is needed; the barrier merge happens after the join.
+class Outbox {
+ public:
+  Outbox(std::uint32_t origin, std::uint64_t seed);
+
+  std::uint32_t origin() const { return origin_; }
+
+  /// Append an envelope posted in epoch `tick`.
+  void post(std::uint64_t tick, std::string dest, std::string topic,
+            osprey::util::Value payload);
+
+  /// Move out everything posted since the last drain (ascending
+  /// (tick, seq) by construction: ticks are monotone, seq increments).
+  std::vector<Envelope> drain();
+
+  /// Total envelopes ever posted (not reset by drain).
+  std::uint64_t posted() const { return seq_; }
+
+ private:
+  std::uint32_t origin_;
+  std::uint64_t seed_;
+  std::uint64_t base_stamp_;
+  std::uint64_t seq_ = 0;
+  std::vector<Envelope> pending_;
+};
+
+/// Merge per-sender envelope streams (each already ascending in
+/// (tick, seq)) into one stream totally ordered by envelope_before.
+/// Min-heap k-way merge: O(n log k), independent of thread timing.
+std::vector<Envelope> merge_envelopes(
+    std::vector<std::vector<Envelope>> sources);
+
+}  // namespace osprey::shard

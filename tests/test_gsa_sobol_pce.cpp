@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "gsa/pce.hpp"
 #include "gsa/sobol.hpp"
+#include "num/simd.hpp"
 #include "util/error.hpp"
 
 namespace og = osprey::gsa;
@@ -93,6 +95,25 @@ TEST(Saltelli, BatchAndScalarAgree) {
       og::saltelli_indices(og::ModelFn(linear_model), unit_ranges(3), 1024);
   for (std::size_t j = 0; j < 3; ++j) {
     EXPECT_DOUBLE_EQ(a.first_order[j], b.first_order[j]);
+  }
+}
+
+TEST(Saltelli, SubSquareKernelIsBitIdenticalToScalar) {
+  // The Jansen estimator inner loop now runs on num::simd::sub_square;
+  // the replicate fan-out is only allowed if the kernel is bitwise
+  // identical to the scalar (a-b)^2 it replaced. Odd n covers the
+  // vector tail path.
+  for (std::size_t n : {1ull, 4ull, 7ull, 64ull, 129ull}) {
+    std::vector<double> a(n), b(n), out(n, -1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = std::sin(0.1 * static_cast<double>(i + 1)) * 1e3;
+      b[i] = std::cos(0.3 * static_cast<double>(i)) / 7.0;
+    }
+    osprey::num::simd::sub_square(a.data(), b.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double d = a[i] - b[i];
+      ASSERT_EQ(out[i], d * d) << "n=" << n << " i=" << i;
+    }
   }
 }
 

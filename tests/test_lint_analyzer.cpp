@@ -155,6 +155,36 @@ TEST(LintAnalyzer, WalBypassScopedToAeroModule) {
   EXPECT_TRUE(run_rule(a, "wal-bypass").empty());
 }
 
+TEST(LintAnalyzer, ShardIsolationFlagsOrchestrationState) {
+  ol::Analyzer a(test_layers());
+  a.add_file("src/shard/fabric.cpp",
+             "void f(aero::AeroServer& s) { s.serve_latest(u); }\n"
+             "aero::MetadataDb* db();\n"
+             "fabric::FlowsService* flows();\n"
+             "int envelope_count();\n");
+  std::vector<ol::Finding> found = run_rule(a, "shard-isolation");
+  // Line 1 carries two references (AeroServer + serve_latest).
+  ASSERT_EQ(found.size(), 4u);
+  EXPECT_EQ(found[0].line, 1u);
+  EXPECT_EQ(found[1].line, 1u);
+  EXPECT_EQ(found[2].line, 2u);
+  EXPECT_EQ(found[3].line, 3u);
+}
+
+TEST(LintAnalyzer, ShardIsolationExemptsPartitionAndHonorsAllow) {
+  ol::Analyzer a(test_layers());
+  // partition.* is the sanctioned owner of per-partition state.
+  a.add_file("src/shard/partition.cpp",
+             "void f(aero::AeroServer& s) { s.serve_latest(u); }\n");
+  a.add_file("src/shard/partition.hpp", "aero::MetadataDb* db();\n");
+  // Other modules may mention the types freely.
+  a.add_file("src/serve/front.cpp", "aero::AeroServer* origin();\n");
+  a.add_file("src/shard/mailbox.cpp",
+             "// osprey-lint: allow(shard-isolation) test fixture\n"
+             "aero::MetadataDb* sanctioned();\n");
+  EXPECT_TRUE(run_rule(a, "shard-isolation").empty());
+}
+
 TEST(LintAnalyzer, StaleSuppressionFiresAndCannotBeSuppressed) {
   ol::Analyzer a(test_layers());
   a.add_file("src/fabric/old.hpp",

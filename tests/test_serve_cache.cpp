@@ -158,6 +158,34 @@ TEST_F(ServeCacheTest, VersionBumpInvalidatesNoStaleEntrySurvives) {
   EXPECT_EQ(direct.estimate.version->version, 3);
 }
 
+TEST_F(ServeCacheTest, ShardQualifierScopesEntriesAndRebindRequalifies) {
+  auto source = std::make_shared<oa::ScriptedSource>(
+      "https://feed/a", std::vector<std::pair<of::SimTime, std::string>>{
+                            {0, "hello"}});
+  auto handles = server.register_ingestion(ingestion_spec("flow-a", source));
+  loop.run_until(kHour);
+
+  os::ResultCache cache(server, metrics);
+  cache.set_shard("region-a");
+  EXPECT_EQ(cache.shard(), "region-a");
+
+  os::ResultCache::Result first = cache.lookup(handles.output_uuid);
+  EXPECT_EQ(first.outcome, os::CacheOutcome::kMiss);
+  EXPECT_EQ(first.shard, "region-a");
+  EXPECT_EQ(cache.lookup(handles.output_uuid).outcome, os::CacheOutcome::kHit);
+
+  // Rebinding to a different shard must not serve the old shard's
+  // entries as hits: the qualifier mismatch forces a revalidate even
+  // though the version numbers agree.
+  cache.rebind(server, "region-b");
+  os::ResultCache::Result rebound = cache.lookup(handles.output_uuid);
+  EXPECT_NE(rebound.outcome, os::CacheOutcome::kHit);
+  ASSERT_TRUE(rebound.estimate.version.has_value());
+  EXPECT_EQ(rebound.estimate.version->version, 1);
+  EXPECT_EQ(rebound.shard, "region-b");
+  EXPECT_EQ(cache.lookup(handles.output_uuid).outcome, os::CacheOutcome::kHit);
+}
+
 TEST_F(ServeCacheTest, RevalidateVsMissAccounting) {
   auto source = std::make_shared<oa::ScriptedSource>(
       "https://feed/a", std::vector<std::pair<of::SimTime, std::string>>{

@@ -31,7 +31,8 @@ bool rng_applies(const std::string& p) {
 }
 bool wall_clock_applies(const std::string& p) {
   return starts_with(p, "src/fabric/") || starts_with(p, "src/emews/") ||
-         starts_with(p, "src/aero/") || starts_with(p, "src/serve/");
+         starts_with(p, "src/aero/") || starts_with(p, "src/serve/") ||
+         starts_with(p, "src/shard/");
 }
 bool raw_thread_applies(const std::string& p) {
   return starts_with(p, "src/") && !starts_with(p, "src/util/");
@@ -44,6 +45,14 @@ bool serve_applies(const std::string& p) {
 }
 bool aero_applies(const std::string& p) {
   return starts_with(p, "src/aero/");
+}
+// Cross-shard isolation: everything in src/shard/ EXCEPT the partition
+// (the one sanctioned owner of per-partition orchestration state) must
+// stay at the envelope level — no reaching into another partition's
+// metadata db, flow service or AERO server, and no direct origin serve.
+bool shard_isolation_applies(const std::string& p) {
+  return starts_with(p, "src/shard/") &&
+         !starts_with(p, "src/shard/partition.");
 }
 
 bool counter_name(const std::string& s) {
@@ -133,6 +142,11 @@ const std::vector<RuleInfo>& rule_catalog() {
        "raw-thread / getenv / unordered-iteration sink through the call "
        "graph (full call chain in the diagnostic); sanctioned owners are "
        "declared as taint barriers in tools/osprey_layers.txt"},
+      {"shard-isolation",
+       "orchestration-state type (MetadataDb / FlowsService / AeroServer / "
+       "serve_latest) referenced in src/shard outside partition.* — the "
+       "fabric and coordinator speak only in mailbox envelopes; "
+       "ShardPartition is the sole owner of per-partition state"},
       {"stale-suppression",
        "a 'grandfathered' allow() suppression outlived the PR that "
        "introduced its rule — migrate the code instead (not suppressible)"},
@@ -200,6 +214,7 @@ void Analyzer::token_rules(const std::string& path, const Entry& e,
   const bool fabric_on = fabric_applies(path);
   const bool serve_on = serve_applies(path);
   const bool aero_on = aero_applies(path);
+  const bool shard_on = shard_isolation_applies(path);
 
   auto bare_or_std = [&](std::size_t j) {
     if (j == 0) return true;
@@ -300,6 +315,14 @@ void Analyzer::token_rules(const std::string& path, const Entry& e,
           break;
         }
       }
+    }
+    if (shard_on && (s == "MetadataDb" || s == "FlowsService" ||
+                     s == "AeroServer" || s == "serve_latest")) {
+      report("shard-isolation", t.line,
+             "reference to per-partition orchestration state (" + s +
+                 ") in src/shard outside partition.*; the fabric and "
+                 "coordinator communicate only through mailbox envelopes — "
+                 "move the access into ShardPartition");
     }
     if (serve_on && s == "serve_latest" && call_next) {
       report("serve-direct-origin", t.line,
